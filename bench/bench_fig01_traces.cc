@@ -1,0 +1,51 @@
+// Reproduces Fig. 1: execution traces of the EP benchmark with the static
+// schedule and 4 threads on (a) 2 big + 2 small cores and (b) 4 small
+// cores. The paper's observation: with static on the AMP, big-core threads
+// idle at the barrier and the 2B-2S configuration completes no faster than
+// four small cores.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "sim/app_simulator.h"
+#include "trace/trace.h"
+
+int main() {
+  using namespace aid;
+  const auto xu4 = platform::odroid_xu4();
+  const auto amp = xu4.subset({2, 2}, "2B-2S (Odroid-XU4 subset)");
+  const auto small4 = xu4.subset({4, 0}, "4S (Odroid-XU4 subset)");
+  const auto* ep = workloads::find_workload("EP");
+  const auto params = bench::params_for(xu4);
+
+  const auto run = [&](const platform::Platform& p, const char* label) {
+    bench::print_header(std::string("Figure 1 — EP, static, 4 threads, ") +
+                            label,
+                        p);
+    const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+    sim::AppSimulator simulator(p, layout,
+                                sched::ScheduleSpec::static_even(),
+                                params.overhead);
+    trace::Trace tr(4);
+    const auto result = simulator.run(ep->model(p, params.scale), &tr);
+    std::cout << trace::render_ascii(tr) << '\n';
+    const auto rep = trace::analyze(tr);
+    std::cout << "completion: " << format_double(result.total_ns / 1e6, 2)
+              << " ms   imbalance (max/avg busy): "
+              << format_double(rep.imbalance, 3)
+              << "   utilization: " << format_double(rep.utilization, 3)
+              << "   sync fraction: " << format_double(rep.sync_fraction, 3)
+              << "\n\n";
+    return result.total_ns;
+  };
+
+  const Nanos t_amp = run(amp, "2B-2S (Fig. 1a)");
+  const Nanos t_small = run(small4, "4S (Fig. 1b)");
+
+  std::cout << "paper-claim check: 2B-2S vs 4S completion ratio = "
+            << format_double(static_cast<double>(t_amp) /
+                                 static_cast<double>(t_small),
+                             3)
+            << "  (paper: ~0.99 — 'nearly the same performance')\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Fig. 2: big-to-small relative performance (speedup factor) of
+// the first 30 loops of BT and CG on Platforms A and B, measured with the
+// paper's offline protocol (Sec. 2): run the application with one thread on
+// a big core and one thread on a small core, report the per-loop
+// completion-time ratio.
+//
+// Expected shape: wildly loop-dependent SF on Platform A (1x..~8x sawtooth),
+// compressed into ~1.5x..2.25x on Platform B.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace aid;
+  for (const char* app_name : {"BT", "CG"}) {
+    const auto* app = workloads::find_workload(app_name);
+    for (const auto& platform :
+         {platform::odroid_xu4(), platform::xeon_emulated_amp()}) {
+      auto params = bench::params_for(platform);
+      const auto sf = harness::measure_offline_sf(*app, platform, params);
+
+      std::cout << "Figure 2 — per-loop speedup factor: " << app_name
+                << " on " << platform.name() << '\n';
+      TextTable table({"loop", "SF", "bar"});
+      double max_sf = 0.0;
+      double min_sf = 1e9;
+      for (usize l = 0; l < sf.size() && l < 30; ++l) {
+        table.row()
+            .cell(static_cast<i64>(l))
+            .cell(sf[l], 2)
+            .cell(ascii_bar(sf[l], 9.0, 45));
+        max_sf = std::max(max_sf, sf[l]);
+        min_sf = std::min(min_sf, sf[l]);
+      }
+      table.print(std::cout);
+      std::cout << "range: " << format_double(min_sf, 2) << " .. "
+                << format_double(max_sf, 2) << "\n\n";
+    }
+  }
+  std::cout
+      << "paper-claim check: Platform A spans ~1x..7.7x (BT) / up to ~8x "
+         "(CG);\nPlatform B is compressed into ~1.7x..2.2x for both.\n";
+  return 0;
+}

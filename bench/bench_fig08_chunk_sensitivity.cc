@@ -1,0 +1,96 @@
+// Reproduces Fig. 8: sensitivity to the chunk parameter on Platform A for
+// the benchmarks that benefit from dynamic iteration distribution —
+// dynamic(BS) with chunk in {1,2,4,5,10,15,20,25,30} versus AID-dynamic
+// with minor chunk 1 and Major chunk M in {1,2,4,5,10,15,20,25,30,35}.
+//
+// Expected shape: large chunks wreck dynamic (end-of-loop imbalance: "some
+// threads may suddenly remove all remaining iterations"), while
+// AID-dynamic's endgame optimization makes it far less chunk-sensitive.
+// Paper: best-chunk AID-dynamic beats best-chunk dynamic by up to 21.9%
+// and 5.5% on average.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace aid;
+  const auto platform = platform::odroid_xu4();
+  const auto params = bench::params_for(platform);
+  bench::print_header("Figure 8 — chunk sensitivity, Platform A", platform);
+
+  // The paper's Fig. 8 benchmark set.
+  const auto apps = bench::apps_by_name(
+      {"BT", "EP", "FT", "MG", "bodytrack", "heartwall", "hotspot3D",
+       "lavamd", "leukocyte", "particlefilter", "sradv1"});
+
+  const i64 dynamic_chunks[] = {1, 2, 4, 5, 10, 15, 20, 25, 30};
+  const i64 major_chunks[] = {1, 2, 4, 5, 10, 15, 20, 25, 30, 35};
+
+  std::vector<harness::SchedConfig> configs;
+  configs.push_back({"static(BS)", sched::ScheduleSpec::static_even(),
+                     platform::Mapping::kBigFirst});
+  for (i64 c : dynamic_chunks)
+    configs.push_back({"dynamic/" + std::to_string(c),
+                       sched::ScheduleSpec::dynamic(c),
+                       platform::Mapping::kBigFirst});
+  for (i64 M : major_chunks)
+    configs.push_back({"AID-dyn/1," + std::to_string(M),
+                       sched::ScheduleSpec::aid_dynamic(1, std::max<i64>(M, 1)),
+                       platform::Mapping::kBigFirst});
+
+  // Note: AID-dynamic requires M >= m; M=1 with m=1 is legal.
+  const auto data = harness::run_figure(apps, platform, configs, params,
+                                        /*baseline=*/0);
+  harness::print_figure(std::cout, data,
+                        "Figure 8 (normalized to static(BS))");
+
+  // Paper-claim checks: (1) best-explored-chunk comparison per app;
+  // (2) chunk sensitivity = worst/best ratio per method — the paper's core
+  // Fig. 8 message is that AID-dynamic "effectively removes this source of
+  // load imbalance" and is therefore much less sensitive to the choice.
+  double sum_gain = 0.0;
+  double max_gain = 0.0;
+  double worst_dyn_sensitivity = 0.0;
+  double worst_aid_sensitivity = 0.0;
+  std::string worst_dyn_app;
+  for (usize a = 0; a < data.app_names.size(); ++a) {
+    double best_dyn = 0.0;
+    double worst_dyn = 1e30;
+    double best_aid = 0.0;
+    double worst_aid = 1e30;
+    for (usize c = 0; c < configs.size(); ++c) {
+      const double v = data.normalized[a][c];
+      if (configs[c].label.rfind("dynamic/", 0) == 0) {
+        best_dyn = std::max(best_dyn, v);
+        worst_dyn = std::min(worst_dyn, v);
+      }
+      if (configs[c].label.rfind("AID-dyn/", 0) == 0) {
+        best_aid = std::max(best_aid, v);
+        worst_aid = std::min(worst_aid, v);
+      }
+    }
+    const double gain = best_aid / best_dyn - 1.0;
+    sum_gain += gain;
+    max_gain = std::max(max_gain, gain);
+    if (best_dyn / worst_dyn > worst_dyn_sensitivity) {
+      worst_dyn_sensitivity = best_dyn / worst_dyn;
+      worst_dyn_app = data.app_names[a];
+    }
+    worst_aid_sensitivity =
+        std::max(worst_aid_sensitivity, best_aid / worst_aid);
+  }
+  const double n_apps = static_cast<double>(data.app_names.size());
+  std::cout << "paper-claim check:\n"
+            << "  best-chunk AID-dynamic vs best-chunk dynamic: "
+            << format_double(sum_gain / n_apps * 100.0, 1) << "% avg, up to "
+            << format_double(max_gain * 100.0, 1)
+            << "%  (paper: 5.5% avg, up to 21.9%)\n"
+            << "  worst chunk sensitivity (best/worst): dynamic "
+            << format_double(worst_dyn_sensitivity, 2) << "x on "
+            << worst_dyn_app << ", AID-dynamic "
+            << format_double(worst_aid_sensitivity, 2)
+            << "x  (paper: dynamic degrades sharply at large chunks, "
+               "AID-dynamic stays flat)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Microbenchmarks for the Sec. 4.2 implementation claims, using
+// google-benchmark on the REAL data structures (no simulation):
+//  * a pool removal is a single fetch-add (WorkShare::take);
+//  * the sampling bookkeeping (SfEstimator::record) is two atomic adds and
+//    a counter increment — "the sampling phase has very low overhead";
+//  * scheduler next() costs: static < AID-static < dynamic in removals.
+#include <benchmark/benchmark.h>
+
+#include "platform/platform.h"
+#include "platform/team_layout.h"
+#include "sched/loop_scheduler.h"
+#include "sched/sf_estimator.h"
+#include "sched/work_share.h"
+
+namespace {
+
+using namespace aid;
+
+void BM_WorkShareTake(benchmark::State& state) {
+  sched::WorkShare pool;
+  pool.reset(1LL << 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.take(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkShareTake)->ThreadRange(1, 4)->UseRealTime();
+
+void BM_WorkShareTakeAdaptive(benchmark::State& state) {
+  sched::WorkShare pool;
+  pool.reset(1LL << 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pool.take_adaptive([](i64 remaining) { return remaining / 64 + 1; }));
+  }
+}
+BENCHMARK(BM_WorkShareTakeAdaptive)->ThreadRange(1, 4)->UseRealTime();
+
+void BM_SfEstimatorRecord(benchmark::State& state) {
+  sched::SfEstimator estimator(2);
+  estimator.reset(1 << 30);
+  int type = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.record(type, 1000, 1));
+    type ^= 1;
+  }
+}
+BENCHMARK(BM_SfEstimatorRecord);
+
+void BM_SchedulerNext(benchmark::State& state, const sched::ScheduleSpec spec) {
+  const auto platform = platform::generic_amp(2, 2, 3.0);
+  const platform::TeamLayout layout(platform, 4, platform::Mapping::kBigFirst);
+  SteadyTimeSource clock;
+  sched::ThreadContext tc{0, 1, 3.0, &clock};
+  auto sched = sched::make_scheduler(spec, 1LL << 40, layout);
+  sched::IterRange r;
+  for (auto _ : state) {
+    if (!sched->next(tc, r)) {
+      state.PauseTiming();
+      sched->reset(1LL << 40);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_SchedulerNext, dynamic1, sched::ScheduleSpec::dynamic(1));
+BENCHMARK_CAPTURE(BM_SchedulerNext, dynamic16,
+                  sched::ScheduleSpec::dynamic(16));
+BENCHMARK_CAPTURE(BM_SchedulerNext, guided, sched::ScheduleSpec::guided(1));
+BENCHMARK_CAPTURE(BM_SchedulerNext, aid_dynamic,
+                  sched::ScheduleSpec::aid_dynamic(1, 5));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Reproduces Table 2: relative performance gains of the AID variants over
+// the conventional method each replaces, on both platforms —
+//   AID-static  vs static(BS)
+//   AID-hybrid  vs static(BS)
+//   AID-dynamic vs dynamic(BS)
+// reported as arithmetic mean and geometric mean across the 21 benchmarks.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace aid;
+  struct Row {
+    std::string scheme;
+    double paper_mean_a, paper_gmean_a, paper_mean_b, paper_gmean_b;
+  };
+  const Row paper_rows[3] = {
+      {"AID-static vs static(BS)", 14.98, 13.54, 15.93, 14.64},
+      {"AID-hybrid vs static(BS)", 27.55, 22.67, 20.08, 16.06},
+      {"AID-dynamic vs dynamic(BS)", 3.12, 2.81, 22.34, 16.00},
+  };
+
+  TextTable table({"Loop-scheduling schemes", "A mean%", "A gmean%",
+                   "B mean%", "B gmean%", "paper A mean%", "paper A gmean%",
+                   "paper B mean%", "paper B gmean%"});
+
+  std::vector<harness::GainSummary> gains_a;
+  std::vector<harness::GainSummary> gains_b;
+  for (const auto& platform :
+       {platform::odroid_xu4(), platform::xeon_emulated_amp()}) {
+    const auto params = bench::params_for(platform);
+    const auto data = harness::run_figure(bench::all_apps(), platform,
+                                          harness::standard_configs(), params);
+    const usize st_bs = harness::config_index(data, "static(BS)");
+    const usize dyn_bs = harness::config_index(data, "dynamic(BS)");
+    auto& out = platform.name().find("Odroid") != std::string::npos ? gains_a
+                                                                    : gains_b;
+    out.push_back(harness::summarize_gain(
+        data, harness::config_index(data, "AID-static"), st_bs, "aid-static"));
+    out.push_back(harness::summarize_gain(
+        data, harness::config_index(data, "AID-hybrid"), st_bs, "aid-hybrid"));
+    out.push_back(
+        harness::summarize_gain(data, harness::config_index(data, "AID-dynamic"),
+                                dyn_bs, "aid-dynamic"));
+  }
+
+  std::cout << "Table 2 — relative performance gains of the AID variants\n\n";
+  for (usize r = 0; r < 3; ++r) {
+    table.row()
+        .cell(paper_rows[r].scheme)
+        .cell(gains_a[r].mean_percent, 2)
+        .cell(gains_a[r].gmean_percent, 2)
+        .cell(gains_b[r].mean_percent, 2)
+        .cell(gains_b[r].gmean_percent, 2)
+        .cell(paper_rows[r].paper_mean_a, 2)
+        .cell(paper_rows[r].paper_gmean_a, 2)
+        .cell(paper_rows[r].paper_mean_b, 2)
+        .cell(paper_rows[r].paper_gmean_b, 2);
+  }
+  table.print(std::cout);
+  std::cout << "\n(measured = this reproduction; paper = ICPP'20 Table 2)\n";
+  return 0;
+}

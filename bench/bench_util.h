@@ -1,0 +1,52 @@
+// Shared setup for the figure/table bench binaries.
+//
+// Every binary regenerates one table or figure from the paper and prints
+// the same rows/series. Scale and repetitions can be tuned via:
+//   AID_BENCH_SCALE — trip-count scale (default 1.0; smaller = faster)
+//   AID_BENCH_RUNS  — repetitions per measurement (default 5, paper value)
+#pragma once
+
+#include <iostream>
+
+#include "common/env.h"
+#include "harness/experiment.h"
+#include "harness/figure_printer.h"
+#include "workloads/workload.h"
+
+namespace aid::bench {
+
+inline harness::ExperimentParams params_for(
+    const platform::Platform& platform) {
+  harness::ExperimentParams params;
+  params.overhead = harness::overhead_for(platform);
+  params.scale = env::get_double("AID_BENCH_SCALE", 1.0);
+  params.runs = static_cast<int>(env::get_int("AID_BENCH_RUNS", 5));
+  return params;
+}
+
+inline std::vector<const workloads::Workload*> all_apps() {
+  std::vector<const workloads::Workload*> apps;
+  for (const auto& w : workloads::all_workloads()) apps.push_back(&w);
+  return apps;
+}
+
+inline std::vector<const workloads::Workload*> apps_by_name(
+    const std::vector<std::string>& names) {
+  std::vector<const workloads::Workload*> apps;
+  for (const auto& n : names) {
+    const auto* w = workloads::find_workload(n);
+    AID_CHECK_MSG(w != nullptr, "unknown workload in bench");
+    apps.push_back(w);
+  }
+  return apps;
+}
+
+inline void print_header(const std::string& what,
+                         const platform::Platform& platform) {
+  std::cout << "=====================================================\n"
+            << what << '\n'
+            << platform.describe()
+            << "=====================================================\n\n";
+}
+
+}  // namespace aid::bench

@@ -1,0 +1,80 @@
+// Research tool: explore any bundled workload on any platform model.
+//
+// Reports, per parallel loop: the offline speedup factor (the paper's
+// Sec. 2 protocol — single thread on big vs small), the online estimate
+// (AID-static's sampling under the full team), and the end-to-end
+// performance of each scheduling method. This is how Figs. 2, 6/7 and 9c
+// were explored during development.
+//
+// Usage:
+//   ./build/examples/loop_sf_explorer                  # list workloads
+//   ./build/examples/loop_sf_explorer CG               # CG on Platform A
+//   ./build/examples/loop_sf_explorer CG platform-b    # ... on Platform B
+//   ./build/examples/loop_sf_explorer CG generic:2,6,4.0
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/figure_printer.h"
+#include "workloads/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace aid;
+
+  if (argc < 2) {
+    std::printf("usage: %s <workload> [platform]\n\nbundled workloads:\n",
+                argv[0]);
+    for (const auto& w : workloads::all_workloads())
+      std::printf("  %-16s (%s) — %s\n", w.name().c_str(), w.suite().c_str(),
+                  w.spec().description.c_str());
+    std::printf("\nplatforms: odroid-xu4 (default) | xeon-amp | symmetric:N "
+                "| generic:NS,NB,SPEED\n");
+    return 0;
+  }
+
+  const auto* workload = workloads::find_workload(argv[1]);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (run without arguments for "
+                         "the list)\n",
+                 argv[1]);
+    return 1;
+  }
+  auto platform = platform::odroid_xu4();
+  if (argc > 2) {
+    auto parsed = platform::parse_platform(argv[2]);
+    if (!parsed) {
+      std::fprintf(stderr, "unparsable platform '%s'\n", argv[2]);
+      return 1;
+    }
+    platform = std::move(*parsed);
+  }
+
+  std::cout << platform.describe() << '\n';
+  harness::ExperimentParams params;
+  params.overhead = harness::overhead_for(platform);
+
+  // Per-loop speedup factors: offline protocol vs online sampling.
+  const auto offline = harness::measure_offline_sf(*workload, platform, params);
+  const auto online = harness::measure_online_sf(*workload, platform, params);
+  TextTable sf_table({"loop", "offline SF", "online SF", "bar (offline)"});
+  for (usize l = 0; l < offline.size(); ++l) {
+    sf_table.row()
+        .cell(static_cast<i64>(l))
+        .cell(offline[l], 2)
+        .cell(l < online.size() ? online[l] : 0.0, 2)
+        .cell(ascii_bar(offline[l], 9.0, 40));
+  }
+  std::cout << "per-loop speedup factors for " << workload->name() << ":\n";
+  sf_table.print(std::cout);
+
+  // End-to-end schedule comparison (one row of Fig. 6/7).
+  const std::vector<const workloads::Workload*> apps{workload};
+  const auto data = harness::run_figure(apps, platform,
+                                        harness::standard_configs(), params);
+  std::cout << '\n';
+  harness::print_figure(std::cout, data,
+                        "normalized performance (" + workload->name() + ")");
+  return 0;
+}

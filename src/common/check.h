@@ -1,0 +1,38 @@
+// Lightweight precondition/invariant checking.
+//
+// AID_CHECK is always on (used for API misuse that would otherwise corrupt
+// scheduler state); AID_DCHECK compiles out in release builds and guards
+// internal invariants on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aid::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "libaid: CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace aid::detail
+
+#define AID_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) [[unlikely]]                                        \
+      ::aid::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define AID_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) [[unlikely]]                                        \
+      ::aid::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define AID_DCHECK(cond) ((void)0)
+#else
+#define AID_DCHECK(cond) AID_CHECK(cond)
+#endif

@@ -1,0 +1,102 @@
+#include "common/env.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace aid::env {
+
+std::optional<std::string> get(std::string_view name) {
+  const std::string key(name);
+  const char* v = std::getenv(key.c_str());
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::string_view trim(std::string_view text) {
+  usize b = 0;
+  usize e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])) != 0)
+    --e;
+  return text.substr(b, e - b);
+}
+
+std::optional<i64> parse_int(std::string_view text) {
+  const std::string_view t = trim(text);
+  i64 value = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  if (ec != std::errc{} || ptr != t.data() + t.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  const std::string t(trim(text));
+  if (t.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<bool> parse_bool(std::string_view text) {
+  std::string t(trim(text));
+  for (char& c : t) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (t == "1" || t == "true" || t == "yes" || t == "on") return true;
+  if (t == "0" || t == "false" || t == "no" || t == "off") return false;
+  return std::nullopt;
+}
+
+std::string get_string(std::string_view name, std::string_view fallback) {
+  const auto v = get(name);
+  return v ? *v : std::string(fallback);
+}
+
+i64 get_int(std::string_view name, i64 fallback) {
+  const auto v = get(name);
+  if (!v) return fallback;
+  const auto parsed = parse_int(*v);
+  return parsed ? *parsed : fallback;
+}
+
+double get_double(std::string_view name, double fallback) {
+  const auto v = get(name);
+  if (!v) return fallback;
+  const auto parsed = parse_double(*v);
+  return parsed ? *parsed : fallback;
+}
+
+bool get_bool(std::string_view name, bool fallback) {
+  const auto v = get(name);
+  if (!v) return fallback;
+  const auto parsed = parse_bool(*v);
+  return parsed ? *parsed : fallback;
+}
+
+std::vector<std::string> split_list(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  usize start = 0;
+  while (start <= text.size()) {
+    usize pos = text.find(delim, start);
+    if (pos == std::string_view::npos) pos = text.size();
+    const std::string_view piece = trim(text.substr(start, pos - start));
+    if (!piece.empty()) out.emplace_back(piece);
+    start = pos + 1;
+  }
+  return out;
+}
+
+ScopedSet::ScopedSet(std::string name, std::string value)
+    : name_(std::move(name)), saved_(get(name_)) {
+  ::setenv(name_.c_str(), value.c_str(), /*overwrite=*/1);
+}
+
+ScopedSet::~ScopedSet() {
+  if (saved_) {
+    ::setenv(name_.c_str(), saved_->c_str(), 1);
+  } else {
+    ::unsetenv(name_.c_str());
+  }
+}
+
+}  // namespace aid::env

@@ -1,0 +1,57 @@
+// Environment-variable parsing.
+//
+// The paper activates AID without touching application code: the schedule and
+// its parameters are read from the environment at startup (the analog of
+// OMP_SCHEDULE / GOMP_AMP_AFFINITY). This module centralizes the parsing so
+// runtime configuration has one implementation and one set of tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aid::env {
+
+/// Raw lookup; nullopt when the variable is unset.
+[[nodiscard]] std::optional<std::string> get(std::string_view name);
+
+/// Typed lookups: return `fallback` when unset; return nullopt-driven
+/// `fallback` (not an error) when set but unparsable, so a bad environment
+/// never aborts a user application — matching libgomp's forgiving behavior.
+[[nodiscard]] std::string get_string(std::string_view name,
+                                     std::string_view fallback);
+[[nodiscard]] i64 get_int(std::string_view name, i64 fallback);
+[[nodiscard]] double get_double(std::string_view name, double fallback);
+[[nodiscard]] bool get_bool(std::string_view name, bool fallback);
+
+/// Parse helpers exposed for tests and for OMP_SCHEDULE-style strings.
+[[nodiscard]] std::optional<i64> parse_int(std::string_view text);
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+[[nodiscard]] std::optional<bool> parse_bool(std::string_view text);
+
+/// Split on a delimiter, trimming ASCII whitespace from each piece; empty
+/// pieces are dropped ("a, b,,c" -> {"a","b","c"}).
+[[nodiscard]] std::vector<std::string> split_list(std::string_view text,
+                                                  char delim = ',');
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Scoped environment override for tests (set on construction, restore on
+/// destruction). Not thread-safe: setenv never is; tests use it serially.
+class ScopedSet {
+ public:
+  ScopedSet(std::string name, std::string value);
+  ~ScopedSet();
+  ScopedSet(const ScopedSet&) = delete;
+  ScopedSet& operator=(const ScopedSet&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> saved_;
+};
+
+}  // namespace aid::env

@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation.
+//
+// All workload cost profiles and synthetic inputs are seeded so that every
+// figure bench reproduces bit-for-bit. xoshiro256** is used instead of
+// std::mt19937 because its state is 4 words (cheap to embed per-thread) and
+// its output is identical across standard library implementations.
+#pragma once
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace aid {
+
+/// SplitMix64; used to seed Xoshiro and as a cheap hash.
+[[nodiscard]] constexpr u64 splitmix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), public domain reference algorithm.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    u64 sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  [[nodiscard]] u64 next_u64() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] i64 uniform_int(i64 lo, i64 hi) {
+    AID_CHECK(lo <= hi);
+    const u64 span = static_cast<u64>(hi - lo) + 1;
+    return lo + static_cast<i64>(next_u64() % span);
+  }
+
+  /// Standard normal via Box–Muller (no cached second value: determinism over
+  /// micro-efficiency; profiles draw few samples).
+  [[nodiscard]] double normal(double mu = 0.0, double sigma = 1.0) {
+    double u1 = next_double();
+    while (u1 <= 1e-12) u1 = next_double();
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mu + sigma * r * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Lognormal with the given parameters of the underlying normal.
+  [[nodiscard]] double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+ private:
+  [[nodiscard]] static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  u64 s_[4]{};
+};
+
+}  // namespace aid

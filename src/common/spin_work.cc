@@ -1,0 +1,54 @@
+#include "common/spin_work.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace aid {
+namespace {
+
+// Dependent multiply-add chain: the result of each step feeds the next, so
+// neither the compiler nor an out-of-order core can collapse the loop.
+u64 chain(u64 x, u64 rounds) noexcept {
+  u64 acc = x | 1;
+  for (u64 i = 0; i < rounds; ++i) {
+    acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+    acc ^= acc >> 29;
+  }
+  return acc;
+}
+
+std::atomic<u64> g_sink{0};
+
+double calibrate() {
+  using clock = std::chrono::steady_clock;
+  // Warm up, then time a block large enough to dwarf clock granularity.
+  g_sink.fetch_add(chain(1, 10'000), std::memory_order_relaxed);
+  constexpr u64 kUnits = 2'000'000;
+  const auto t0 = clock::now();
+  const u64 r = chain(42, kUnits);
+  const auto t1 = clock::now();
+  g_sink.fetch_add(r, std::memory_order_relaxed);
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return secs > 0.0 ? static_cast<double>(kUnits) / secs : 1e9;
+}
+
+}  // namespace
+
+u64 spin_work(u64 units) noexcept {
+  const u64 r = chain(units + 7, units);
+  g_sink.fetch_add(r, std::memory_order_relaxed);
+  return r;
+}
+
+double spin_units_per_second() {
+  static const double rate = calibrate();
+  return rate;
+}
+
+void spin_for_nanos(Nanos ns) noexcept {
+  if (ns <= 0) return;
+  const double units = spin_units_per_second() * static_cast<double>(ns) * 1e-9;
+  spin_work(units < 1.0 ? 1 : static_cast<u64>(units));
+}
+
+}  // namespace aid

@@ -1,0 +1,28 @@
+// Calibrated CPU-bound busy work.
+//
+// The real-thread engine needs two things the paper got from hardware:
+//  (1) iterations that consume a controllable amount of CPU time, and
+//  (2) "small" cores that run the same iteration slower than "big" ones.
+// spin_work provides (1): a side-effect-resistant arithmetic kernel whose
+// cost scales linearly with the requested unit count, plus a calibration
+// routine that maps units/second on the host. (2) lives in rt/throttle.
+#pragma once
+
+#include "common/types.h"
+
+namespace aid {
+
+/// Execute `units` abstract work units of pure arithmetic. Returns a value
+/// derived from the computation so the optimizer cannot delete the loop.
+/// One unit is a handful of dependent FLOPs (~a few ns on current hardware).
+u64 spin_work(u64 units) noexcept;
+
+/// Measured host throughput in work units per second. First call calibrates
+/// (takes a few milliseconds), subsequent calls return the cached value.
+[[nodiscard]] double spin_units_per_second();
+
+/// Busy-wait for approximately `ns` nanoseconds of spinning (not sleeping),
+/// using the calibration above. Used by the duty-cycle throttler.
+void spin_for_nanos(Nanos ns) noexcept;
+
+}  // namespace aid

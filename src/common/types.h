@@ -1,0 +1,26 @@
+// Fundamental type aliases shared across libaid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aid {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using usize = std::size_t;
+
+/// Time is accounted in integer nanoseconds everywhere (virtual or real).
+using Nanos = i64;
+
+/// Destructive-interference size used to pad per-thread state and avoid
+/// false sharing on the scheduler hot path (Per.16/CP.free guidance).
+inline constexpr usize kCacheLineBytes = 64;
+
+}  // namespace aid

@@ -1,0 +1,178 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace aid::harness {
+namespace {
+
+u64 hash_text(std::string_view text) {
+  u64 h = 1469598103934665603ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<SchedConfig> standard_configs() {
+  using sched::ScheduleSpec;
+  using platform::Mapping;
+  return {
+      {"static(SB)", ScheduleSpec::static_even(), Mapping::kSmallFirst},
+      {"static(BS)", ScheduleSpec::static_even(), Mapping::kBigFirst},
+      {"dynamic(SB)", ScheduleSpec::dynamic(1), Mapping::kSmallFirst},
+      {"dynamic(BS)", ScheduleSpec::dynamic(1), Mapping::kBigFirst},
+      // All AID variants assume the BS mapping (paper Sec. 4.3); sampling
+      // chunk m = 1, AID-hybrid at 80%, AID-dynamic with M = 5 (Sec. 5A).
+      {"AID-static", ScheduleSpec::aid_static(1), Mapping::kBigFirst},
+      {"AID-hybrid", ScheduleSpec::aid_hybrid(1, 80.0), Mapping::kBigFirst},
+      {"AID-dynamic", ScheduleSpec::aid_dynamic(1, 5), Mapping::kBigFirst},
+  };
+}
+
+sim::OverheadModel overhead_for(const platform::Platform& platform) {
+  // Preset selection by name; unknown platforms get the generic default.
+  if (platform.name().find("Odroid") != std::string::npos)
+    return sim::OverheadModel::platform_a();
+  if (platform.name().find("Xeon") != std::string::npos)
+    return sim::OverheadModel::platform_b();
+  return {};
+}
+
+AppMeasurement measure(const workloads::Workload& workload,
+                       const platform::Platform& platform,
+                       const SchedConfig& config,
+                       const ExperimentParams& params) {
+  const int nthreads =
+      params.nthreads > 0 ? params.nthreads : platform.num_cores();
+  const platform::TeamLayout layout(platform, nthreads, config.mapping);
+  sim::AppSimulator simulator(platform, layout, config.spec, params.overhead);
+  if (!params.offline_sf_per_loop.empty())
+    simulator.set_offline_sf_per_loop(params.offline_sf_per_loop);
+
+  const sim::AppModel model = workload.model(platform, params.scale);
+  sim::AppResult detail = simulator.run(model);
+  AID_CHECK_MSG(detail.total_ns > 0, "zero-time app execution");
+
+  // Paper protocol: 5 runs, discard the first, gmean the rest. The engine
+  // is deterministic, so runs differ only by measurement noise.
+  Rng rng(params.noise_seed ^ hash_text(workload.name()) ^
+          hash_text(config.label));
+  std::vector<double> run_times;
+  run_times.reserve(static_cast<usize>(params.runs));
+  for (int r = 0; r < params.runs; ++r) {
+    const double noise =
+        params.noise_sigma > 0.0
+            ? std::exp(rng.normal(0.0, params.noise_sigma))
+            : 1.0;
+    // The warm-up run pays a first-touch penalty (the paper discards it
+    // because input data must be brought into memory / off the SD card).
+    const double warmup = r == 0 ? 1.15 : 1.0;
+    run_times.push_back(static_cast<double>(detail.total_ns) * noise * warmup);
+  }
+
+  AppMeasurement m;
+  m.app = workload.name();
+  m.config = config.label;
+  m.time_ns = stats::paper_protocol_time(run_times);
+  m.detail = std::move(detail);
+  return m;
+}
+
+FigureData run_figure(const std::vector<const workloads::Workload*>& apps,
+                      const platform::Platform& platform,
+                      const std::vector<SchedConfig>& configs,
+                      const ExperimentParams& params, usize baseline_index) {
+  AID_CHECK(baseline_index < configs.size());
+  FigureData data;
+  for (const auto& c : configs) data.config_labels.push_back(c.label);
+
+  for (const workloads::Workload* app : apps) {
+    AID_CHECK(app != nullptr);
+    std::vector<double> times;
+    times.reserve(configs.size());
+    for (const auto& config : configs)
+      times.push_back(measure(*app, platform, config, params).time_ns);
+
+    const double base = times[baseline_index];
+    std::vector<double> normalized;
+    normalized.reserve(times.size());
+    for (double t : times) normalized.push_back(base / t);
+
+    data.app_names.push_back(app->name());
+    data.app_suites.push_back(app->suite());
+    data.time_ns.push_back(std::move(times));
+    data.normalized.push_back(std::move(normalized));
+  }
+  return data;
+}
+
+GainSummary summarize_gain(const FigureData& data, usize test_index,
+                           usize ref_index, std::string label) {
+  AID_CHECK(test_index < data.config_labels.size());
+  AID_CHECK(ref_index < data.config_labels.size());
+  std::vector<double> gains;       // percentage gains, for the mean
+  std::vector<double> speedups;    // T_ref / T_test, for the gmean
+  for (const auto& times : data.time_ns) {
+    const double speedup = times[ref_index] / times[test_index];
+    speedups.push_back(speedup);
+    gains.push_back((speedup - 1.0) * 100.0);
+  }
+  GainSummary s;
+  s.label = std::move(label);
+  s.mean_percent = stats::mean(gains);
+  s.gmean_percent = (stats::gmean(speedups) - 1.0) * 100.0;
+  return s;
+}
+
+std::vector<double> measure_offline_sf(const workloads::Workload& workload,
+                                       const platform::Platform& platform,
+                                       const ExperimentParams& params) {
+  // Paper Sec. 2: "we ran the applications with a single thread on a big
+  // and on a small core and measured the completion time of individual
+  // loops. The figures report the ratio of these completion times."
+  const auto run_solo = [&](platform::Mapping mapping) {
+    const platform::TeamLayout layout(platform, 1, mapping);
+    sim::AppSimulator simulator(platform, layout,
+                                sched::ScheduleSpec::static_even(),
+                                params.overhead);
+    return simulator.run(workload.model(platform, params.scale));
+  };
+  const sim::AppResult on_big = run_solo(platform::Mapping::kBigFirst);
+  const sim::AppResult on_small = run_solo(platform::Mapping::kSmallFirst);
+  AID_CHECK(on_big.phases.size() == on_small.phases.size());
+
+  std::vector<double> sf;
+  for (usize p = 0; p < on_big.phases.size(); ++p) {
+    if (!on_big.phases[p].is_loop) continue;
+    const double tb = static_cast<double>(on_big.phases[p].total_ns);
+    const double ts = static_cast<double>(on_small.phases[p].total_ns);
+    sf.push_back(tb > 0.0 ? ts / tb : 1.0);
+  }
+  return sf;
+}
+
+std::vector<double> measure_online_sf(const workloads::Workload& workload,
+                                      const platform::Platform& platform,
+                                      const ExperimentParams& params) {
+  const int nthreads =
+      params.nthreads > 0 ? params.nthreads : platform.num_cores();
+  const platform::TeamLayout layout(platform, nthreads,
+                                    platform::Mapping::kBigFirst);
+  sim::AppSimulator simulator(platform, layout,
+                              sched::ScheduleSpec::aid_static(1),
+                              params.overhead);
+  const sim::AppResult res = simulator.run(workload.model(platform, params.scale));
+  std::vector<double> sf;
+  for (const auto& phase : res.phases)
+    if (phase.is_loop) sf.push_back(phase.estimated_sf);
+  return sf;
+}
+
+}  // namespace aid::harness

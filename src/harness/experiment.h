@@ -1,0 +1,109 @@
+// Experiment driver implementing the paper's evaluation protocol (Sec. 5):
+//
+//  * the seven evaluated configurations — static(SB), static(BS),
+//    dynamic(SB), dynamic(BS), AID-static, AID-hybrid, AID-dynamic — where
+//    all AID variants always use the BS mapping they assume (Sec. 4.3);
+//  * five runs per program, first discarded (input warm-up), geometric mean
+//    of the rest. The simulator is deterministic, so run-to-run variation is
+//    synthesized with seeded multiplicative noise applied to the total time
+//    (measurement noise; it does not affect scheduling decisions);
+//  * normalized performance reported against static(SB), higher is better —
+//    exactly the y-axis of Figs. 6 and 7.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+#include "platform/team_layout.h"
+#include "sched/schedule_spec.h"
+#include "sim/app_simulator.h"
+#include "sim/overhead_model.h"
+#include "workloads/workload.h"
+
+namespace aid::harness {
+
+/// One evaluated configuration: a schedule plus a thread-to-core mapping.
+struct SchedConfig {
+  std::string label;  ///< e.g. "static(SB)" or "AID-hybrid"
+  sched::ScheduleSpec spec;
+  platform::Mapping mapping = platform::Mapping::kBigFirst;
+};
+
+/// The paper's seven standard configurations (Figs. 6/7 legend order).
+[[nodiscard]] std::vector<SchedConfig> standard_configs();
+
+struct ExperimentParams {
+  int nthreads = 0;  ///< 0 = all platform cores (the paper runs with 8)
+  sim::OverheadModel overhead;
+  int runs = 5;
+  double noise_sigma = 0.006;  ///< ~0.6% run-to-run measurement noise
+  u64 noise_seed = 0xA1D;
+  double scale = 1.0;  ///< workload trip-count scale (tests use < 1)
+
+  /// Per-loop-phase offline SF values for the AID-static(offline-SF)
+  /// variant (Fig. 9); empty = online sampling.
+  std::vector<double> offline_sf_per_loop;
+};
+
+/// Overhead model matched to a platform preset.
+[[nodiscard]] sim::OverheadModel overhead_for(
+    const platform::Platform& platform);
+
+struct AppMeasurement {
+  std::string app;
+  std::string config;
+  double time_ns = 0.0;  ///< paper-protocol time (gmean of measured runs)
+  sim::AppResult detail;  ///< one representative (noise-free) execution
+};
+
+/// Run one (workload, config) pair on a platform.
+[[nodiscard]] AppMeasurement measure(const workloads::Workload& workload,
+                                     const platform::Platform& platform,
+                                     const SchedConfig& config,
+                                     const ExperimentParams& params);
+
+/// Normalized-performance matrix for a set of workloads and configs:
+/// row per app, column per config, values = T(baseline)/T(config) with
+/// `baseline_index` selecting the baseline column (0 = static(SB)).
+struct FigureData {
+  std::vector<std::string> config_labels;
+  std::vector<std::string> app_names;
+  std::vector<std::string> app_suites;
+  std::vector<std::vector<double>> normalized;  ///< [app][config]
+  std::vector<std::vector<double>> time_ns;     ///< [app][config]
+};
+
+[[nodiscard]] FigureData run_figure(
+    const std::vector<const workloads::Workload*>& apps,
+    const platform::Platform& platform, const std::vector<SchedConfig>& configs,
+    const ExperimentParams& params, usize baseline_index = 0);
+
+/// Table 2: mean and gmean relative gains of `test` over `reference`
+/// computed from a FigureData (gain = T_ref / T_test - 1).
+struct GainSummary {
+  std::string label;
+  double mean_percent = 0.0;
+  double gmean_percent = 0.0;
+};
+
+[[nodiscard]] GainSummary summarize_gain(const FigureData& data,
+                                         usize test_index, usize ref_index,
+                                         std::string label);
+
+/// Offline SF measurement (paper Sec. 2 protocol): run the app with a
+/// single thread bound to a big core, then to a small core, and report the
+/// per-loop-phase completion-time ratio. Returns one SF per loop phase, in
+/// phase order.
+[[nodiscard]] std::vector<double> measure_offline_sf(
+    const workloads::Workload& workload, const platform::Platform& platform,
+    const ExperimentParams& params);
+
+/// Per-loop SF as AID's sampling estimates it online (full-team execution):
+/// the estimated_sf of each loop phase under AID-static. Used by Fig. 9c.
+[[nodiscard]] std::vector<double> measure_online_sf(
+    const workloads::Workload& workload, const platform::Platform& platform,
+    const ExperimentParams& params);
+
+}  // namespace aid::harness

@@ -1,0 +1,178 @@
+#include "platform/platform.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/env.h"
+
+namespace aid::platform {
+
+Platform::Platform(std::string name, std::vector<CoreCluster> clusters)
+    : name_(std::move(name)), clusters_(std::move(clusters)) {
+  AID_CHECK_MSG(!clusters_.empty(), "platform needs at least one cluster");
+  AID_CHECK_MSG(clusters_.front().speed == 1.0,
+                "slowest cluster must have speed 1.0");
+  double prev = 0.0;
+  first_core_.reserve(clusters_.size() + 1);
+  for (const auto& c : clusters_) {
+    AID_CHECK_MSG(c.count >= 1, "empty cluster");
+    AID_CHECK_MSG(c.speed >= prev, "clusters must be ordered slowest-first");
+    prev = c.speed;
+    first_core_.push_back(num_cores_);
+    num_cores_ += c.count;
+  }
+  first_core_.push_back(num_cores_);
+}
+
+int Platform::core_type_of(int core_id) const {
+  AID_CHECK(core_id >= 0 && core_id < num_cores_);
+  for (usize t = 0; t + 1 < first_core_.size(); ++t)
+    if (core_id < first_core_[t + 1]) return static_cast<int>(t);
+  AID_CHECK(false);
+  return -1;
+}
+
+int Platform::first_core_of_type(int type) const {
+  AID_CHECK(type >= 0 && type < num_core_types());
+  return first_core_[static_cast<usize>(type)];
+}
+
+double Platform::speed_of_type(int type) const {
+  AID_CHECK(type >= 0 && type < num_core_types());
+  return clusters_[static_cast<usize>(type)].speed;
+}
+
+int Platform::cores_of_type(int type) const {
+  AID_CHECK(type >= 0 && type < num_core_types());
+  return clusters_[static_cast<usize>(type)].count;
+}
+
+double Platform::nominal_asymmetry() const {
+  return clusters_.back().speed / clusters_.front().speed;
+}
+
+Platform Platform::subset(const std::vector<int>& count_per_type,
+                          std::string new_name) const {
+  AID_CHECK_MSG(count_per_type.size() == clusters_.size(),
+                "subset needs one count per core type");
+  std::vector<CoreCluster> kept;
+  for (usize t = 0; t < clusters_.size(); ++t) {
+    AID_CHECK(count_per_type[t] >= 0 && count_per_type[t] <= clusters_[t].count);
+    if (count_per_type[t] == 0) continue;
+    CoreCluster c = clusters_[t];
+    c.count = count_per_type[t];
+    kept.push_back(std::move(c));
+  }
+  AID_CHECK_MSG(!kept.empty(), "subset removed every core");
+  const double base = kept.front().speed;
+  for (auto& c : kept) c.speed /= base;
+  Platform sub(std::move(new_name), std::move(kept));
+  // Shared-resource characteristics are properties of the chip, not of the
+  // partition (the LLC/DRAM/thermal story does not change because the OS
+  // granted fewer cores).
+  sub.set_contention_sensitivity(contention_sensitivity_);
+  sub.set_reference_throughput(reference_throughput_);
+  return sub;
+}
+
+std::string Platform::describe() const {
+  std::ostringstream os;
+  os << name_ << " (" << num_cores_ << " cores, " << num_core_types()
+     << " core type" << (num_core_types() > 1 ? "s" : "") << ")\n";
+  for (usize t = 0; t < clusters_.size(); ++t) {
+    const auto& c = clusters_[t];
+    os << "  type " << t << ": " << c.count << "x " << c.name << " @ "
+       << c.freq_ghz << " GHz, relative speed " << c.speed;
+    if (!c.microarch.empty()) os << " (" << c.microarch << ")";
+    os << ", core ids [" << first_core_[t] << ".." << first_core_[t + 1] - 1
+       << "]\n";
+  }
+  return os.str();
+}
+
+double speedup_mix(const CoreCluster& cluster, double compute_fraction) {
+  AID_CHECK_MSG(compute_fraction >= 0.0 && compute_fraction <= 1.0,
+                "compute fraction must be in [0, 1]");
+  const double cs = cluster.effective_compute_speed();
+  const double ms = cluster.effective_mem_speed();
+  return 1.0 / (compute_fraction / cs + (1.0 - compute_fraction) / ms);
+}
+
+Platform odroid_xu4() {
+  // Nominal speed 2.4x: 2.0/1.5 GHz clock ratio x ~1.8 average IPC gap.
+  // Compute-bound code sees up to 9x (A15 3-wide OoO + NEON vs 2-wide
+  // in-order A7 — the paper observes per-loop SF up to 8.9x, Sec. 5A);
+  // memory-bound code barely benefits (shared LPDDR3, SF -> ~1.15).
+  Platform p("Platform A (Odroid-XU4, ARM big.LITTLE)",
+             {{"Cortex-A7", 4, 1.0, 1.5, "in-order", 1.0, 1.0},
+              {"Cortex-A15", 4, 2.4, 2.0, "out-of-order", 9.0, 1.15}});
+  p.set_contention_sensitivity(1.0);  // small 2MB per-cluster LLC
+  return p;
+}
+
+Platform xeon_emulated_amp() {
+  // 2.1 GHz full duty vs 1.2 GHz at 87.5% duty: 2.1/(1.2*0.875) = 2.0.
+  // Frequency/duty scaling compresses the per-loop SF spread: compute-bound
+  // code scales with the clock (up to ~2.25x with turbo-less boost effects),
+  // memory-bound code still gains ~1.5x because DRAM latency is unchanged
+  // while the duty cycle throttles everything — matching the paper's
+  // observed SF range of 1.7x..2.3x on this platform (Fig. 2b/2d).
+  Platform p("Platform B (Xeon E5-2620 v4, duty-cycle emulated AMP)",
+             {{"Xeon-slow", 4, 1.0, 1.2, "throttled, 87.5% duty", 1.0, 1.0},
+              {"Xeon-fast", 4, 2.0, 2.1, "full duty", 2.25, 1.5}});
+  p.set_contention_sensitivity(0.15);  // large 20MB shared LLC
+  // A throttled Broadwell core still retires far more work per ns than an
+  // in-order Cortex-A7: same loop, ~3.5x shorter iterations.
+  p.set_reference_throughput(3.5);
+  return p;
+}
+
+Platform symmetric(int cores, std::string name, double freq_ghz) {
+  AID_CHECK(cores >= 1);
+  return Platform(std::move(name),
+                  {{"core", cores, 1.0, freq_ghz, "symmetric"}});
+}
+
+Platform generic_amp(int small_cores, int big_cores, double big_speed,
+                     std::string name) {
+  AID_CHECK(small_cores >= 1 && big_cores >= 1);
+  AID_CHECK_MSG(big_speed >= 1.0, "big cores must not be slower than small");
+  return Platform(std::move(name), {{"small", small_cores, 1.0, 1.0, ""},
+                                    {"big", big_cores, big_speed, 2.0, ""}});
+}
+
+std::optional<Platform> parse_platform(std::string_view text) {
+  std::string head;
+  std::string args;
+  const usize colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    head = std::string(env::trim(text));
+  } else {
+    head = std::string(env::trim(text.substr(0, colon)));
+    args = std::string(env::trim(text.substr(colon + 1)));
+  }
+  for (char& c : head)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+
+  if (head == "odroid-xu4" || head == "platform-a") return odroid_xu4();
+  if (head == "xeon-amp" || head == "platform-b") return xeon_emulated_amp();
+  if (head == "symmetric") {
+    const auto n = env::parse_int(args);
+    if (!n || *n < 1 || *n > 4096) return std::nullopt;
+    return symmetric(static_cast<int>(*n));
+  }
+  if (head == "generic") {
+    const auto parts = env::split_list(args, ',');
+    if (parts.size() != 3) return std::nullopt;
+    const auto ns = env::parse_int(parts[0]);
+    const auto nb = env::parse_int(parts[1]);
+    const auto speed = env::parse_double(parts[2]);
+    if (!ns || !nb || !speed || *ns < 1 || *nb < 1 || *speed < 1.0)
+      return std::nullopt;
+    return generic_amp(static_cast<int>(*ns), static_cast<int>(*nb), *speed);
+  }
+  return std::nullopt;
+}
+
+}  // namespace aid::platform

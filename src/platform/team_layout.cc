@@ -1,0 +1,131 @@
+#include "platform/team_layout.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aid::platform {
+
+const char* to_string(Mapping m) {
+  return m == Mapping::kSmallFirst ? "SB" : "BS";
+}
+
+TeamLayout::TeamLayout(const Platform& platform, int nthreads, Mapping mapping)
+    : mapping_(mapping) {
+  AID_CHECK_MSG(nthreads >= 1, "team needs at least one thread");
+  AID_CHECK_MSG(nthreads <= platform.num_cores(),
+                "oversubscription is outside the paper's scope (Sec. 4.2)");
+  core_of_.resize(static_cast<usize>(nthreads));
+  core_type_of_.resize(static_cast<usize>(nthreads));
+  speed_of_.resize(static_cast<usize>(nthreads));
+  threads_of_type_.assign(static_cast<usize>(platform.num_core_types()), 0);
+  for (const auto& c : platform.clusters()) type_names_.push_back(c.name);
+
+  for (int tid = 0; tid < nthreads; ++tid) {
+    const int core = mapping == Mapping::kSmallFirst
+                         ? tid
+                         : platform.num_cores() - 1 - tid;
+    const int type = platform.core_type_of(core);
+    core_of_[static_cast<usize>(tid)] = core;
+    core_type_of_[static_cast<usize>(tid)] = type;
+    speed_of_[static_cast<usize>(tid)] = platform.speed_of_type(type);
+    ++threads_of_type_[static_cast<usize>(type)];
+  }
+}
+
+TeamLayout::TeamLayout(const Platform& platform, int nthreads,
+                       int threads_on_big)
+    : mapping_(Mapping::kBigFirst) {
+  AID_CHECK_MSG(nthreads >= 1, "team needs at least one thread");
+  AID_CHECK_MSG(nthreads <= platform.num_cores(), "oversubscription");
+  const int big_type = platform.num_core_types() - 1;
+  AID_CHECK_MSG(threads_on_big >= 0 &&
+                    threads_on_big <= platform.cores_of_type(big_type),
+                "allotment exceeds the big cluster");
+  AID_CHECK_MSG(nthreads - threads_on_big <=
+                    platform.num_cores() - platform.cores_of_type(big_type),
+                "leftover threads do not fit outside the big cluster");
+
+  core_of_.resize(static_cast<usize>(nthreads));
+  core_type_of_.resize(static_cast<usize>(nthreads));
+  speed_of_.resize(static_cast<usize>(nthreads));
+  threads_of_type_.assign(static_cast<usize>(platform.num_core_types()), 0);
+  for (const auto& c : platform.clusters()) type_names_.push_back(c.name);
+
+  for (int tid = 0; tid < nthreads; ++tid) {
+    // Sec. 4.3 convention: low tids descend from the top core id (big);
+    // the rest ascend from core 0 (small).
+    const int core = tid < threads_on_big ? platform.num_cores() - 1 - tid
+                                          : tid - threads_on_big;
+    const int type = platform.core_type_of(core);
+    core_of_[static_cast<usize>(tid)] = core;
+    core_type_of_[static_cast<usize>(tid)] = type;
+    speed_of_[static_cast<usize>(tid)] = platform.speed_of_type(type);
+    ++threads_of_type_[static_cast<usize>(type)];
+  }
+}
+
+int TeamLayout::core_of(int tid) const {
+  AID_CHECK(tid >= 0 && tid < nthreads());
+  return core_of_[static_cast<usize>(tid)];
+}
+
+int TeamLayout::core_type_of(int tid) const {
+  AID_CHECK(tid >= 0 && tid < nthreads());
+  return core_type_of_[static_cast<usize>(tid)];
+}
+
+double TeamLayout::speed_of(int tid) const {
+  AID_CHECK(tid >= 0 && tid < nthreads());
+  return speed_of_[static_cast<usize>(tid)];
+}
+
+int TeamLayout::threads_of_type(int type) const {
+  AID_CHECK(type >= 0 && type < num_core_types());
+  return threads_of_type_[static_cast<usize>(type)];
+}
+
+int TeamLayout::nb() const {
+  return threads_of_type_[threads_of_type_.size() - 1];
+}
+
+int TeamLayout::ns() const { return nthreads() - nb(); }
+
+bool TeamLayout::is_uniform() const {
+  int populated = 0;
+  for (int n : threads_of_type_) populated += (n > 0) ? 1 : 0;
+  return populated <= 1;
+}
+
+std::string TeamLayout::describe() const {
+  std::ostringstream os;
+  os << "mapping " << to_string(mapping_) << ", " << nthreads()
+     << " threads\n";
+  for (int tid = 0; tid < nthreads(); ++tid) {
+    const int type = core_type_of_[static_cast<usize>(tid)];
+    os << "  tid " << tid << " -> core " << core_of_[static_cast<usize>(tid)]
+       << " (type " << type << ", " << type_names_[static_cast<usize>(type)]
+       << ")\n";
+  }
+  return os.str();
+}
+
+bool parse_mapping(const std::string& text, Mapping& out) {
+  std::string t;
+  t.reserve(text.size());
+  for (char c : text)
+    t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (t == "sb" || t == "small-first" || t == "smallfirst") {
+    out = Mapping::kSmallFirst;
+    return true;
+  }
+  if (t == "bs" || t == "big-first" || t == "bigfirst") {
+    out = Mapping::kBigFirst;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace aid::platform

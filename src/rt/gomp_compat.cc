@@ -1,0 +1,154 @@
+#include "rt/gomp_compat.h"
+
+#include <barrier>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/check.h"
+#include "rt/runtime.h"
+#include "sched/iteration_space.h"
+#include "sched/loop_scheduler.h"
+
+namespace aid::rt::gomp {
+namespace {
+
+/// One work-sharing construct instance, shared by the team. Instances are
+/// keyed by their sequence number (how many constructs each thread has
+/// entered), reproducing libgomp's work-share chaining.
+struct WorkShareInstance {
+  std::unique_ptr<sched::IterationSpace> space;
+  std::unique_ptr<sched::LoopScheduler> sched;
+  long user_start = 0;
+  long user_incr = 1;
+  int exited = 0;
+};
+
+struct GompTeamState {
+  explicit GompTeamState(int nthreads)
+      : barrier(nthreads), team_size(nthreads) {}
+
+  std::mutex mutex;
+  std::map<u64, WorkShareInstance> shares;
+  std::barrier<> barrier;
+  int team_size;
+};
+
+struct GompTls {
+  GompTeamState* state = nullptr;
+  int tid = 0;
+  u64 sequence = 0;  ///< work-share constructs entered so far
+  WorkShareInstance* current = nullptr;
+};
+
+thread_local GompTls tls;
+
+SteadyTimeSource g_clock;
+
+sched::ThreadContext context_for(int tid) {
+  const auto& layout = Runtime::instance().team().layout();
+  return {tid, layout.core_type_of(tid), layout.speed_of(tid), &g_clock};
+}
+
+}  // namespace
+
+void aid_gomp_parallel(void (*fn)(void*), void* data, unsigned num_threads) {
+  AID_CHECK_MSG(fn != nullptr, "aid_gomp_parallel: null function");
+  AID_CHECK_MSG(tls.state == nullptr,
+                "nested aid_gomp_parallel is not supported");
+  Team& team = Runtime::instance().team();
+  AID_CHECK_MSG(num_threads == 0 ||
+                    num_threads == static_cast<unsigned>(team.nthreads()),
+                "libaid teams are fixed at startup; pass 0 threads");
+
+  GompTeamState state(team.nthreads());
+  // Every team member executes fn exactly once: one canonical iteration per
+  // thread via round-robin static chunks of size 1.
+  team.run_loop(team.nthreads(), sched::ScheduleSpec::static_chunked(1),
+                [&](i64 b, i64 e, const WorkerInfo& w) {
+                  AID_CHECK(e == b + 1 && b == w.tid);
+                  tls = GompTls{&state, w.tid, 0, nullptr};
+                  fn(data);
+                  tls = GompTls{};
+                });
+}
+
+bool aid_gomp_loop_runtime_start(long start, long end, long incr,
+                                 long* istart, long* iend) {
+  AID_CHECK_MSG(tls.state != nullptr,
+                "work-sharing outside aid_gomp_parallel");
+  AID_CHECK(istart != nullptr && iend != nullptr);
+  GompTeamState& state = *tls.state;
+  {
+    const std::scoped_lock lock(state.mutex);
+    WorkShareInstance& ws = state.shares[tls.sequence];
+    if (ws.sched == nullptr) {
+      // First thread to arrive initializes the work share; the schedule is
+      // the environment's (the paper's `runtime` schedule semantics).
+      ws.space = std::make_unique<sched::IterationSpace>(start, end, incr);
+      ws.sched = sched::make_scheduler(
+          Runtime::instance().default_schedule(), ws.space->count(),
+          Runtime::instance().team().layout());
+      ws.user_start = start;
+      ws.user_incr = incr;
+    }
+    tls.current = &ws;
+  }
+  return aid_gomp_loop_runtime_next(istart, iend);
+}
+
+bool aid_gomp_loop_runtime_next(long* istart, long* iend) {
+  AID_CHECK_MSG(tls.current != nullptr,
+                "loop_runtime_next without loop_runtime_start");
+  sched::ThreadContext tc = context_for(tls.tid);
+  sched::IterRange r;
+  if (!tls.current->sched->next(tc, r)) return false;
+  // Map canonical [begin, end) back to user coordinates. The returned
+  // bounds follow the GOMP contract: iterate with
+  // `for (i = *istart; i != *iend; i += incr)` — exclusive end for either
+  // sign of the increment.
+  const long s = tls.current->user_start;
+  const long inc = tls.current->user_incr;
+  *istart = s + static_cast<long>(r.begin) * inc;
+  *iend = s + static_cast<long>(r.end) * inc;
+  return true;
+}
+
+namespace {
+
+void finish_workshare() {
+  AID_CHECK_MSG(tls.state != nullptr, "loop_end outside aid_gomp_parallel");
+  AID_CHECK_MSG(tls.current != nullptr, "loop_end without a work share");
+  GompTeamState& state = *tls.state;
+  {
+    const std::scoped_lock lock(state.mutex);
+    WorkShareInstance& ws = state.shares[tls.sequence];
+    if (++ws.exited == state.team_size) state.shares.erase(tls.sequence);
+  }
+  tls.current = nullptr;
+  ++tls.sequence;
+}
+
+}  // namespace
+
+void aid_gomp_loop_end() {
+  finish_workshare();
+  tls.state->barrier.arrive_and_wait();
+}
+
+void aid_gomp_loop_end_nowait() { finish_workshare(); }
+
+int aid_gomp_thread_num() {
+  return tls.state != nullptr ? tls.tid : 0;
+}
+
+int aid_gomp_num_threads() {
+  return tls.state != nullptr ? tls.state->team_size : 1;
+}
+
+void aid_gomp_barrier() {
+  AID_CHECK_MSG(tls.state != nullptr, "barrier outside aid_gomp_parallel");
+  tls.state->barrier.arrive_and_wait();
+}
+
+}  // namespace aid::rt::gomp

@@ -1,0 +1,91 @@
+#include "rt/os_bridge.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aid::rt {
+
+SharedAllotment::SharedAllotment(Allotment initial) { publish(initial); }
+
+void SharedAllotment::publish(Allotment a) {
+  // Seqlock write: odd sequence marks "in flight"; readers retry.
+  const u64 seq = sequence_.load(std::memory_order_relaxed);
+  sequence_.store(seq + 1, std::memory_order_release);
+  threads_on_big_.store(a.threads_on_big, std::memory_order_relaxed);
+  epoch_.store(a.epoch, std::memory_order_relaxed);
+  sequence_.store(seq + 2, std::memory_order_release);
+}
+
+Allotment SharedAllotment::read() const {
+  for (;;) {
+    const u64 before = sequence_.load(std::memory_order_acquire);
+    if (before % 2 != 0) continue;  // writer in flight
+    Allotment a;
+    a.threads_on_big = threads_on_big_.load(std::memory_order_relaxed);
+    a.epoch = epoch_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (sequence_.load(std::memory_order_relaxed) == before) return a;
+  }
+}
+
+u64 MigrationNotifier::subscribe(Callback cb) {
+  AID_CHECK(cb != nullptr);
+  const std::scoped_lock lock(mutex_);
+  const u64 id = next_id_++;
+  subscribers_.emplace_back(id, std::move(cb));
+  return id;
+}
+
+void MigrationNotifier::unsubscribe(u64 id) {
+  const std::scoped_lock lock(mutex_);
+  subscribers_.erase(
+      std::remove_if(subscribers_.begin(), subscribers_.end(),
+                     [id](const auto& s) { return s.first == id; }),
+      subscribers_.end());
+}
+
+void MigrationNotifier::notify(const MigrationEvent& event) {
+  // Copy the subscriber list so callbacks run without the lock (CP.22:
+  // never call unknown code while holding a lock).
+  std::vector<std::pair<u64, Callback>> snapshot;
+  {
+    const std::scoped_lock lock(mutex_);
+    snapshot = subscribers_;
+  }
+  for (const auto& [id, cb] : snapshot) cb(event);
+  delivered_.fetch_add(static_cast<i64>(snapshot.size()),
+                       std::memory_order_relaxed);
+}
+
+platform::TeamLayout layout_for_allotment(const platform::Platform& platform,
+                                          int nthreads, int threads_on_big) {
+  const int big_type = platform.num_core_types() - 1;
+  const int max_big = platform.cores_of_type(big_type);
+  int nb = std::clamp(threads_on_big, 0, std::min(max_big, nthreads));
+  // Ensure the leftover threads fit on the non-big cores.
+  const int small_capacity = platform.num_cores() - max_big;
+  if (nthreads - nb > small_capacity) nb = nthreads - small_capacity;
+  return platform::TeamLayout(platform, nthreads, nb);
+}
+
+AllotmentTracker::AllotmentTracker(const platform::Platform& platform,
+                                   int nthreads,
+                                   const SharedAllotment& shared)
+    : platform_(platform),
+      shared_(shared),
+      nthreads_(nthreads),
+      last_(shared.read()),
+      layout_(layout_for_allotment(platform, nthreads, last_.threads_on_big)) {}
+
+bool AllotmentTracker::refresh() {
+  const Allotment now = shared_.read();
+  if (now.epoch == last_.epoch &&
+      now.threads_on_big == last_.threads_on_big)
+    return false;
+  last_ = now;
+  layout_ = layout_for_allotment(platform_, nthreads_, now.threads_on_big);
+  return true;
+}
+
+}  // namespace aid::rt

@@ -1,0 +1,118 @@
+// OS–runtime coordination for multi-application scenarios (paper Sec. 4.3).
+//
+// When several parallel applications share an AMP, thread-to-core placement
+// belongs to the OS, and the paper sketches three minimal mechanisms for
+// the runtime to stay asymmetry-aware without explicit CPU bindings:
+//
+//  1. a shared memory region through which the OS tells the runtime how
+//     many of the application's threads sit on big cores at any moment
+//     ("removing the need of system calls");
+//  2. an OS placement convention that favors low thread-ids when populating
+//     big cores — AID's mapping assumption;
+//  3. notifications when a thread migrates between core types, giving the
+//     runtime an opportunity to redistribute iterations.
+//
+// The paper leaves evaluating this to future work; this module implements
+// the protocol so it can be exercised and tested: a writer/reader seqlock
+// over the allotment (the OS publishes, the runtime polls lock-free), a
+// migration-notification channel, and the layout builder that converts an
+// allotment into the per-thread core assignment AID consumes.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "platform/team_layout.h"
+
+namespace aid::rt {
+
+/// What the OS publishes: how many of the team's threads currently occupy
+/// big cores. (With the Sec. 4.3 convention, that fully determines the
+/// per-tid core types: tids 0..threads_on_big-1 are on big cores.)
+struct Allotment {
+  int threads_on_big = 0;
+  u64 epoch = 0;  ///< OS placement generation, for change detection
+};
+
+/// Single-writer (OS) / multi-reader (runtime workers) shared region with
+/// sequence-lock semantics: readers never block and always obtain a
+/// consistent snapshot. Mirrors how a real kernel/user shared page would
+/// behave.
+class SharedAllotment {
+ public:
+  explicit SharedAllotment(Allotment initial = {});
+
+  /// OS side. Not thread-safe against concurrent publishes (single writer).
+  void publish(Allotment a);
+
+  /// Runtime side: lock-free consistent snapshot (retries on torn reads).
+  [[nodiscard]] Allotment read() const;
+
+ private:
+  mutable std::atomic<u64> sequence_{0};
+  std::atomic<int> threads_on_big_{0};
+  std::atomic<u64> epoch_{0};
+};
+
+/// Migration events (mechanism 3). Callbacks run on the notifying thread;
+/// subscribers must be cheap and thread-safe.
+struct MigrationEvent {
+  int tid = 0;
+  int from_core_type = 0;
+  int to_core_type = 0;
+};
+
+class MigrationNotifier {
+ public:
+  using Callback = std::function<void(const MigrationEvent&)>;
+
+  /// Returns a subscription id usable with unsubscribe().
+  u64 subscribe(Callback cb);
+  void unsubscribe(u64 id);
+
+  /// OS side: deliver an event to all subscribers.
+  void notify(const MigrationEvent& event);
+
+  [[nodiscard]] i64 delivered_count() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<u64, Callback>> subscribers_;
+  u64 next_id_ = 1;
+  std::atomic<i64> delivered_{0};
+};
+
+/// Convert an allotment into the layout AID assumes (Sec. 4.3 convention:
+/// tids 0..NB-1 on big cores, the rest on small cores). `threads_on_big`
+/// is clamped to the platform's big-core count and the team size.
+[[nodiscard]] platform::TeamLayout layout_for_allotment(
+    const platform::Platform& platform, int nthreads, int threads_on_big);
+
+/// Runtime-side poller: tracks the shared allotment and reports when the
+/// placement changed since the last loop boundary, handing back a fresh
+/// layout to schedule the next loop with.
+class AllotmentTracker {
+ public:
+  AllotmentTracker(const platform::Platform& platform, int nthreads,
+                   const SharedAllotment& shared);
+
+  /// Poll at a loop boundary: returns true when the OS moved threads since
+  /// the previous call (the runtime should rebuild its layout).
+  bool refresh();
+
+  [[nodiscard]] const platform::TeamLayout& layout() const { return layout_; }
+  [[nodiscard]] Allotment current() const { return last_; }
+
+ private:
+  const platform::Platform& platform_;
+  const SharedAllotment& shared_;
+  int nthreads_;
+  Allotment last_;
+  platform::TeamLayout layout_;
+};
+
+}  // namespace aid::rt

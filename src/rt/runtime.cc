@@ -1,0 +1,35 @@
+#include "rt/runtime.h"
+
+#include "common/env.h"
+
+namespace aid::rt {
+
+platform::Platform platform_from_env() {
+  if (const auto text = env::get("AID_PLATFORM")) {
+    if (auto p = platform::parse_platform(*text)) return std::move(*p);
+  }
+  return platform::odroid_xu4();
+}
+
+Runtime::Runtime(platform::Platform platform, RuntimeConfig config)
+    : platform_(std::move(platform)),
+      config_(config),
+      team_(platform_, config_.num_threads, config_.mapping,
+            config_.emulate_amp, config_.bind_threads, config_.sf_cpu_time) {}
+
+Runtime& Runtime::instance() {
+  static Runtime runtime(platform_from_env(), RuntimeConfig::from_env());
+  return runtime;
+}
+
+void run_loop(i64 count, const RangeBody& body) {
+  Runtime& r = Runtime::instance();
+  r.team().run_loop(count, r.default_schedule(), body);
+}
+
+void run_loop(i64 count, const sched::ScheduleSpec& spec,
+              const RangeBody& body) {
+  Runtime::instance().team().run_loop(count, spec, body);
+}
+
+}  // namespace aid::rt

@@ -1,0 +1,74 @@
+// Process-wide runtime — libaid's public entry point for applications.
+//
+// Mirrors how an OpenMP program meets libgomp: nothing is constructed
+// explicitly; the first parallel loop materializes a team configured from
+// the environment (AID_SCHEDULE, AID_NUM_THREADS, AID_AMP_AFFINITY,
+// AID_PLATFORM, ...). Loops that do not pass an explicit ScheduleSpec use
+// the environment's schedule — the observable behavior of the paper's GCC
+// change (default schedule static → runtime, Sec. 4.1).
+//
+// Quickstart:
+//   #include "rt/runtime.h"
+//   aid::rt::parallel_for(0, n, 1, [&](aid::i64 i, const aid::rt::WorkerInfo&) {
+//     out[i] = f(in[i]);
+//   });
+#pragma once
+
+#include "platform/platform.h"
+#include "rt/runtime_config.h"
+#include "rt/team.h"
+
+namespace aid::rt {
+
+class Runtime {
+ public:
+  /// The lazily-initialized global runtime (thread-safe construction).
+  static Runtime& instance();
+
+  /// Construct an isolated runtime (tests, multi-platform experiments).
+  Runtime(platform::Platform platform, RuntimeConfig config);
+
+  [[nodiscard]] Team& team() { return team_; }
+  [[nodiscard]] const RuntimeConfig& config() const { return config_; }
+  [[nodiscard]] const platform::Platform& platform() const {
+    return platform_;
+  }
+
+  /// The schedule a loop without an explicit spec receives (AID_SCHEDULE).
+  [[nodiscard]] const sched::ScheduleSpec& default_schedule() const {
+    return config_.schedule;
+  }
+
+ private:
+  platform::Platform platform_;
+  RuntimeConfig config_;
+  Team team_;
+};
+
+/// Platform for the current process: AID_PLATFORM when set and valid,
+/// otherwise the paper's Platform A shape (4 small + 4 big).
+[[nodiscard]] platform::Platform platform_from_env();
+
+/// Run a canonical-range loop on the global runtime with the environment's
+/// schedule (the unmodified-application path).
+void run_loop(i64 count, const RangeBody& body);
+/// Same with an explicit schedule (the schedule-clause path).
+void run_loop(i64 count, const sched::ScheduleSpec& spec,
+              const RangeBody& body);
+
+/// Per-iteration parallel_for over a user iteration space.
+template <typename F>
+void parallel_for(i64 start, i64 end, i64 step, F&& f) {
+  Runtime& r = Runtime::instance();
+  r.team().parallel_for(start, end, step, r.default_schedule(),
+                        std::forward<F>(f));
+}
+
+template <typename F>
+void parallel_for(i64 start, i64 end, i64 step,
+                  const sched::ScheduleSpec& spec, F&& f) {
+  Runtime::instance().team().parallel_for(start, end, step, spec,
+                                          std::forward<F>(f));
+}
+
+}  // namespace aid::rt

@@ -1,0 +1,46 @@
+#include "rt/runtime_config.h"
+
+#include <sstream>
+
+#include "common/env.h"
+
+namespace aid::rt {
+
+RuntimeConfig RuntimeConfig::from_env() {
+  RuntimeConfig cfg;
+
+  if (const auto text = env::get("AID_SCHEDULE")) {
+    if (const auto spec = sched::parse_schedule(*text)) cfg.schedule = *spec;
+  }
+
+  const i64 nt = env::get_int("AID_NUM_THREADS", 0);
+  cfg.num_threads = nt > 0 ? static_cast<int>(nt) : 0;
+
+  // GOMP_AMP_AFFINITY analog: enforce the BS mapping convention AID relies
+  // on (threads 0..NB-1 on big cores).
+  if (env::get_bool("AID_AMP_AFFINITY", false))
+    cfg.mapping = platform::Mapping::kBigFirst;
+  if (const auto text = env::get("AID_MAPPING")) {
+    platform::Mapping m{};
+    if (platform::parse_mapping(*text, m)) cfg.mapping = m;
+  }
+
+  cfg.emulate_amp = env::get_bool("AID_EMULATE_AMP", true);
+  cfg.bind_threads = env::get_bool("AID_BIND_THREADS", false);
+  cfg.sf_cpu_time = env::get_bool("AID_SF_CPU_TIME", false);
+  return cfg;
+}
+
+std::string RuntimeConfig::describe() const {
+  std::ostringstream os;
+  os << "schedule=" << schedule.display()
+     << " num_threads=" << (num_threads > 0 ? std::to_string(num_threads)
+                                            : std::string("(all cores)"))
+     << " mapping=" << platform::to_string(mapping)
+     << " emulate_amp=" << (emulate_amp ? "on" : "off")
+     << " bind_threads=" << (bind_threads ? "on" : "off")
+     << " sf_cpu_time=" << (sf_cpu_time ? "on" : "off");
+  return os.str();
+}
+
+}  // namespace aid::rt

@@ -1,0 +1,47 @@
+// Environment-driven runtime configuration.
+//
+// The paper's activation story (Sec. 4.1): applications are *not* modified —
+// a one-line GCC change routes every schedule-less loop through the runtime,
+// and the user picks the method via the environment. libaid mirrors this:
+//
+//   AID_SCHEDULE      — OMP_SCHEDULE analog, e.g. "static", "dynamic,4",
+//                       "aid-static", "aid-hybrid,1,80", "aid-dynamic,1,5".
+//                       Loops executed without an explicit ScheduleSpec use
+//                       this value. Default: "static" (the libgomp default).
+//   AID_NUM_THREADS   — team size. Default: all cores of the platform.
+//   AID_AMP_AFFINITY  — GOMP_AMP_AFFINITY analog: when set (truthy), the
+//                       runtime binds threads so that the lowest thread ids
+//                       sit on the big cores (the BS mapping AID assumes,
+//                       Sec. 4.3). When unset, SB is used.
+//   AID_MAPPING       — explicit override: "SB" or "BS".
+//   AID_EMULATE_AMP   — duty-cycle emulation of small cores on a symmetric
+//                       host (see rt/throttle.h). Default: on, because the
+//                       build machine is symmetric; set to 0 on real AMPs.
+//   AID_BIND_THREADS  — pin worker threads to core ids (best-effort).
+//   AID_SF_CPU_TIME   — sample SF with per-thread CPU time instead of wall
+//                       time (the paper's footnote-3 oversubscription fix).
+#pragma once
+
+#include <string>
+
+#include "platform/team_layout.h"
+#include "sched/schedule_spec.h"
+
+namespace aid::rt {
+
+struct RuntimeConfig {
+  sched::ScheduleSpec schedule = sched::ScheduleSpec::static_even();
+  int num_threads = 0;  ///< 0 = one per platform core
+  platform::Mapping mapping = platform::Mapping::kSmallFirst;
+  bool emulate_amp = true;
+  bool bind_threads = false;
+  bool sf_cpu_time = false;
+
+  /// Read the AID_* variables; unparsable values fall back to defaults
+  /// (libgomp-style forgiveness), reported through `warnings`.
+  static RuntimeConfig from_env();
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace aid::rt

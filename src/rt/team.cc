@@ -1,0 +1,130 @@
+#include "rt/team.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace aid::rt {
+namespace {
+
+// Best-effort pinning: on the development host the platform's core ids may
+// exceed the real CPU count; failures are silently ignored (the throttle
+// provides the asymmetry in that case).
+void try_bind_to_core(int core_id) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core_id), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof set, &set);
+#else
+  (void)core_id;
+#endif
+}
+
+}  // namespace
+
+Team::Team(const platform::Platform& platform, int nthreads,
+           platform::Mapping mapping, bool emulate_amp, bool bind_threads,
+           bool sf_cpu_time)
+    : platform_(platform),
+      layout_(platform_, nthreads > 0 ? nthreads : platform_.num_cores(),
+              mapping),
+      sf_clock_(sf_cpu_time ? static_cast<const TimeSource*>(&cpu_clock_)
+                            : static_cast<const TimeSource*>(&clock_)) {
+  const double max_speed =
+      platform_.speed_of_type(platform_.num_core_types() - 1);
+  throttles_.reserve(static_cast<usize>(layout_.nthreads()));
+  for (int tid = 0; tid < layout_.nthreads(); ++tid)
+    throttles_.emplace_back(max_speed / layout_.speed_of(tid), emulate_amp);
+
+  if (bind_threads) try_bind_to_core(layout_.core_of(0));
+
+  workers_.reserve(static_cast<usize>(layout_.nthreads() - 1));
+  for (int tid = 1; tid < layout_.nthreads(); ++tid) {
+    workers_.emplace_back([this, tid, bind_threads] {
+      if (bind_threads) try_bind_to_core(layout_.core_of(tid));
+      worker_main(tid);
+    });
+  }
+}
+
+Team::~Team() {
+  {
+    const std::scoped_lock lock(mutex_);
+    shutting_down_ = true;
+  }
+  job_cv_.notify_all();
+  // jthread joins on destruction.
+}
+
+void Team::worker_main(int tid) {
+  u64 seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      job_cv_.wait(lock, [&] {
+        return shutting_down_ || job_generation_ != seen_generation;
+      });
+      if (shutting_down_) return;
+      seen_generation = job_generation_;
+    }
+    participate(tid);
+    {
+      const std::scoped_lock lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void Team::participate(int tid) {
+  sched::ThreadContext tc{
+      .tid = tid,
+      .core_type = layout_.core_type_of(tid),
+      .speed = layout_.speed_of(tid),
+      .time = sf_clock_,
+  };
+  const Throttle& throttle = throttles_[static_cast<usize>(tid)];
+  const WorkerInfo info{tid, tc.core_type, tc.speed};
+
+  sched::IterRange r;
+  while (job_sched_->next(tc, r)) {
+    const Nanos t0 = clock_.now();
+    (*job_body_)(r.begin, r.end, info);
+    throttle.pay(clock_.now() - t0);
+  }
+}
+
+void Team::run_loop(i64 count, const sched::ScheduleSpec& spec,
+                    const RangeBody& body) {
+  AID_CHECK(count >= 0);
+  AID_CHECK_MSG(!in_loop_.exchange(true),
+                "nested/concurrent run_loop is not supported");
+
+  auto sched = sched::make_scheduler(spec, count, layout_);
+  {
+    const std::scoped_lock lock(mutex_);
+    job_sched_ = sched.get();
+    job_body_ = &body;
+    active_workers_ = layout_.nthreads() - 1;
+    ++job_generation_;
+  }
+  job_cv_.notify_all();
+
+  participate(/*tid=*/0);  // the master is team member 0, as in libgomp
+
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    job_sched_ = nullptr;
+    job_body_ = nullptr;
+  }
+  last_stats_ = sched->stats();
+  in_loop_.store(false);
+}
+
+}  // namespace aid::rt

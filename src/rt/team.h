@@ -1,0 +1,108 @@
+// Thread team: the real-thread work-sharing runtime.
+//
+// A Team owns nthreads−1 persistent worker threads (the master participates
+// as tid 0, as in libgomp). run_loop() is the work-sharing construct: every
+// team member repeatedly pulls ranges from the loop's scheduler — the
+// GOMP_loop_*_start/next protocol — executes the body on them, and joins an
+// implicit barrier.
+//
+// Thread-to-core semantics come from a TeamLayout (SB/BS mapping). On hosts
+// that are not real AMPs, per-worker Throttles emulate the asymmetry
+// (rt/throttle.h); on a real AMP, enable AID_BIND_THREADS and disable
+// AID_EMULATE_AMP to use hardware asymmetry via affinity.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/time_source.h"
+#include "platform/team_layout.h"
+#include "rt/runtime_config.h"
+#include "rt/throttle.h"
+#include "sched/loop_scheduler.h"
+
+namespace aid::rt {
+
+/// Per-worker facts exposed to loop bodies.
+struct WorkerInfo {
+  int tid = 0;
+  int core_type = 0;
+  double speed = 1.0;
+};
+
+/// A loop body invoked once per scheduler-assigned range of canonical
+/// iterations [begin, end). Bodies must be thread-safe across disjoint
+/// ranges (the usual OpenMP contract).
+using RangeBody = std::function<void(i64 begin, i64 end, const WorkerInfo&)>;
+
+class Team {
+ public:
+  /// The platform is copied; the layout binds nthreads (0 = all cores) to
+  /// cores per `mapping`. `sf_cpu_time` makes the schedulers' sampling use
+  /// per-thread CPU time (the paper's footnote-3 oversubscription fix)
+  /// instead of the wall clock.
+  Team(const platform::Platform& platform, int nthreads,
+       platform::Mapping mapping, bool emulate_amp = true,
+       bool bind_threads = false, bool sf_cpu_time = false);
+  ~Team();
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  /// Execute `count` canonical iterations under `spec`. Blocks until the
+  /// implicit barrier completes. Not reentrant (no nested regions).
+  void run_loop(i64 count, const sched::ScheduleSpec& spec,
+                const RangeBody& body);
+
+  /// Per-iteration convenience over a user iteration space.
+  template <typename F>
+  void parallel_for(i64 start, i64 end, i64 step,
+                    const sched::ScheduleSpec& spec, F&& f) {
+    const sched::IterationSpace space(start, end, step);
+    run_loop(space.count(), spec,
+             [&space, &f](i64 b, i64 e, const WorkerInfo& w) {
+               for (i64 c = b; c < e; ++c) f(space.value_of(c), w);
+             });
+  }
+
+  [[nodiscard]] const platform::TeamLayout& layout() const { return layout_; }
+  [[nodiscard]] int nthreads() const { return layout_.nthreads(); }
+
+  /// Stats of the most recent loop (SF estimate, pool removals, ...).
+  [[nodiscard]] sched::SchedulerStats last_loop_stats() const {
+    return last_stats_;
+  }
+
+ private:
+  void worker_main(int tid);
+  void participate(int tid);
+
+  platform::Platform platform_;
+  platform::TeamLayout layout_;
+  SteadyTimeSource clock_;
+  ThreadCpuTimeSource cpu_clock_;
+  const TimeSource* sf_clock_;  // what the schedulers' sampling observes
+  std::vector<Throttle> throttles_;
+
+  // Job dispatch: master publishes {scheduler, body} under the mutex and
+  // bumps the generation; workers wake, participate, and count down.
+  std::mutex mutex_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  u64 job_generation_ = 0;
+  bool shutting_down_ = false;
+  sched::LoopScheduler* job_sched_ = nullptr;
+  const RangeBody* job_body_ = nullptr;
+  int active_workers_ = 0;
+  std::atomic<bool> in_loop_{false};  // reentrancy guard
+
+  sched::SchedulerStats last_stats_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace aid::rt

@@ -1,0 +1,27 @@
+#include "sched/dynamic_sched.h"
+
+#include "common/check.h"
+
+namespace aid::sched {
+
+DynamicScheduler::DynamicScheduler(i64 count, i64 chunk)
+    : chunk_(chunk > 0 ? chunk : 1) {
+  AID_CHECK(count >= 0);
+  pool_.reset(count);
+}
+
+bool DynamicScheduler::next(ThreadContext&, IterRange& out) {
+  out = pool_.take(chunk_);
+  return !out.empty();
+}
+
+void DynamicScheduler::reset(i64 count) {
+  AID_CHECK(count >= 0);
+  pool_.reset(count);
+}
+
+SchedulerStats DynamicScheduler::stats() const {
+  return {.pool_removals = pool_.removals()};
+}
+
+}  // namespace aid::sched

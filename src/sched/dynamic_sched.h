@@ -1,0 +1,30 @@
+// OpenMP `dynamic` scheduling — the libgomp lock-free implementation the
+// paper builds AID on top of (Sec. 4.2): every worker repeatedly removes
+// `chunk` iterations from the shared pool with one fetch-and-add until the
+// pool is exhausted.
+//
+// Adapts to asymmetry implicitly (big-core threads come back for work more
+// often) at the price of one pool removal per chunk — the overhead the paper
+// shows can negate the benefit (IS: 1.93x slowdown; CG on Platform B: 2.86x).
+#pragma once
+
+#include "sched/loop_scheduler.h"
+#include "sched/work_share.h"
+
+namespace aid::sched {
+
+class DynamicScheduler final : public LoopScheduler {
+ public:
+  DynamicScheduler(i64 count, i64 chunk);
+
+  bool next(ThreadContext& tc, IterRange& out) override;
+  void reset(i64 count) override;
+  [[nodiscard]] std::string_view name() const override { return "dynamic"; }
+  [[nodiscard]] SchedulerStats stats() const override;
+
+ private:
+  WorkShare pool_;
+  i64 chunk_;
+};
+
+}  // namespace aid::sched

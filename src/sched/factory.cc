@@ -1,0 +1,49 @@
+#include "common/check.h"
+#include "sched/aid_block_sched.h"
+#include "sched/aid_dynamic_sched.h"
+#include "sched/dynamic_sched.h"
+#include "sched/factoring_sched.h"
+#include "sched/guided_sched.h"
+#include "sched/loop_scheduler.h"
+#include "sched/static_sched.h"
+#include "sched/trapezoid_sched.h"
+
+namespace aid::sched {
+
+std::unique_ptr<LoopScheduler> make_scheduler(
+    const ScheduleSpec& spec, i64 count,
+    const platform::TeamLayout& layout) {
+  switch (spec.kind) {
+    case ScheduleKind::kStatic:
+      return std::make_unique<StaticScheduler>(count, layout, spec.chunk);
+    case ScheduleKind::kDynamic:
+      return std::make_unique<DynamicScheduler>(count, spec.effective_chunk());
+    case ScheduleKind::kGuided:
+      return std::make_unique<GuidedScheduler>(count, layout,
+                                               spec.effective_chunk());
+    case ScheduleKind::kAidStatic:
+      return std::make_unique<AidBlockScheduler>(
+          count, layout, spec.effective_chunk(), /*aid_fraction=*/1.0,
+          spec.offline_sf,
+          spec.offline_sf ? "aid-static(offline-SF)" : "aid-static");
+    case ScheduleKind::kAidHybrid:
+      AID_CHECK_MSG(spec.hybrid_percent > 0.0 && spec.hybrid_percent <= 100.0,
+                    "AID-hybrid percentage must be in (0, 100]");
+      return std::make_unique<AidBlockScheduler>(
+          count, layout, spec.effective_chunk(), spec.hybrid_percent / 100.0,
+          spec.offline_sf, "aid-hybrid");
+    case ScheduleKind::kAidDynamic:
+      return std::make_unique<AidDynamicScheduler>(
+          count, layout, spec.effective_chunk(), spec.major_chunk,
+          spec.aid_endgame);
+    case ScheduleKind::kTrapezoid:
+      return std::make_unique<TrapezoidScheduler>(count, layout, spec.chunk,
+                                                  spec.major_chunk);
+    case ScheduleKind::kWeightedFactoring:
+      return std::make_unique<WeightedFactoringScheduler>(count, layout);
+  }
+  AID_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace aid::sched

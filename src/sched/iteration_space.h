@@ -1,0 +1,57 @@
+// Canonical iteration spaces.
+//
+// Schedulers operate on the canonical space [0, NI): a half-open range of
+// logical iteration numbers. User-facing loops (arbitrary start/end/step,
+// both directions) are normalized here, mirroring how libgomp scales the
+// chunk by the loop increment (paper Sec. 4.2, footnote 1).
+#pragma once
+
+#include <string>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace aid::sched {
+
+/// Half-open range of canonical iteration numbers [begin, end).
+struct IterRange {
+  i64 begin = 0;
+  i64 end = 0;
+
+  [[nodiscard]] i64 size() const { return end > begin ? end - begin : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  friend bool operator==(const IterRange&, const IterRange&) = default;
+};
+
+/// A user loop `for (i = start; i cmp end; i += step)` mapped to the
+/// canonical space. step may be negative; step == 0 is rejected.
+class IterationSpace {
+ public:
+  IterationSpace(i64 start, i64 end, i64 step) : start_(start), step_(step) {
+    AID_CHECK_MSG(step != 0, "loop step must be nonzero");
+    if (step > 0) {
+      count_ = end > start ? (end - start + step - 1) / step : 0;
+    } else {
+      count_ = start > end ? (start - end + (-step) - 1) / (-step) : 0;
+    }
+  }
+
+  /// Total canonical iterations (NI in the paper's notation).
+  [[nodiscard]] i64 count() const { return count_; }
+
+  /// Map a canonical iteration number to the user loop variable value.
+  [[nodiscard]] i64 value_of(i64 canonical) const {
+    AID_DCHECK(canonical >= 0 && canonical < count_);
+    return start_ + canonical * step_;
+  }
+
+  [[nodiscard]] i64 start() const { return start_; }
+  [[nodiscard]] i64 step() const { return step_; }
+
+ private:
+  i64 start_;
+  i64 step_;
+  i64 count_;
+};
+
+}  // namespace aid::sched

@@ -1,0 +1,61 @@
+// Scheduler interface.
+//
+// One LoopScheduler instance embodies one work-sharing construct (libgomp's
+// work_share). Workers repeatedly call next() — the analog of
+// GOMP_loop_<sched>_next() — until it returns false, then hit the implicit
+// barrier owned by the caller (runtime or simulator).
+//
+// Instances are reusable: reset() re-arms the scheduler for a new execution
+// of the same loop shape without reallocating per-thread state, because
+// data-parallel applications execute the same loops thousands of times.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "platform/team_layout.h"
+#include "sched/iteration_space.h"
+#include "sched/schedule_spec.h"
+#include "sched/thread_context.h"
+
+namespace aid::sched {
+
+/// Observability snapshot used by tests, the simulator's overhead accounting
+/// and the Fig. 9 experiments.
+struct SchedulerStats {
+  i64 pool_removals = 0;   ///< fetch-add / CAS removals from the shared pool
+  double estimated_sf = 0.0;  ///< AID: SF from the sampling phase (0 if n/a)
+  i64 aid_phases = 0;      ///< AID-dynamic: completed AID phases
+};
+
+class LoopScheduler {
+ public:
+  virtual ~LoopScheduler() = default;
+
+  LoopScheduler(const LoopScheduler&) = delete;
+  LoopScheduler& operator=(const LoopScheduler&) = delete;
+
+  /// Remove the calling worker's next range. Returns false when the worker
+  /// is done with this loop (pool exhausted / allotment complete).
+  /// Thread-safe: called concurrently by all team workers.
+  virtual bool next(ThreadContext& tc, IterRange& out) = 0;
+
+  /// Re-arm for a fresh execution with `count` canonical iterations. Must
+  /// only be called while no worker is inside next() (i.e. between loop
+  /// executions, after the team barrier).
+  virtual void reset(i64 count) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual SchedulerStats stats() const = 0;
+
+ protected:
+  LoopScheduler() = default;
+};
+
+/// Create a scheduler for `count` iterations on the given team. The layout
+/// must outlive the scheduler. Any ScheduleKind is accepted; AID methods on a
+/// uniform team degenerate gracefully (documented per scheduler).
+[[nodiscard]] std::unique_ptr<LoopScheduler> make_scheduler(
+    const ScheduleSpec& spec, i64 count, const platform::TeamLayout& layout);
+
+}  // namespace aid::sched

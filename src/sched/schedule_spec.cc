@@ -1,0 +1,123 @@
+#include "sched/schedule_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/env.h"
+
+namespace aid::sched {
+namespace {
+
+std::string lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kStatic: return "static";
+    case ScheduleKind::kDynamic: return "dynamic";
+    case ScheduleKind::kGuided: return "guided";
+    case ScheduleKind::kAidStatic: return "aid-static";
+    case ScheduleKind::kAidHybrid: return "aid-hybrid";
+    case ScheduleKind::kAidDynamic: return "aid-dynamic";
+    case ScheduleKind::kTrapezoid: return "trapezoid";
+    case ScheduleKind::kWeightedFactoring: return "weighted-factoring";
+  }
+  return "?";
+}
+
+std::string ScheduleSpec::display() const {
+  std::ostringstream os;
+  os << to_string(kind);
+  switch (kind) {
+    case ScheduleKind::kStatic:
+      if (chunk > 0) os << ',' << chunk;
+      break;
+    case ScheduleKind::kDynamic:
+    case ScheduleKind::kGuided:
+      os << ',' << effective_chunk();
+      break;
+    case ScheduleKind::kAidStatic:
+      os << ',' << effective_chunk();
+      if (offline_sf) os << " (offline-SF " << *offline_sf << ')';
+      break;
+    case ScheduleKind::kAidHybrid:
+      os << ',' << effective_chunk() << ',' << hybrid_percent;
+      break;
+    case ScheduleKind::kAidDynamic:
+      os << ',' << effective_chunk() << ',' << major_chunk;
+      if (!aid_endgame) os << " (no endgame)";
+      break;
+    case ScheduleKind::kTrapezoid:
+      if (chunk > 0) os << ',' << chunk << ',' << major_chunk;
+      break;
+    case ScheduleKind::kWeightedFactoring:
+      break;
+  }
+  return os.str();
+}
+
+std::optional<ScheduleSpec> parse_schedule(std::string_view text) {
+  const auto parts = env::split_list(text, ',');
+  if (parts.empty()) return std::nullopt;
+  const std::string head = lower(parts[0]);
+
+  // Optional numeric arguments after the name.
+  std::vector<i64> args;
+  for (usize i = 1; i < parts.size(); ++i) {
+    const auto v = env::parse_int(parts[i]);
+    if (!v || *v < 0) return std::nullopt;
+    args.push_back(*v);
+  }
+  const auto arg = [&](usize i, i64 fallback) {
+    return i < args.size() ? args[i] : fallback;
+  };
+
+  ScheduleSpec spec;
+  if (head == "static") {
+    if (args.size() > 1) return std::nullopt;
+    spec = ScheduleSpec::static_chunked(arg(0, 0));
+  } else if (head == "dynamic") {
+    if (args.size() > 1) return std::nullopt;
+    spec = ScheduleSpec::dynamic(arg(0, 1) > 0 ? arg(0, 1) : 1);
+  } else if (head == "guided") {
+    if (args.size() > 1) return std::nullopt;
+    spec = ScheduleSpec::guided(arg(0, 1) > 0 ? arg(0, 1) : 1);
+  } else if (head == "aid-static" || head == "aid_static") {
+    if (args.size() > 1) return std::nullopt;
+    spec = ScheduleSpec::aid_static(arg(0, 1) > 0 ? arg(0, 1) : 1);
+  } else if (head == "aid-hybrid" || head == "aid_hybrid") {
+    if (args.size() > 2) return std::nullopt;
+    const i64 pct = arg(1, 80);
+    if (pct > 100) return std::nullopt;
+    spec = ScheduleSpec::aid_hybrid(arg(0, 1) > 0 ? arg(0, 1) : 1,
+                                    static_cast<double>(pct));
+  } else if (head == "aid-dynamic" || head == "aid_dynamic") {
+    if (args.size() > 2) return std::nullopt;
+    const i64 m = arg(0, 1) > 0 ? arg(0, 1) : 1;
+    const i64 M = arg(1, 5) > 0 ? arg(1, 5) : 5;
+    if (M < m) return std::nullopt;  // paper requires M >= m
+    spec = ScheduleSpec::aid_dynamic(m, M);
+  } else if (head == "trapezoid") {
+    if (args.size() > 2) return std::nullopt;
+    const i64 first = arg(0, 0);
+    const i64 last = arg(1, 0);
+    if (first > 0 && last > first) return std::nullopt;
+    spec = ScheduleSpec::trapezoid(first, last);
+  } else if (head == "weighted-factoring" || head == "wfactoring") {
+    if (!args.empty()) return std::nullopt;
+    spec = ScheduleSpec::weighted_factoring();
+  } else {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+}  // namespace aid::sched

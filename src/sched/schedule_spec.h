@@ -1,0 +1,119 @@
+// Schedule selection and parameters.
+//
+// Mirrors the OMP_SCHEDULE syntax and extends it with the AID methods. The
+// paper deliberately does NOT add new schedule-clause values to the OpenMP
+// spec; AID is activated through the environment (Sec. 4.2), which is what
+// rt/runtime_config implements on top of this parser.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace aid::sched {
+
+enum class ScheduleKind {
+  kStatic,      ///< even block distribution (or round-robin with a chunk)
+  kDynamic,     ///< shared-pool stealing, fixed chunk (default 1)
+  kGuided,      ///< shared-pool stealing, decreasing chunk
+  kAidStatic,   ///< paper Sec. 4.2, Fig. 3
+  kAidHybrid,   ///< paper Sec. 4.2 (AID-static on P% + dynamic tail)
+  kAidDynamic,  ///< paper Sec. 4.2, Fig. 5
+  // Related-work baselines (paper Sec. 3 citations), for ablation studies:
+  kTrapezoid,          ///< trapezoid self-scheduling, Tzen & Ni '93 [46]
+  kWeightedFactoring,  ///< weighted factoring, Hummel et al. '96 [21]
+};
+
+[[nodiscard]] const char* to_string(ScheduleKind kind);
+
+struct ScheduleSpec {
+  ScheduleKind kind = ScheduleKind::kStatic;
+
+  /// static: 0 = one even block per thread; >0 = round-robin chunks.
+  /// dynamic/guided: pool-removal size (0 = default 1).
+  /// AID methods: the sampling / minor chunk m (0 = default 1).
+  i64 chunk = 0;
+
+  /// AID-dynamic Major chunk M (>= m). Paper default in Sec. 5A: 5.
+  i64 major_chunk = 5;
+
+  /// AID-hybrid: percentage of NI distributed asymmetrically. Paper: 80.
+  double hybrid_percent = 80.0;
+
+  /// AID-static(offline-SF) variant used in Fig. 9: skip the sampling phase
+  /// and trust this externally supplied big-to-small speedup factor.
+  std::optional<double> offline_sf;
+
+  /// AID-dynamic ablation switch: disable the Fig. 5 endgame optimization
+  /// (fall back to dynamic(m) when remaining <= M*(NB+NS)). Exists to
+  /// quantify the optimization's contribution (bench_ablation_schedulers).
+  bool aid_endgame = true;
+
+  [[nodiscard]] i64 effective_chunk() const { return chunk > 0 ? chunk : 1; }
+
+  /// Canonical display form, e.g. "dynamic,4" or "aid-dynamic,1,5".
+  [[nodiscard]] std::string display() const;
+
+  friend bool operator==(const ScheduleSpec&, const ScheduleSpec&) = default;
+
+  // Named constructors for the seven configurations evaluated in the paper.
+  static ScheduleSpec make(ScheduleKind kind, i64 chunk) {
+    ScheduleSpec s;
+    s.kind = kind;
+    s.chunk = chunk;
+    return s;
+  }
+  static ScheduleSpec static_even() { return make(ScheduleKind::kStatic, 0); }
+  static ScheduleSpec static_chunked(i64 c) {
+    return make(ScheduleKind::kStatic, c);
+  }
+  static ScheduleSpec dynamic(i64 c = 1) {
+    return make(ScheduleKind::kDynamic, c);
+  }
+  static ScheduleSpec guided(i64 c = 1) {
+    return make(ScheduleKind::kGuided, c);
+  }
+  static ScheduleSpec aid_static(i64 m = 1) {
+    return make(ScheduleKind::kAidStatic, m);
+  }
+  static ScheduleSpec aid_hybrid(i64 m = 1, double percent = 80.0) {
+    ScheduleSpec s = make(ScheduleKind::kAidHybrid, m);
+    s.hybrid_percent = percent;
+    return s;
+  }
+  static ScheduleSpec aid_dynamic(i64 m = 1, i64 M = 5) {
+    ScheduleSpec s = make(ScheduleKind::kAidDynamic, m);
+    s.major_chunk = M;
+    return s;
+  }
+  static ScheduleSpec aid_static_offline(double sf, i64 m = 1) {
+    ScheduleSpec s = make(ScheduleKind::kAidStatic, m);
+    s.offline_sf = sf;
+    return s;
+  }
+  static ScheduleSpec aid_dynamic_no_endgame(i64 m = 1, i64 M = 5) {
+    ScheduleSpec s = aid_dynamic(m, M);
+    s.aid_endgame = false;
+    return s;
+  }
+  /// Trapezoid self-scheduling; 0/0 picks the classic NI/(2T)..1 sizes.
+  static ScheduleSpec trapezoid(i64 first = 0, i64 last = 0) {
+    ScheduleSpec s = make(ScheduleKind::kTrapezoid, first);
+    s.major_chunk = last;
+    return s;
+  }
+  static ScheduleSpec weighted_factoring() {
+    return make(ScheduleKind::kWeightedFactoring, 0);
+  }
+};
+
+/// Parse an OMP_SCHEDULE-style string:
+///   "static" | "static,C" | "dynamic[,C]" | "guided[,C]"
+///   "aid-static[,m]" | "aid-hybrid[,m[,P]]" | "aid-dynamic[,m[,M]]"
+///   "trapezoid[,first[,last]]" | "weighted-factoring"
+/// Returns nullopt on malformed input.
+[[nodiscard]] std::optional<ScheduleSpec> parse_schedule(std::string_view text);
+
+}  // namespace aid::sched

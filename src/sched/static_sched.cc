@@ -1,0 +1,51 @@
+#include "sched/static_sched.h"
+
+#include "common/check.h"
+
+namespace aid::sched {
+
+StaticScheduler::StaticScheduler(i64 count, const platform::TeamLayout& layout,
+                                 i64 chunk)
+    : count_(count),
+      chunk_(chunk),
+      nthreads_(layout.nthreads()),
+      per_thread_(static_cast<usize>(layout.nthreads())) {
+  AID_CHECK(count >= 0);
+  AID_CHECK(chunk >= 0);
+}
+
+IterRange StaticScheduler::even_block(i64 count, int nthreads, int tid) {
+  AID_CHECK(nthreads >= 1 && tid >= 0 && tid < nthreads);
+  const i64 q = count / nthreads;
+  const i64 r = count % nthreads;
+  const i64 begin = tid * q + (tid < r ? tid : r);
+  const i64 size = q + (tid < r ? 1 : 0);
+  return {begin, begin + size};
+}
+
+bool StaticScheduler::next(ThreadContext& tc, IterRange& out) {
+  AID_DCHECK(tc.tid >= 0 && tc.tid < nthreads_);
+  PerThread& pt = per_thread_[static_cast<usize>(tc.tid)];
+
+  if (chunk_ == 0) {
+    if (pt.next_block != 0) return false;
+    pt.next_block = 1;
+    out = even_block(count_, nthreads_, tc.tid);
+    return !out.empty();
+  }
+
+  // Round-robin chunks: thread t owns chunks t, t+T, t+2T, ...
+  const i64 begin = (tc.tid + pt.next_block * nthreads_) * chunk_;
+  if (begin >= count_) return false;
+  ++pt.next_block;
+  out = {begin, begin + chunk_ < count_ ? begin + chunk_ : count_};
+  return true;
+}
+
+void StaticScheduler::reset(i64 count) {
+  AID_CHECK(count >= 0);
+  count_ = count;
+  for (auto& pt : per_thread_) pt.next_block = 0;
+}
+
+}  // namespace aid::sched

@@ -1,0 +1,43 @@
+// OpenMP `static` scheduling.
+//
+// Without a chunk: iterations are split into one near-even contiguous block
+// per thread (the libgomp default the paper's Fig. 1 shows to be load-
+// imbalanced on AMPs). With a chunk: blocks of `chunk` iterations are
+// assigned round-robin by thread id.
+//
+// No shared pool is touched — assignment is a pure function of (tid,
+// nthreads, NI), which is why static has "virtually no overhead from the
+// runtime system" (paper Sec. 2) and why it cannot adapt to asymmetry.
+#pragma once
+
+#include <vector>
+
+#include "sched/loop_scheduler.h"
+
+namespace aid::sched {
+
+class StaticScheduler final : public LoopScheduler {
+ public:
+  StaticScheduler(i64 count, const platform::TeamLayout& layout, i64 chunk);
+
+  bool next(ThreadContext& tc, IterRange& out) override;
+  void reset(i64 count) override;
+  [[nodiscard]] std::string_view name() const override { return "static"; }
+  [[nodiscard]] SchedulerStats stats() const override { return {}; }
+
+  /// The even-split block for a thread (exposed for tests/documentation):
+  /// threads [0, NI % T) get ceil(NI/T) iterations, the rest floor(NI/T).
+  [[nodiscard]] static IterRange even_block(i64 count, int nthreads, int tid);
+
+ private:
+  struct alignas(kCacheLineBytes) PerThread {
+    i64 next_block = 0;  ///< round-robin index (chunked) or 0/1 flag (even)
+  };
+
+  i64 count_;
+  i64 chunk_;  // 0 = even split
+  int nthreads_;
+  std::vector<PerThread> per_thread_;
+};
+
+}  // namespace aid::sched

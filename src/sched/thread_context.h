@@ -1,0 +1,23 @@
+// Per-worker view handed to schedulers.
+//
+// The same scheduler code runs under the threaded runtime (real clock, real
+// threads) and the discrete-event simulator (virtual per-worker clock); the
+// ThreadContext carries everything a scheduler may consult about the calling
+// worker: its team id, the core type it is bound to, and a time source.
+#pragma once
+
+#include "common/time_source.h"
+#include "common/types.h"
+
+namespace aid::sched {
+
+struct ThreadContext {
+  int tid = 0;          ///< team-local thread id, 0..nthreads-1
+  int core_type = 0;    ///< 0 = slowest core type on the platform
+  double speed = 1.0;   ///< nominal relative speed of the bound core
+  const TimeSource* time = nullptr;  ///< per-worker in the simulator
+
+  [[nodiscard]] Nanos now() const { return time->now(); }
+};
+
+}  // namespace aid::sched

@@ -1,0 +1,77 @@
+// The shared iteration pool — libaid's analog of libgomp's work_share.
+//
+// As in libgomp (paper Sec. 4.2): `next` tracks the first unassigned
+// iteration and `end` the loop bound; removal is a single lock-free
+// fetch-and-add, with the caller clamping the result against `end`.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.h"
+#include "sched/iteration_space.h"
+
+namespace aid::sched {
+
+class alignas(kCacheLineBytes) WorkShare {
+ public:
+  WorkShare() = default;
+
+  /// Arm the pool for a loop of `count` canonical iterations.
+  void reset(i64 count) {
+    end_ = count;
+    removals_.store(0, std::memory_order_relaxed);
+    next_.store(0, std::memory_order_release);
+  }
+
+  /// Atomically remove up to `want` iterations. Returns the removed range
+  /// (possibly clamped, possibly empty when the pool is exhausted).
+  /// This is the hot path: exactly one fetch_add, no CAS loop.
+  IterRange take(i64 want) {
+    AID_DCHECK(want >= 1);
+    const i64 begin = next_.fetch_add(want, std::memory_order_acq_rel);
+    removals_.fetch_add(1, std::memory_order_relaxed);
+    if (begin >= end_) return {end_, end_};
+    const i64 stop = begin + want < end_ ? begin + want : end_;
+    return {begin, stop};
+  }
+
+  /// Remove with a size that must be recomputed from the remaining count
+  /// (guided scheduling). `want_of(remaining)` returns the desired chunk.
+  template <typename WantFn>
+  IterRange take_adaptive(WantFn&& want_of) {
+    i64 cur = next_.load(std::memory_order_acquire);
+    while (cur < end_) {
+      const i64 want = want_of(end_ - cur);
+      AID_DCHECK(want >= 1);
+      const i64 stop = cur + want < end_ ? cur + want : end_;
+      if (next_.compare_exchange_weak(cur, stop, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        removals_.fetch_add(1, std::memory_order_relaxed);
+        return {cur, stop};
+      }
+    }
+    return {end_, end_};
+  }
+
+  /// Iterations not yet handed out (may be stale under concurrency; exact in
+  /// the simulator). Never negative.
+  [[nodiscard]] i64 remaining() const {
+    const i64 n = next_.load(std::memory_order_acquire);
+    return n < end_ ? end_ - n : 0;
+  }
+
+  [[nodiscard]] i64 end() const { return end_; }
+
+  /// Number of successful pool-removal operations (the paper's runtime
+  /// overhead is proportional to this count).
+  [[nodiscard]] i64 removals() const {
+    return removals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<i64> next_{0};
+  i64 end_ = 0;
+  std::atomic<i64> removals_{0};
+};
+
+}  // namespace aid::sched

@@ -1,0 +1,75 @@
+// Application model: what the simulator executes.
+//
+// A data-parallel OpenMP application, as the schedulers see it, is a
+// sequence of phases:
+//   * serial phases executed by the master thread (initialization, code
+//     between parallel loops — the paper's first scalability limiter,
+//     Sec. 2), and
+//   * parallel loop phases, possibly invoked many times (time steps), each
+//     with its own iteration-cost shape and per-loop speedup factors.
+//
+// Workload profiles (src/workloads) build these models from the paper's
+// measurements; the simulator executes them under any schedule.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace aid::sim {
+
+struct SerialPhase {
+  std::string name;
+  double cost_small_ns = 0.0;  ///< execution time on the slowest core type
+  /// Per-type speedup of this serial code (sf[0] = 1). Empty: use the
+  /// app-level default (AppModel::serial_sf).
+  std::vector<double> sf;
+};
+
+struct LoopPhase {
+  std::string name;
+  i64 trip_count = 0;
+  int invocations = 1;  ///< consecutive executions of this loop
+
+  /// Iteration costs under full team occupancy (the normal case).
+  std::shared_ptr<const CostModel> cost;
+  /// Costs observed by a single-threaded run (no shared-cache contention);
+  /// nullptr means identical to `cost`. This is how the Fig. 9c gap between
+  /// offline-collected and online-estimated SF is modelled.
+  std::shared_ptr<const CostModel> cost_solo;
+
+  /// Master-executed serial work between consecutive invocations, on the
+  /// slowest core type (time-step glue code).
+  double serial_between_ns = 0.0;
+};
+
+using AppPhase = std::variant<SerialPhase, LoopPhase>;
+
+struct AppModel {
+  std::string name;
+  std::string suite;  ///< "NPB", "PARSEC", "Rodinia", "synthetic"
+  std::vector<AppPhase> phases;
+  /// Default per-type speedup for serial code (empty: nominal platform
+  /// asymmetry is applied by the simulator).
+  std::vector<double> serial_sf;
+
+  [[nodiscard]] int num_loop_phases() const {
+    int n = 0;
+    for (const auto& p : phases) n += std::holds_alternative<LoopPhase>(p);
+    return n;
+  }
+
+  /// Total canonical iterations across all loop phases and invocations.
+  [[nodiscard]] i64 total_iterations() const {
+    i64 n = 0;
+    for (const auto& p : phases)
+      if (const auto* lp = std::get_if<LoopPhase>(&p))
+        n += lp->trip_count * lp->invocations;
+    return n;
+  }
+};
+
+}  // namespace aid::sim

@@ -1,0 +1,101 @@
+#include "sim/app_simulator.h"
+
+#include "common/check.h"
+#include "sched/loop_scheduler.h"
+
+namespace aid::sim {
+
+AppSimulator::AppSimulator(const platform::Platform& platform,
+                           const platform::TeamLayout& layout,
+                           sched::ScheduleSpec spec, OverheadModel overhead)
+    : platform_(platform),
+      layout_(layout),
+      spec_(spec),
+      loop_sim_(layout, overhead) {}
+
+double AppSimulator::serial_speedup(const AppModel& app,
+                                    const SerialPhase* phase) const {
+  const int master_type = layout_.core_type_of(0);
+  const std::vector<double>& sf =
+      (phase != nullptr && !phase->sf.empty()) ? phase->sf : app.serial_sf;
+  if (!sf.empty()) {
+    const usize t = static_cast<usize>(master_type) < sf.size()
+                        ? static_cast<usize>(master_type)
+                        : sf.size() - 1;
+    return sf[t] > 0.0 ? sf[t] : 1.0;
+  }
+  return platform_.speed_of_type(master_type);
+}
+
+AppResult AppSimulator::run(const AppModel& app, trace::Trace* trace) {
+  AppResult res;
+  res.app = app.name;
+  Nanos t = 0;
+  usize loop_index = 0;
+  const bool solo = layout_.nthreads() == 1;
+
+  // Advance virtual time through master-executed serial code; worker
+  // threads sit at the fork/join barrier meanwhile.
+  const auto run_serial = [&](double cost_small_ns, const SerialPhase* phase) {
+    const double sf = serial_speedup(app, phase);
+    const Nanos dt = static_cast<Nanos>(cost_small_ns / sf);
+    if (trace != nullptr && dt > 0) {
+      trace->record(0, trace::State::kRunning, t, t + dt);
+      for (int tid = 1; tid < layout_.nthreads(); ++tid)
+        trace->record(tid, trace::State::kSync, t, t + dt);
+    }
+    t += dt;
+    res.serial_ns += dt;
+    return dt;
+  };
+
+  for (const auto& phase : app.phases) {
+    if (const auto* sp = std::get_if<SerialPhase>(&phase)) {
+      const Nanos dt = run_serial(sp->cost_small_ns, sp);
+      res.phases.push_back({sp->name, /*is_loop=*/false, dt, 0, 0, 0.0, 0});
+      continue;
+    }
+    const auto& lp = std::get<LoopPhase>(phase);
+    AID_CHECK_MSG(lp.cost != nullptr, "loop phase without a cost model");
+    const CostModel& cost =
+        (solo && lp.cost_solo != nullptr) ? *lp.cost_solo : *lp.cost;
+
+    sched::ScheduleSpec loop_spec = spec_;
+    if (!offline_sf_per_loop_.empty() &&
+        spec_.kind == sched::ScheduleKind::kAidStatic) {
+      AID_CHECK_MSG(loop_index < offline_sf_per_loop_.size(),
+                    "offline SF list shorter than the app's loop count");
+      loop_spec.offline_sf = offline_sf_per_loop_[loop_index];
+    }
+    ++loop_index;
+
+    auto sched = sched::make_scheduler(loop_spec, lp.trip_count, layout_);
+    PhaseResult pr;
+    pr.name = lp.name;
+    pr.is_loop = true;
+    pr.invocations = lp.invocations;
+
+    for (int inv = 0; inv < lp.invocations; ++inv) {
+      if (inv > 0) {
+        if (lp.serial_between_ns > 0.0)
+          run_serial(lp.serial_between_ns, nullptr);
+        sched->reset(lp.trip_count);
+      }
+      const Nanos loop_start = t;
+      const LoopResult lr = loop_sim_.run(*sched, lp.trip_count, cost, t, trace);
+      t = lr.completion_ns;
+      pr.total_ns += t - loop_start;
+      pr.pool_removals += lr.pool_removals;
+      pr.estimated_sf = lr.estimated_sf;
+      pr.aid_phases = lr.aid_phases;
+    }
+    res.parallel_ns += pr.total_ns;
+    res.pool_removals += pr.pool_removals;
+    res.phases.push_back(std::move(pr));
+  }
+
+  res.total_ns = t;
+  return res;
+}
+
+}  // namespace aid::sim

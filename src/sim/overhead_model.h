@@ -1,0 +1,119 @@
+// Runtime-overhead model for the virtual-time engine.
+//
+// The paper's key negative results come from scheduling overhead: dynamic's
+// per-chunk pool removals slow IS down 1.93x on Platform A and CG 2.86x on
+// Platform B (Sec. 5A). The simulator charges each runtime interaction to
+// the calling worker's virtual clock:
+//
+//   next_call_ns   — every GOMP_loop_*_next()-style call (user/runtime
+//                    boundary crossing, bookkeeping);
+//   pool_removal_ns— additionally for calls that touched the shared pool
+//                    (the fetch-add cache-line transfer);
+//   contention_ns  — additionally per *other* team thread, modelling the
+//                    coherence traffic of a hot shared line (paper Sec. 2:
+//                    "the overhead of assigning iterations dynamically can
+//                    be substantial");
+//   fork_join_ns   — charged to every thread once per loop invocation
+//                    (parallel region entry + implicit barrier exit).
+//
+// Values are calibrated per platform: the in-order A7 cluster pays more per
+// crossing than the Xeon, but the Xeon's *relative* overhead is higher
+// because its big-to-small speedup is only ~2x (paper Sec. 5A observation
+// that dynamic is "potentially dangerous" on low-asymmetry AMPs).
+#pragma once
+
+#include "common/types.h"
+
+namespace aid::sim {
+
+struct OverheadModel {
+  Nanos next_call_ns = 60;
+  Nanos pool_removal_ns = 180;
+  Nanos contention_ns = 25;
+  Nanos fork_join_ns = 1200;
+
+  /// Locality degradation (paper Sec. 2: dynamic's "non-predictive behavior
+  /// tends to degrade data locality"): an iteration executed from a small
+  /// scattered chunk loses cache reuse. The per-iteration penalty decays
+  /// linearly with the chunk size — adjacent iterations in a bigger chunk
+  /// amortize the cold misses — and vanishes at `locality_chunk_iters`.
+  /// This is the component of dynamic's damage that AID-dynamic can only
+  /// partially recover (its blocks are still modest), which is why the
+  /// paper's AID-dynamic gains over dynamic average only ~3% on Platform A
+  /// (where tiny caches make locality the dominant cost) but ~22% on
+  /// Platform B, where the fetch-add bookkeeping — which AID-dynamic fully
+  /// amortizes — dominates instead.
+  Nanos locality_penalty_ns = 0;
+  i64 locality_chunk_iters = 32;
+
+  /// Worker wake-up raggedness at loop entry: each worker starts up to this
+  /// many ns late, deterministically hashed from (loop start time, tid) so
+  /// the arrival ORDER varies across invocations. This is what makes guided
+  /// dangerous on AMPs (a small core that wakes first grabs the huge first
+  /// chunk — Sec. 5: guided +44%/+65% vs static/dynamic) and what exposes
+  /// dynamic's large-chunk tail imbalance (Fig. 8: "some threads may
+  /// suddenly remove all remaining iterations ... leaving other threads
+  /// with no work").
+  Nanos wakeup_jitter_ns = 0;
+
+  /// Multiplicative execution-time noise per handed-out range (lognormal
+  /// sigma at the reference duration), deterministically hashed from
+  /// (worker clock, tid). Models OS interference and cache-state variation.
+  /// Without it, chunk-count quantization never lands badly and dynamic's
+  /// large-chunk sensitivity (Fig. 8) disappears; it also gives AID's
+  /// sampling phase the realistic estimation error that AID-hybrid's tail
+  /// exists to absorb. The effective sigma decays with range duration
+  /// (interference averages out): sigma_eff = sigma / sqrt(1 + T/T_ref)
+  /// with T_ref = noise_ref_ns.
+  double exec_noise_sigma = 0.0;
+  Nanos noise_ref_ns = 20'000;
+
+  [[nodiscard]] Nanos call_cost(bool touched_pool, int nthreads) const {
+    Nanos c = next_call_ns;
+    if (touched_pool)
+      c += pool_removal_ns + contention_ns * (nthreads > 1 ? nthreads - 1 : 0);
+    return c;
+  }
+
+  /// Reference iteration cost for the cheapness scaling of the locality
+  /// penalty: an iteration much heavier than this carries its own working
+  /// set (one BT line-solve does not care how its neighbours were
+  /// scheduled), while iterations much cheaper than this share cache lines
+  /// with their neighbours and bleed when scattered (IS's histogram
+  /// updates). Paper Fig. 8 shows exactly this split: chunk size barely
+  /// matters for heavy-iteration loops but dynamic-1 devastates IS/CG.
+  Nanos locality_ref_iter_ns = 400;
+
+  [[nodiscard]] Nanos locality_cost(i64 range_size,
+                                    Nanos range_exec_ns) const {
+    if (locality_penalty_ns <= 0 || range_size >= locality_chunk_iters ||
+        range_size <= 0)
+      return 0;
+    const double decay = 1.0 - static_cast<double>(range_size) /
+                                   static_cast<double>(locality_chunk_iters);
+    const double iter_ns = static_cast<double>(range_exec_ns) /
+                           static_cast<double>(range_size);
+    const double cheapness =
+        static_cast<double>(locality_ref_iter_ns) /
+        (static_cast<double>(locality_ref_iter_ns) + iter_ns);
+    return static_cast<Nanos>(static_cast<double>(locality_penalty_ns) *
+                              decay * cheapness *
+                              static_cast<double>(range_size));
+  }
+
+  /// Odroid-XU4-like: cheap fetch-add, but tiny caches and a slow LPDDR3
+  /// path make scattered execution expensive.
+  static OverheadModel platform_a() {
+    return {80, 60, 6, 2000, 420, 32, 4000, 0.10, 20000, 400};
+  }
+  /// Xeon-like: big caches and aggressive prefetch soften locality loss,
+  /// but iterations finish ~3.5x sooner, so the (unshrunk) bookkeeping cost
+  /// weighs relatively more.
+  static OverheadModel platform_b() {
+    return {45, 80, 12, 900, 80, 32, 1800, 0.06, 20000, 400};
+  }
+  /// Free runtime (for isolating algorithmic load balance in tests).
+  static OverheadModel zero() { return {0, 0, 0, 0, 0, 32, 0, 0.0, 20000, 400}; }
+};
+
+}  // namespace aid::sim

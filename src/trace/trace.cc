@@ -1,0 +1,158 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+namespace aid::trace {
+
+const char* to_string(State s) {
+  switch (s) {
+    case State::kRunning: return "Running";
+    case State::kSync: return "Synchronization";
+    case State::kScheduling: return "Scheduling and Fork/Join";
+  }
+  return "?";
+}
+
+Trace::Trace(int nthreads) {
+  AID_CHECK(nthreads >= 1);
+  timelines_.resize(static_cast<usize>(nthreads));
+}
+
+void Trace::record(int tid, State state, Nanos begin, Nanos end) {
+  AID_CHECK(tid >= 0 && tid < nthreads());
+  if (end <= begin) return;
+  auto& tl = timelines_[static_cast<usize>(tid)];
+  AID_DCHECK(tl.empty() || begin >= tl.back().begin);
+  // Merge with the previous interval when contiguous and same state: keeps
+  // traces compact for loops with thousands of next() calls.
+  if (!tl.empty() && tl.back().end == begin && tl.back().state == state) {
+    tl.back().end = end;
+    return;
+  }
+  tl.push_back({begin, end, state});
+}
+
+const std::vector<Interval>& Trace::timeline(int tid) const {
+  AID_CHECK(tid >= 0 && tid < nthreads());
+  return timelines_[static_cast<usize>(tid)];
+}
+
+Nanos Trace::span_end() const {
+  Nanos end = 0;
+  for (const auto& tl : timelines_)
+    if (!tl.empty()) end = std::max(end, tl.back().end);
+  return end;
+}
+
+Nanos Trace::span_begin() const {
+  Nanos begin = span_end();
+  for (const auto& tl : timelines_)
+    if (!tl.empty()) begin = std::min(begin, tl.front().begin);
+  return begin;
+}
+
+Nanos Trace::time_in(int tid, State state) const {
+  AID_CHECK(tid >= 0 && tid < nthreads());
+  Nanos total = 0;
+  for (const auto& iv : timelines_[static_cast<usize>(tid)])
+    if (iv.state == state) total += iv.duration();
+  return total;
+}
+
+void Trace::clear() {
+  for (auto& tl : timelines_) tl.clear();
+}
+
+ImbalanceReport analyze(const Trace& trace) {
+  ImbalanceReport rep;
+  rep.span = trace.span_end() - trace.span_begin();
+  const int n = trace.nthreads();
+  Nanos busy_sum = 0;
+  Nanos sync_sum = 0;
+  Nanos sched_sum = 0;
+  for (int t = 0; t < n; ++t) {
+    const Nanos busy = trace.time_in(t, State::kRunning);
+    busy_sum += busy;
+    sync_sum += trace.time_in(t, State::kSync);
+    sched_sum += trace.time_in(t, State::kScheduling);
+    rep.max_busy = std::max(rep.max_busy, busy);
+  }
+  rep.avg_busy = static_cast<double>(busy_sum) / n;
+  rep.imbalance = rep.avg_busy > 0.0
+                      ? static_cast<double>(rep.max_busy) / rep.avg_busy
+                      : 1.0;
+  const double capacity = static_cast<double>(rep.span) * n;
+  if (capacity > 0.0) {
+    rep.utilization = static_cast<double>(busy_sum) / capacity;
+    rep.sync_fraction = static_cast<double>(sync_sum) / capacity;
+    rep.sched_fraction = static_cast<double>(sched_sum) / capacity;
+  }
+  return rep;
+}
+
+std::string render_ascii(const Trace& trace, int width) {
+  AID_CHECK(width >= 8);
+  const Nanos t0 = trace.span_begin();
+  const Nanos t1 = trace.span_end();
+  const double span = static_cast<double>(t1 - t0);
+  std::ostringstream os;
+  if (span <= 0.0) return "(empty trace)\n";
+
+  for (int tid = 0; tid < trace.nthreads(); ++tid) {
+    // Accumulate per-bucket time per state, then pick the dominant state.
+    std::vector<std::array<double, 3>> buckets(
+        static_cast<usize>(width), {0.0, 0.0, 0.0});
+    for (const auto& iv : trace.timeline(tid)) {
+      const double b0 = static_cast<double>(iv.begin - t0) / span * width;
+      const double b1 = static_cast<double>(iv.end - t0) / span * width;
+      for (int b = static_cast<int>(b0); b <= static_cast<int>(b1) && b < width;
+           ++b) {
+        const double lo = std::max(b0, static_cast<double>(b));
+        const double hi = std::min(b1, static_cast<double>(b + 1));
+        if (hi > lo)
+          buckets[static_cast<usize>(b)][static_cast<usize>(iv.state)] +=
+              hi - lo;
+      }
+    }
+    os << "Thread " << tid + 1 << " |";
+    for (const auto& bk : buckets) {
+      const double total = bk[0] + bk[1] + bk[2];
+      if (total <= 0.0) {
+        os << ' ';
+      } else if (bk[0] >= bk[1] && bk[0] >= bk[2]) {
+        os << '#';
+      } else if (bk[1] >= bk[2]) {
+        os << '.';
+      } else {
+        os << 's';
+      }
+    }
+    os << "|\n";
+  }
+  os << "  legend: '#' Running   '.' Synchronization   's' Scheduling+Fork/Join\n";
+  return os.str();
+}
+
+std::string export_prv(const Trace& trace) {
+  // Paraver state ids: 1 = Running, 7 = Group (sync wait), 15 = Scheduling.
+  const auto prv_state = [](State s) {
+    switch (s) {
+      case State::kRunning: return 1;
+      case State::kSync: return 7;
+      case State::kScheduling: return 15;
+    }
+    return 0;
+  };
+  std::ostringstream os;
+  os << "#Paraver (libaid trace):" << trace.span_end() << "_ns:1("
+     << trace.nthreads() << "):1:1(" << trace.nthreads() << ":1)\n";
+  for (int tid = 0; tid < trace.nthreads(); ++tid)
+    for (const auto& iv : trace.timeline(tid))
+      os << "1:" << tid + 1 << ":1:1:" << tid + 1 << ':' << iv.begin << ':'
+         << iv.end << ':' << prv_state(iv.state) << '\n';
+  return os.str();
+}
+
+}  // namespace aid::trace

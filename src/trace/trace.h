@@ -1,0 +1,88 @@
+// Execution-trace recording — libaid's analog of the Paraver traces the
+// paper uses for Figs. 1 and 4.
+//
+// A trace is a set of per-thread, non-overlapping state intervals using the
+// paper's three-state legend:
+//   Running                  — executing loop iterations (or serial code)
+//   Synchronization          — waiting at the implicit loop barrier
+//   Scheduling and Fork/Join — inside the runtime (next() calls, fork/join)
+//
+// Recording is lock-free: each thread appends to its own buffer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace aid::trace {
+
+enum class State : u8 {
+  kRunning = 0,
+  kSync = 1,
+  kScheduling = 2,
+};
+
+[[nodiscard]] const char* to_string(State s);
+
+struct Interval {
+  Nanos begin = 0;
+  Nanos end = 0;
+  State state = State::kRunning;
+
+  [[nodiscard]] Nanos duration() const { return end - begin; }
+};
+
+class Trace {
+ public:
+  explicit Trace(int nthreads);
+
+  /// Append an interval to a thread's timeline. Intervals must be appended
+  /// in non-decreasing begin order per thread (enforced in debug builds).
+  /// Zero-duration intervals are dropped.
+  void record(int tid, State state, Nanos begin, Nanos end);
+
+  [[nodiscard]] int nthreads() const {
+    return static_cast<int>(timelines_.size());
+  }
+  [[nodiscard]] const std::vector<Interval>& timeline(int tid) const;
+
+  /// Latest interval end across all threads (the trace horizon).
+  [[nodiscard]] Nanos span_end() const;
+  /// Earliest interval begin (usually 0).
+  [[nodiscard]] Nanos span_begin() const;
+
+  /// Total time a thread spent in a state.
+  [[nodiscard]] Nanos time_in(int tid, State state) const;
+
+  void clear();
+
+ private:
+  std::vector<std::vector<Interval>> timelines_;
+};
+
+/// Load-balance metrics computed from a trace over [span_begin, span_end].
+struct ImbalanceReport {
+  Nanos span = 0;               ///< trace duration
+  Nanos max_busy = 0;           ///< busiest thread's Running time
+  double avg_busy = 0.0;        ///< mean Running time across threads
+  double imbalance = 1.0;       ///< max_busy / avg_busy (1.0 = balanced)
+  double utilization = 0.0;     ///< sum(Running) / (nthreads * span)
+  double sync_fraction = 0.0;   ///< sum(Sync) / (nthreads * span)
+  double sched_fraction = 0.0;  ///< sum(Scheduling) / (nthreads * span)
+};
+
+[[nodiscard]] ImbalanceReport analyze(const Trace& trace);
+
+/// Fig. 1-style ASCII rendering: one row per thread, `width` buckets, each
+/// bucket shows the state occupying most of it ('#' running, '.' sync,
+/// 's' scheduling, ' ' nothing).
+[[nodiscard]] std::string render_ascii(const Trace& trace, int width = 96);
+
+/// Paraver-compatible state records (".prv" body): one line per interval,
+///   1:<cpu>:<appl>:<task>:<thread>:<begin>:<end>:<state>
+/// with the standard Paraver state ids (1 running, 7 sync/wait, 15 sched).
+[[nodiscard]] std::string export_prv(const Trace& trace);
+
+}  // namespace aid::trace

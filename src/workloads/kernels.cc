@@ -1,0 +1,387 @@
+#include "workloads/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aid::workloads::kernels {
+namespace {
+
+/// Counter-based uniform double in [0,1): hash(seed, index) — gives every
+/// iteration an independent, order-free random stream (essential for
+/// schedule-invariance: results cannot depend on execution order).
+double counter_uniform(u64 seed, u64 index) {
+  u64 s = seed ^ (index * 0x9e3779b97f4a7c15ULL);
+  const u64 z = splitmix64(s);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+double std_normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / 1.4142135623730951);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- finance
+
+double black_scholes(double spot, double strike, double rate,
+                     double volatility, double expiry, bool call) {
+  AID_DCHECK(spot > 0 && strike > 0 && volatility > 0 && expiry > 0);
+  const double sig_sqrt_t = volatility * std::sqrt(expiry);
+  const double d1 =
+      (std::log(spot / strike) + (rate + 0.5 * volatility * volatility) * expiry) /
+      sig_sqrt_t;
+  const double d2 = d1 - sig_sqrt_t;
+  const double discounted = strike * std::exp(-rate * expiry);
+  if (call) return spot * std_normal_cdf(d1) - discounted * std_normal_cdf(d2);
+  return discounted * std_normal_cdf(-d2) - spot * std_normal_cdf(-d1);
+}
+
+OptionBatch OptionBatch::generate(i64 n, u64 seed) {
+  AID_CHECK(n >= 0);
+  OptionBatch b;
+  Rng rng(seed);
+  b.spot.reserve(static_cast<usize>(n));
+  for (i64 i = 0; i < n; ++i) {
+    b.spot.push_back(rng.uniform(10.0, 200.0));
+    b.strike.push_back(rng.uniform(10.0, 200.0));
+    b.rate.push_back(rng.uniform(0.005, 0.08));
+    b.vol.push_back(rng.uniform(0.05, 0.9));
+    b.expiry.push_back(rng.uniform(0.1, 3.0));
+    b.call.push_back(rng.next_u64() & 1u ? 1 : 0);
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------- stencils
+
+Grid2D Grid2D::generate(i64 width, i64 height, u64 seed) {
+  AID_CHECK(width >= 1 && height >= 1);
+  Grid2D g;
+  g.width = width;
+  g.height = height;
+  g.cells.resize(static_cast<usize>(width * height));
+  for (usize i = 0; i < g.cells.size(); ++i)
+    g.cells[i] = counter_uniform(seed, i) * 100.0;
+  return g;
+}
+
+void stencil2d_row(const Grid2D& in, Grid2D& out, i64 row, double k) {
+  AID_DCHECK(row >= 0 && row < in.height);
+  AID_DCHECK(in.width == out.width && in.height == out.height);
+  for (i64 x = 0; x < in.width; ++x) {
+    const double c = in.at(x, row);
+    const double n = row > 0 ? in.at(x, row - 1) : c;
+    const double s = row + 1 < in.height ? in.at(x, row + 1) : c;
+    const double w = x > 0 ? in.at(x - 1, row) : c;
+    const double e = x + 1 < in.width ? in.at(x + 1, row) : c;
+    out.at(x, row) = c + k * (n + s + e + w - 4.0 * c);
+  }
+}
+
+Grid3D Grid3D::generate(i64 width, i64 height, i64 depth, u64 seed) {
+  AID_CHECK(width >= 1 && height >= 1 && depth >= 1);
+  Grid3D g;
+  g.width = width;
+  g.height = height;
+  g.depth = depth;
+  g.cells.resize(static_cast<usize>(width * height * depth));
+  for (usize i = 0; i < g.cells.size(); ++i)
+    g.cells[i] = counter_uniform(seed, i) * 50.0;
+  return g;
+}
+
+void stencil3d_plane(const Grid3D& in, Grid3D& out, i64 plane, double k) {
+  AID_DCHECK(plane >= 0 && plane < in.depth);
+  for (i64 y = 0; y < in.height; ++y) {
+    for (i64 x = 0; x < in.width; ++x) {
+      const double c = in.cells[in.idx(x, y, plane)];
+      const auto nb = [&](i64 dx, i64 dy, i64 dz) {
+        const i64 nx = x + dx;
+        const i64 ny = y + dy;
+        const i64 nz = plane + dz;
+        if (nx < 0 || nx >= in.width || ny < 0 || ny >= in.height || nz < 0 ||
+            nz >= in.depth)
+          return c;
+        return in.cells[in.idx(nx, ny, nz)];
+      };
+      out.cells[in.idx(x, y, plane)] =
+          c + k * (nb(-1, 0, 0) + nb(1, 0, 0) + nb(0, -1, 0) + nb(0, 1, 0) +
+                   nb(0, 0, -1) + nb(0, 0, 1) - 6.0 * c);
+    }
+  }
+}
+
+// ------------------------------------------------------------ sparse/linear
+
+CsrMatrix CsrMatrix::laplacian_2d(i64 grid_side) {
+  AID_CHECK(grid_side >= 2);
+  CsrMatrix m;
+  m.rows = grid_side * grid_side;
+  m.row_ptr.reserve(static_cast<usize>(m.rows) + 1);
+  m.row_ptr.push_back(0);
+  for (i64 y = 0; y < grid_side; ++y) {
+    for (i64 x = 0; x < grid_side; ++x) {
+      const i64 row = y * grid_side + x;
+      const auto push = [&](i64 c, double v) {
+        m.cols.push_back(c);
+        m.vals.push_back(v);
+      };
+      if (y > 0) push(row - grid_side, -1.0);
+      if (x > 0) push(row - 1, -1.0);
+      push(row, 4.0);
+      if (x + 1 < grid_side) push(row + 1, -1.0);
+      if (y + 1 < grid_side) push(row + grid_side, -1.0);
+      m.row_ptr.push_back(static_cast<i64>(m.cols.size()));
+    }
+  }
+  return m;
+}
+
+double spmv_row(const CsrMatrix& a, const std::vector<double>& x, i64 row) {
+  AID_DCHECK(row >= 0 && row < a.rows);
+  AID_DCHECK(x.size() == static_cast<usize>(a.rows));
+  double acc = 0.0;
+  for (i64 k = a.row_ptr[static_cast<usize>(row)];
+       k < a.row_ptr[static_cast<usize>(row) + 1]; ++k)
+    acc += a.vals[static_cast<usize>(k)] *
+           x[static_cast<usize>(a.cols[static_cast<usize>(k)])];
+  return acc;
+}
+
+double gauss_seidel_cell(Grid2D& g, i64 x, i64 y, double rhs) {
+  AID_DCHECK(x >= 0 && x < g.width && y >= 0 && y < g.height);
+  const double c = g.at(x, y);
+  const double n = y > 0 ? g.at(x, y - 1) : 0.0;
+  const double s = y + 1 < g.height ? g.at(x, y + 1) : 0.0;
+  const double w = x > 0 ? g.at(x - 1, y) : 0.0;
+  const double e = x + 1 < g.width ? g.at(x + 1, y) : 0.0;
+  const double updated = 0.25 * (n + s + e + w + rhs);
+  g.at(x, y) = updated;
+  return updated - c;
+}
+
+double tridiag_line_solve(i64 line_id, i64 n, u64 seed) {
+  AID_CHECK(n >= 2);
+  // Diagonally dominant system generated from (seed, line_id): stable Thomas
+  // algorithm, O(n) flops per line like BT's x/y/z solves.
+  std::vector<double> a(static_cast<usize>(n)), b(static_cast<usize>(n)),
+      c(static_cast<usize>(n)), d(static_cast<usize>(n));
+  const u64 s = seed ^ static_cast<u64>(line_id) * 0x2545f4914f6cdd1dULL;
+  for (i64 i = 0; i < n; ++i) {
+    const usize ui = static_cast<usize>(i);
+    a[ui] = -1.0 - counter_uniform(s, static_cast<u64>(4 * i));
+    c[ui] = -1.0 - counter_uniform(s, static_cast<u64>(4 * i + 1));
+    b[ui] = 4.5 + counter_uniform(s, static_cast<u64>(4 * i + 2));
+    d[ui] = counter_uniform(s, static_cast<u64>(4 * i + 3)) * 10.0;
+  }
+  // Forward sweep.
+  for (i64 i = 1; i < n; ++i) {
+    const usize ui = static_cast<usize>(i);
+    const double w = a[ui] / b[ui - 1];
+    b[ui] -= w * c[ui - 1];
+    d[ui] -= w * d[ui - 1];
+  }
+  // Back substitution; checksum of the solution vector.
+  double x = d[static_cast<usize>(n - 1)] / b[static_cast<usize>(n - 1)];
+  double checksum = x;
+  for (i64 i = n - 2; i >= 0; --i) {
+    const usize ui = static_cast<usize>(i);
+    x = (d[ui] - c[ui] * x) / b[ui];
+    checksum += x;
+  }
+  return checksum;
+}
+
+// ----------------------------------------------------------------- NPB bits
+
+int ep_pair_accept(u64 seed, i64 index, double* sx, double* sy) {
+  const double u1 =
+      2.0 * counter_uniform(seed, static_cast<u64>(2 * index)) - 1.0;
+  const double u2 =
+      2.0 * counter_uniform(seed, static_cast<u64>(2 * index + 1)) - 1.0;
+  const double t = u1 * u1 + u2 * u2;
+  if (t > 1.0 || t == 0.0) return 0;
+  const double f = std::sqrt(-2.0 * std::log(t) / t);
+  *sx = u1 * f;
+  *sy = u2 * f;
+  return 1;
+}
+
+double dft_bin(i64 k, i64 n, u64 seed) {
+  AID_CHECK(n >= 1);
+  double re = 0.0;
+  double im = 0.0;
+  const double w = -6.283185307179586 * static_cast<double>(k) /
+                   static_cast<double>(n);
+  for (i64 t = 0; t < n; ++t) {
+    const double sample = counter_uniform(seed, static_cast<u64>(t)) - 0.5;
+    re += sample * std::cos(w * static_cast<double>(t));
+    im += sample * std::sin(w * static_cast<double>(t));
+  }
+  return std::sqrt(re * re + im * im);
+}
+
+KeyBatch KeyBatch::generate(i64 n, i32 max_key, u64 seed) {
+  AID_CHECK(n >= 0 && max_key >= 1);
+  KeyBatch b;
+  b.max_key = max_key;
+  b.keys.resize(static_cast<usize>(n));
+  for (i64 i = 0; i < n; ++i)
+    b.keys[static_cast<usize>(i)] = static_cast<i32>(
+        counter_uniform(seed, static_cast<u64>(i)) * max_key);
+  return b;
+}
+
+void is_histogram_slice(const KeyBatch& batch, std::vector<i64>& counts,
+                        i64 begin, i64 end) {
+  AID_DCHECK(counts.size() >= static_cast<usize>(batch.max_key));
+  for (i64 i = begin; i < end; ++i)
+    ++counts[static_cast<usize>(batch.keys[static_cast<usize>(i)])];
+}
+
+// ------------------------------------------------------------------ graphs
+
+Graph Graph::random(i64 nodes, i64 avg_degree, u64 seed) {
+  AID_CHECK(nodes >= 1 && avg_degree >= 1);
+  Graph g;
+  g.nodes = nodes;
+  g.row_ptr.reserve(static_cast<usize>(nodes) + 1);
+  g.row_ptr.push_back(0);
+  for (i64 v = 0; v < nodes; ++v) {
+    // Degree in [1, 2*avg): deterministic per node.
+    const i64 degree =
+        1 + static_cast<i64>(counter_uniform(seed, static_cast<u64>(v)) *
+                             static_cast<double>(2 * avg_degree - 1));
+    for (i64 e = 0; e < degree; ++e) {
+      const i64 to = static_cast<i64>(
+          counter_uniform(seed ^ 0xabcdef12ULL,
+                          static_cast<u64>(v * 131071 + e)) *
+          static_cast<double>(nodes));
+      g.adj.push_back(std::min(to, nodes - 1));
+    }
+    g.row_ptr.push_back(static_cast<i64>(g.adj.size()));
+  }
+  return g;
+}
+
+i64 bfs_relax_node(const Graph& g, const std::vector<i64>& dist,
+                   std::vector<std::atomic<i64>>& next_dist, i64 node) {
+  AID_DCHECK(node >= 0 && node < g.nodes);
+  const i64 d = dist[static_cast<usize>(node)];
+  if (d < 0) return 0;  // not reached yet
+  i64 improved = 0;
+  for (i64 k = g.row_ptr[static_cast<usize>(node)];
+       k < g.row_ptr[static_cast<usize>(node) + 1]; ++k) {
+    const i64 to = g.adj[static_cast<usize>(k)];
+    auto& nd = next_dist[static_cast<usize>(to)];
+    i64 cur = nd.load(std::memory_order_relaxed);
+    while ((cur < 0 || cur > d + 1) &&
+           !nd.compare_exchange_weak(cur, d + 1, std::memory_order_relaxed)) {
+    }
+    if (cur < 0 || cur > d + 1) ++improved;
+  }
+  return improved;
+}
+
+i64 sorted_search(const std::vector<i64>& keys, i64 key) {
+  const auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it != keys.end() && *it == key)
+    return static_cast<i64>(it - keys.begin());
+  return -1;
+}
+
+// ------------------------------------------------------------ particles/MD
+
+double lj_force(i64 particle, i64 neighbours, u64 seed) {
+  double fx = 0.0;
+  const u64 s = seed ^ static_cast<u64>(particle) * 0x9e3779b97f4a7c15ULL;
+  for (i64 j = 0; j < neighbours; ++j) {
+    const double r2 =
+        0.8 + counter_uniform(s, static_cast<u64>(j)) * 2.0;  // in [0.8, 2.8)
+    const double inv6 = 1.0 / (r2 * r2 * r2);
+    fx += 24.0 * inv6 * (2.0 * inv6 - 1.0) / r2;
+  }
+  return fx;
+}
+
+double particle_weight(i64 particle, i64 frame, u64 seed) {
+  const u64 s = seed ^ static_cast<u64>(frame) * 0x100000001b3ULL;
+  const double dx = counter_uniform(s, static_cast<u64>(2 * particle)) - 0.5;
+  const double dy =
+      counter_uniform(s, static_cast<u64>(2 * particle + 1)) - 0.5;
+  return std::exp(-8.0 * (dx * dx + dy * dy));
+}
+
+PointSet PointSet::generate(i64 n, i64 dims, u64 seed) {
+  AID_CHECK(n >= 0 && dims >= 1);
+  PointSet p;
+  p.dims = dims;
+  p.coords.resize(static_cast<usize>(n * dims));
+  for (usize i = 0; i < p.coords.size(); ++i)
+    p.coords[i] = counter_uniform(seed, i) * 10.0;
+  return p;
+}
+
+double kmedian_assign(const PointSet& points, const PointSet& centers,
+                      i64 i) {
+  AID_DCHECK(points.dims == centers.dims);
+  AID_DCHECK(i >= 0 && i < points.size());
+  double best = 1e300;
+  for (i64 c = 0; c < centers.size(); ++c) {
+    double d2 = 0.0;
+    for (i64 k = 0; k < points.dims; ++k) {
+      const double diff =
+          points.coords[static_cast<usize>(i * points.dims + k)] -
+          centers.coords[static_cast<usize>(c * centers.dims + k)];
+      d2 += diff * diff;
+    }
+    best = std::min(best, d2);
+  }
+  return best;
+}
+
+double window_correlation(const Grid2D& image, const Grid2D& tmpl, i64 pos) {
+  // Slide the template over the image at a deterministic offset derived
+  // from `pos`; plain dot-product correlation.
+  const i64 max_x = image.width - tmpl.width;
+  const i64 max_y = image.height - tmpl.height;
+  AID_DCHECK(max_x >= 0 && max_y >= 0);
+  const i64 off_x = max_x > 0 ? pos % (max_x + 1) : 0;
+  const i64 off_y = max_y > 0 ? (pos * 31) % (max_y + 1) : 0;
+  double acc = 0.0;
+  for (i64 y = 0; y < tmpl.height; ++y)
+    for (i64 x = 0; x < tmpl.width; ++x)
+      acc += image.at(off_x + x, off_y + y) * tmpl.at(x, y);
+  return acc;
+}
+
+double pose_error(i64 particle, i64 joints, u64 seed) {
+  double err = 0.0;
+  const u64 s = seed ^ static_cast<u64>(particle) * 0xc2b2ae3d27d4eb4fULL;
+  for (i64 j = 0; j < joints; ++j) {
+    const double guess = counter_uniform(s, static_cast<u64>(j));
+    const double truth = counter_uniform(seed, static_cast<u64>(j));
+    err += (guess - truth) * (guess - truth);
+  }
+  return std::sqrt(err);
+}
+
+double euler_flux(i64 cell, u64 seed) {
+  // Four synthetic neighbour fluxes with an upwind-style switch; mimics the
+  // arithmetic profile of CFD Euler3D's per-cell update.
+  const u64 s = seed ^ static_cast<u64>(cell) * 0xd6e8feb86659fd93ULL;
+  double density_res = 0.0;
+  for (int f = 0; f < 4; ++f) {
+    const double vel = counter_uniform(s, static_cast<u64>(3 * f)) - 0.5;
+    const double rho = 0.5 + counter_uniform(s, static_cast<u64>(3 * f + 1));
+    const double pressure = counter_uniform(s, static_cast<u64>(3 * f + 2));
+    const double c = std::sqrt(1.4 * pressure / rho + 1e-9);
+    const double upwind = vel > 0.0 ? rho * vel : rho * vel * 0.5;
+    density_res += upwind + 0.1 * c;
+  }
+  return density_res;
+}
+
+}  // namespace aid::workloads::kernels

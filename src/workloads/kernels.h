@@ -1,0 +1,150 @@
+// Real computational mini-kernels backing the workload suite.
+//
+// Each of the 21 benchmarks pairs its simulator profile with a real kernel
+// built from these primitives and executed through the actual thread team.
+// The kernels are small but genuine (floating-point stencils, CSR SpMV,
+// closed-form Black–Scholes, BFS, ...) and every one has a serial reference
+// path, so tests can assert the bit-level schedule-invariance contract: any
+// loop schedule must produce the same result as serial execution.
+//
+// All state builders are deterministic (seeded Rng), no global state.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace aid::workloads::kernels {
+
+// ---------------------------------------------------------------- finance
+/// Closed-form Black–Scholes European option price (PARSEC blackscholes).
+[[nodiscard]] double black_scholes(double spot, double strike, double rate,
+                                   double volatility, double expiry,
+                                   bool call);
+
+/// A batch of option parameters generated deterministically from `seed`.
+struct OptionBatch {
+  std::vector<double> spot, strike, rate, vol, expiry;
+  std::vector<u8> call;
+  [[nodiscard]] i64 size() const { return static_cast<i64>(spot.size()); }
+  static OptionBatch generate(i64 n, u64 seed);
+};
+
+// ---------------------------------------------------------------- stencils
+/// Dense row-major W x H grid with a deterministic initial condition.
+struct Grid2D {
+  i64 width = 0, height = 0;
+  std::vector<double> cells;
+  static Grid2D generate(i64 width, i64 height, u64 seed);
+  [[nodiscard]] double& at(i64 x, i64 y) { return cells[static_cast<usize>(y * width + x)]; }
+  [[nodiscard]] double at(i64 x, i64 y) const { return cells[static_cast<usize>(y * width + x)]; }
+};
+
+/// 5-point damped-diffusion update of one interior row (hotspot/srad-like):
+/// out[x,y] = in[x,y] + k * (N + S + E + W - 4 * in[x,y]).
+void stencil2d_row(const Grid2D& in, Grid2D& out, i64 row, double k);
+
+/// 7-point update of one z-plane of a W x H x D grid (hotspot3D-like).
+struct Grid3D {
+  i64 width = 0, height = 0, depth = 0;
+  std::vector<double> cells;
+  static Grid3D generate(i64 width, i64 height, i64 depth, u64 seed);
+  [[nodiscard]] usize idx(i64 x, i64 y, i64 z) const {
+    return static_cast<usize>((z * height + y) * width + x);
+  }
+};
+void stencil3d_plane(const Grid3D& in, Grid3D& out, i64 plane, double k);
+
+// ------------------------------------------------------------ sparse/linear
+/// CSR sparse matrix; generate() builds a 2D 5-point Laplacian (SPD), the
+/// classic CG test operator.
+struct CsrMatrix {
+  i64 rows = 0;
+  std::vector<i64> row_ptr;
+  std::vector<i64> cols;
+  std::vector<double> vals;
+  static CsrMatrix laplacian_2d(i64 grid_side);
+};
+/// y[row] = A[row,:] * x (one CG matvec iteration unit).
+[[nodiscard]] double spmv_row(const CsrMatrix& a,
+                              const std::vector<double>& x, i64 row);
+
+/// One red/black Gauss–Seidel sweep cell update (LU-like smoother step)
+/// on a Grid2D; returns the update applied (for residual accounting).
+[[nodiscard]] double gauss_seidel_cell(Grid2D& g, i64 x, i64 y, double rhs);
+
+/// Thomas-algorithm solve of a small tridiagonal system (BT's line solves);
+/// diagonals generated per line id; returns the solution checksum.
+[[nodiscard]] double tridiag_line_solve(i64 line_id, i64 n, u64 seed);
+
+// ----------------------------------------------------------------- NPB bits
+/// EP-style Marsaglia polar pair: returns 1 when the pair (from a counter-
+/// based generator, so iterations are independent) lands in the unit disk.
+[[nodiscard]] int ep_pair_accept(u64 seed, i64 index, double* sx, double* sy);
+
+/// Naive DFT bin magnitude over a deterministic signal (FT-ish heavy math).
+[[nodiscard]] double dft_bin(i64 k, i64 n, u64 seed);
+
+/// IS-style key ranking: count keys in `keys` smaller than keys[i].
+struct KeyBatch {
+  std::vector<i32> keys;
+  i32 max_key = 0;
+  static KeyBatch generate(i64 n, i32 max_key, u64 seed);
+};
+void is_histogram_slice(const KeyBatch& batch, std::vector<i64>& counts,
+                        i64 begin, i64 end);
+
+// ------------------------------------------------------------------ graphs
+/// CSR adjacency for a deterministic random graph (Rodinia bfs).
+struct Graph {
+  i64 nodes = 0;
+  std::vector<i64> row_ptr;
+  std::vector<i64> adj;
+  static Graph random(i64 nodes, i64 avg_degree, u64 seed);
+};
+/// Relax all edges of `node` given current distances; returns the number of
+/// improved neighbours. Concurrent relaxations are safe: next_dist is
+/// updated with an atomic compare-and-min.
+i64 bfs_relax_node(const Graph& g, const std::vector<i64>& dist,
+                   std::vector<std::atomic<i64>>& next_dist, i64 node);
+
+/// Sorted-array binary search (bptree lookups); returns found index or -1.
+[[nodiscard]] i64 sorted_search(const std::vector<i64>& keys, i64 key);
+
+// ------------------------------------------------------------ particles/MD
+/// Lennard-Jones force magnitude accumulated from `m` deterministic
+/// neighbour positions of particle `i` (lavamd-like box interaction).
+[[nodiscard]] double lj_force(i64 particle, i64 neighbours, u64 seed);
+
+/// Particle-filter likelihood weight for one particle given a synthetic
+/// observation (Rodinia particlefilter).
+[[nodiscard]] double particle_weight(i64 particle, i64 frame, u64 seed);
+
+/// k-median assignment cost: distance of point i to its closest center
+/// (streamcluster's assign step).
+struct PointSet {
+  i64 dims = 0;
+  std::vector<double> coords;  // n x dims row-major
+  [[nodiscard]] i64 size() const {
+    return dims == 0 ? 0 : static_cast<i64>(coords.size()) / dims;
+  }
+  static PointSet generate(i64 n, i64 dims, u64 seed);
+};
+[[nodiscard]] double kmedian_assign(const PointSet& points,
+                                    const PointSet& centers, i64 i);
+
+/// Normalized cross-correlation of a template window at image offset `pos`
+/// (heartwall/leukocyte-like detection step).
+[[nodiscard]] double window_correlation(const Grid2D& image,
+                                        const Grid2D& tmpl, i64 pos);
+
+/// Body-pose error metric for bodytrack-like particle evaluation.
+[[nodiscard]] double pose_error(i64 particle, i64 joints, u64 seed);
+
+/// CFD Euler3D-like flux update for one cell of a synthetic unstructured
+/// mesh; returns the density residual contribution.
+[[nodiscard]] double euler_flux(i64 cell, u64 seed);
+
+}  // namespace aid::workloads::kernels

@@ -1,0 +1,171 @@
+// PARSEC profiles and kernels (blackscholes, bodytrack, streamcluster).
+//
+// Profile calibration notes:
+//  * blackscholes — single uniform pricing loop, strongly compute-bound in
+//    isolation (offline SF ~6 on Platform A) but highly LLC-contention
+//    sensitive: with 8 threads its per-thread misses grow 3.6x and the
+//    effective SF collapses to ~1.5-2.5 (paper Sec. 5C, Fig. 9c). The
+//    `contention` knob encodes exactly this. A heavy serial initialization
+//    gives static(BS) its ~2x win over static(SB) (Sec. 5A).
+//  * bodytrack — uneven particle-likelihood loops on moderately compute-
+//    bound code; the paper reports +29.7% for AID-static over static(BS).
+//  * streamcluster — a medium-size uniform loop executed hundreds of times
+//    with serial glue in between: the highest AID-hybrid gain in the paper
+//    (+56% over static(BS)) and +11% for AID-dynamic over dynamic(BS).
+#include <cmath>
+
+#include "workloads/kernels.h"
+#include "workloads/workload.h"
+
+namespace aid::workloads {
+namespace {
+
+AppSpec blackscholes_spec() {
+  AppSpec s;
+  s.name = "blackscholes";
+  s.suite = "PARSEC";
+  s.description = "option pricing; contention collapses the offline SF";
+  s.phases.push_back(SerialSpec{"parse-options", 26e6, 0.80});
+  LoopSpec loop;
+  loop.name = "price";
+  loop.trip = 20000;
+  loop.invocations = 12;
+  // Cheap per-option iterations: one pool removal costs almost as much as
+  // pricing an option, so dynamic is poor here (paper Sec. 5A lists
+  // blackscholes among CG/IS/bfs).
+  loop.cost_small_ns = 750.0;
+  loop.compute_fraction = 0.95;  // offline SF ~6.7 on Platform A
+  loop.contention = 0.75;        // loaded SF ~1.5 on A, ~2.1 on B (Fig. 9c)
+  loop.shape = CostShape::kLognormal;
+  loop.shape_param = 0.08;  // slight per-option spread (d1/d2 branches)
+  loop.drift = 0.18;  // in-the-money tail options price slower
+  loop.seed = 0xB5;
+  loop.serial_between_ns = 150e3;
+  s.phases.push_back(loop);
+  return s;
+}
+
+AppSpec bodytrack_spec() {
+  AppSpec s;
+  s.name = "bodytrack";
+  s.suite = "PARSEC";
+  s.description = "particle-filter body tracking; uneven likelihoods";
+  s.phases.push_back(SerialSpec{"load-frames", 7e6, 0.7});
+  const struct {
+    const char* name;
+    i64 trip;
+    double cost;
+    double cf;
+    double sigma;
+  } loops[3] = {
+      {"likelihood", 6000, 2600.0, 0.80, 0.30},
+      {"resample", 6000, 1100.0, 0.50, 0.10},
+      {"pose-update", 3000, 1800.0, 0.62, 0.20},
+  };
+  u64 seed = 0xB0;
+  for (const auto& d : loops) {
+    LoopSpec loop;
+    loop.name = d.name;
+    loop.trip = d.trip;
+    loop.invocations = 10;
+    loop.cost_small_ns = d.cost;
+    loop.compute_fraction = d.cf;
+    loop.contention = 0.5;
+    loop.shape = CostShape::kLognormal;
+    loop.shape_param = d.sigma;
+    loop.drift = 0.25;  // per-particle depth ordering
+    loop.seed = seed++;
+    loop.serial_between_ns = 80e3;
+    s.phases.push_back(loop);
+  }
+  return s;
+}
+
+AppSpec streamcluster_spec() {
+  AppSpec s;
+  s.name = "streamcluster";
+  s.suite = "PARSEC";
+  s.description = "online clustering; one hot loop invoked ~150 times";
+  s.phases.push_back(SerialSpec{"read-stream", 5e6, 0.6});
+  LoopSpec loop;
+  loop.name = "assign-cost";
+  loop.trip = 1500;
+  loop.invocations = 100;
+  loop.cost_small_ns = 2200.0;
+  loop.compute_fraction = 0.93;  // the highest loaded SF in the suite:
+  loop.contention = 0.42;        // ~2.1x on Platform A -> the paper's +56%
+  // Smooth per-center cost drift within the loop: AID-static's one-shot
+  // proportional split leaves the expensive tail on the small cores (the
+  // Fig. 4 effect, strongest here) and the hybrid tail heals it — this is
+  // what separates AID-hybrid (+56%) from AID-static (+30.7%) in the paper.
+  loop.shape = CostShape::kRamp;
+  loop.shape_param = 0.45;
+  loop.serial_between_ns = 70e3;  // center re-evaluation glue
+  s.phases.push_back(loop);
+  return s;
+}
+
+// ---------------------------------------------------------------- kernels
+
+double blackscholes_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                           double scale) {
+  const i64 n = std::max<i64>(64, static_cast<i64>(100000 * scale));
+  const auto batch = kernels::OptionBatch::generate(n, 0xB5C);
+  std::vector<double> price(static_cast<usize>(n));
+  team.parallel_for(0, n, 1, spec, [&](i64 i, const rt::WorkerInfo&) {
+    const usize ui = static_cast<usize>(i);
+    price[ui] = kernels::black_scholes(batch.spot[ui], batch.strike[ui],
+                                       batch.rate[ui], batch.vol[ui],
+                                       batch.expiry[ui], batch.call[ui] != 0);
+  });
+  double checksum = 0.0;
+  for (double p : price) checksum += p;
+  return checksum;
+}
+
+double bodytrack_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                        double scale) {
+  const i64 particles = std::max<i64>(32, static_cast<i64>(4000 * scale));
+  std::vector<double> weights(static_cast<usize>(particles));
+  double checksum = 0.0;
+  for (i64 frame = 0; frame < 3; ++frame) {
+    team.parallel_for(0, particles, 1, spec,
+                      [&](i64 p, const rt::WorkerInfo&) {
+                        weights[static_cast<usize>(p)] = kernels::pose_error(
+                            p, 24, 0xB0D ^ static_cast<u64>(frame));
+                      });
+    for (double w : weights) checksum += w;
+  }
+  return checksum;
+}
+
+double streamcluster_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                            double scale) {
+  const i64 n = std::max<i64>(64, static_cast<i64>(20000 * scale));
+  const auto points = kernels::PointSet::generate(n, 8, 0x5C1);
+  const auto centers = kernels::PointSet::generate(24, 8, 0x5C2);
+  const int nthreads = team.nthreads();
+  struct alignas(kCacheLineBytes) Partial {
+    double cost = 0.0;
+  };
+  std::vector<Partial> partial(static_cast<usize>(nthreads));
+  team.parallel_for(0, n, 1, spec, [&](i64 i, const rt::WorkerInfo& w) {
+    partial[static_cast<usize>(w.tid)].cost +=
+        kernels::kmedian_assign(points, centers, i);
+  });
+  double checksum = 0.0;
+  for (const auto& p : partial) checksum += p.cost;
+  return checksum;
+}
+
+}  // namespace
+
+std::vector<Workload> make_parsec_workloads() {
+  std::vector<Workload> v;
+  v.emplace_back(blackscholes_spec(), blackscholes_kernel);
+  v.emplace_back(bodytrack_spec(), bodytrack_kernel);
+  v.emplace_back(streamcluster_spec(), streamcluster_kernel);
+  return v;
+}
+
+}  // namespace aid::workloads

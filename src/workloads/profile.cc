@@ -1,0 +1,137 @@
+#include "workloads/profile.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace aid::workloads {
+namespace {
+
+u64 hash_name(const std::string& text) {
+  u64 h = 1469598103934665603ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::shared_ptr<const sim::CostModel> make_cost_model(
+    const LoopSpec& loop, i64 trip, std::vector<double> sf) {
+  const double drift = loop.shape == CostShape::kRamp
+                           ? loop.shape_param + loop.drift
+                           : loop.drift;
+  AID_CHECK_MSG(drift > -2.0, "drift would produce non-positive costs");
+
+  switch (loop.shape) {
+    case CostShape::kUniform:
+    case CostShape::kRamp: {
+      if (drift == 0.0)
+        return std::make_shared<sim::UniformCostModel>(loop.cost_small_ns,
+                                                       std::move(sf));
+      // Mean preserved: base * (1 + drift/2) == cost_small_ns.
+      const double base = loop.cost_small_ns / (1.0 + drift / 2.0);
+      const double slope =
+          trip > 1 ? base * drift / static_cast<double>(trip - 1) : 0.0;
+      return std::make_shared<sim::AffineCostModel>(base, slope, trip,
+                                                    std::move(sf));
+    }
+    case CostShape::kLognormal: {
+      const double sigma = loop.shape_param;
+      AID_CHECK_MSG(sigma >= 0.0, "lognormal sigma must be >= 0");
+      // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) == cost_small_ns.
+      const double mu = std::log(loop.cost_small_ns) - 0.5 * sigma * sigma;
+      Rng rng(loop.seed ^ hash_name(loop.name));
+      std::vector<double> costs(static_cast<usize>(trip));
+      const double denom = trip > 1 ? static_cast<double>(trip - 1) : 1.0;
+      const double norm = 1.0 + drift / 2.0;
+      for (i64 i = 0; i < trip; ++i) {
+        const double ramp =
+            (1.0 + drift * static_cast<double>(i) / denom) / norm;
+        costs[static_cast<usize>(i)] = rng.lognormal(mu, sigma) * ramp;
+      }
+      return std::make_shared<sim::TableCostModel>(std::move(costs),
+                                                   std::move(sf));
+    }
+  }
+  AID_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+i64 AppSpec::total_iterations() const {
+  i64 n = 0;
+  for (const auto& phase : phases)
+    if (const auto* lp = std::get_if<LoopSpec>(&phase))
+      n += lp->trip * lp->invocations;
+  return n;
+}
+
+std::vector<double> loop_sf(const platform::Platform& platform,
+                            double compute_fraction, double contention,
+                            bool full_team) {
+  AID_CHECK(compute_fraction >= 0.0 && compute_fraction <= 1.0);
+  AID_CHECK(contention >= 0.0 && contention <= 1.0);
+  double c = compute_fraction;
+  if (full_team) {
+    c *= 1.0 - contention * platform.contention_sensitivity();
+    c = std::clamp(c, 0.0, 1.0);
+  }
+  std::vector<double> sf;
+  sf.reserve(platform.clusters().size());
+  for (const auto& cluster : platform.clusters())
+    sf.push_back(platform::speedup_mix(cluster, c));
+  return sf;
+}
+
+sim::AppModel build_model(const AppSpec& spec,
+                          const platform::Platform& platform, double scale) {
+  AID_CHECK_MSG(scale > 0.0, "scale must be positive");
+  sim::AppModel model;
+  model.name = spec.name;
+  model.suite = spec.suite;
+  model.serial_sf =
+      loop_sf(platform, spec.serial_compute_fraction, 0.0, false);
+
+  // Profiles express costs in Cortex-A7 nanoseconds; rescale to this
+  // platform's slowest core. Serial costs also scale with the trip-count
+  // scale so the serial/parallel balance is preserved at any scale.
+  const double time_scale = 1.0 / platform.reference_throughput();
+  for (const auto& phase : spec.phases) {
+    if (const auto* sp = std::get_if<SerialSpec>(&phase)) {
+      sim::SerialPhase out;
+      out.name = sp->name;
+      out.cost_small_ns = sp->cost_small_ns * scale * time_scale;
+      out.sf = loop_sf(platform, sp->compute_fraction, 0.0, false);
+      model.phases.emplace_back(std::move(out));
+      continue;
+    }
+    const auto& lp = std::get<LoopSpec>(phase);
+    AID_CHECK_MSG(lp.trip >= 1, "loop phase needs at least one iteration");
+    const i64 trip = std::max<i64>(
+        1, static_cast<i64>(static_cast<double>(lp.trip) * scale));
+
+    sim::LoopPhase out;
+    out.name = lp.name;
+    out.trip_count = trip;
+    out.invocations = lp.invocations;
+    out.serial_between_ns = lp.serial_between_ns * scale * time_scale;
+    LoopSpec scaled = lp;
+    scaled.cost_small_ns *= time_scale;
+    out.cost = make_cost_model(
+        scaled, trip,
+        loop_sf(platform, lp.compute_fraction, lp.contention, true));
+    if (lp.contention > 0.0) {
+      out.cost_solo = make_cost_model(
+          scaled, trip,
+          loop_sf(platform, lp.compute_fraction, lp.contention, false));
+    }
+    model.phases.emplace_back(std::move(out));
+  }
+  return model;
+}
+
+}  // namespace aid::workloads

@@ -1,0 +1,99 @@
+// Declarative workload profiles.
+//
+// A profile describes a benchmark the way the schedulers experience it
+// (paper Sec. 2): a sequence of serial phases and parallel loops, each loop
+// with a trip count, an iteration-cost shape, and a *compute fraction* that
+// determines its platform-specific speedup factor through the platform's
+// two-component speed model (platform/platform.h). Calibration sources for
+// each concrete profile are documented in npb.cc / parsec.cc / rodinia.cc.
+//
+// The same profile therefore yields:
+//   * wildly loop-dependent SF on Platform A (Fig. 2a/2c),
+//   * compressed SF around 2x on Platform B (Fig. 2b/2d),
+//   * a gap between single-threaded ("offline") and full-team SF when the
+//     loop is contention-sensitive (Fig. 9c),
+// with no per-platform tables.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "platform/platform.h"
+#include "sim/app_model.h"
+
+namespace aid::workloads {
+
+enum class CostShape {
+  kUniform,    ///< every iteration costs the same
+  kRamp,       ///< linear drift: cost(i) = base * (1 + p * i/(n-1))
+  kLognormal,  ///< i.i.d. lognormal with sigma = p (irregular work)
+};
+
+struct LoopSpec {
+  std::string name;
+  i64 trip = 0;
+  int invocations = 1;
+  double cost_small_ns = 1000.0;  ///< mean per-iteration cost, slowest core
+  CostShape shape = CostShape::kUniform;
+  double shape_param = 0.0;  ///< ramp rise p (kRamp) or sigma (kLognormal)
+
+  /// Systematic within-loop cost drift composable with any shape: iteration
+  /// i's cost is additionally scaled by (1 + drift * i/(n-1)), then
+  /// re-normalized so the mean stays cost_small_ns. Real loops almost always
+  /// have such structure (boundary rows, structure-ordered sparse data,
+  /// convergence-dependent work); it is invisible to AID's one-shot
+  /// sampling, and recovering it is precisely what separates AID-hybrid
+  /// from AID-static in the paper (Fig. 4, Table 2's hybrid margin).
+  double drift = 0.0;
+
+  /// Fraction of the iteration spent compute-bound, in [0,1]; drives SF via
+  /// platform::speedup_mix (the loop-specific asymmetry of Fig. 2).
+  double compute_fraction = 0.5;
+
+  /// How much full-team cache pressure erodes the compute fraction, in
+  /// [0,1]; scaled by the platform's contention sensitivity. Nonzero values
+  /// reproduce the offline-vs-online SF gap of Fig. 9c.
+  double contention = 0.0;
+
+  /// Master-executed glue code between invocations (slowest-core ns).
+  double serial_between_ns = 0.0;
+
+  u64 seed = 0;  ///< kLognormal draw seed (combined with the loop name)
+};
+
+struct SerialSpec {
+  std::string name;
+  double cost_small_ns = 0.0;
+  /// Compute fraction of the serial code (master-side speedup when the
+  /// master sits on a big core — the static(BS) vs static(SB) effect).
+  double compute_fraction = 0.7;
+};
+
+using PhaseSpec = std::variant<SerialSpec, LoopSpec>;
+
+struct AppSpec {
+  std::string name;
+  std::string suite;
+  std::string description;
+  std::vector<PhaseSpec> phases;
+  double serial_compute_fraction = 0.7;  ///< default for loop glue code
+
+  [[nodiscard]] i64 total_iterations() const;
+};
+
+/// Per-type speedup factors for a loop on a platform: sf[t] =
+/// speedup_mix(cluster t, c), with c optionally eroded by contention.
+/// sf[0] is always 1 by platform construction.
+[[nodiscard]] std::vector<double> loop_sf(const platform::Platform& platform,
+                                          double compute_fraction,
+                                          double contention,
+                                          bool full_team);
+
+/// Materialize a simulator model for a platform. `scale` multiplies trip
+/// counts (and divides nothing else): use small scales in unit tests.
+[[nodiscard]] sim::AppModel build_model(const AppSpec& spec,
+                                        const platform::Platform& platform,
+                                        double scale = 1.0);
+
+}  // namespace aid::workloads

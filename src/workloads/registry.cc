@@ -1,0 +1,30 @@
+#include "workloads/workload.h"
+
+namespace aid::workloads {
+
+const std::vector<Workload>& all_workloads() {
+  // Fig. 6/7 display order: NPB, then PARSEC, then Rodinia.
+  static const std::vector<Workload> all = [] {
+    std::vector<Workload> v;
+    for (auto& w : make_npb_workloads()) v.push_back(std::move(w));
+    for (auto& w : make_parsec_workloads()) v.push_back(std::move(w));
+    for (auto& w : make_rodinia_workloads()) v.push_back(std::move(w));
+    return v;
+  }();
+  return all;
+}
+
+const Workload* find_workload(std::string_view name) {
+  for (const auto& w : all_workloads())
+    if (w.name() == name) return &w;
+  return nullptr;
+}
+
+std::vector<const Workload*> workloads_of_suite(std::string_view suite) {
+  std::vector<const Workload*> out;
+  for (const auto& w : all_workloads())
+    if (w.suite() == suite) out.push_back(&w);
+  return out;
+}
+
+}  // namespace aid::workloads

@@ -1,0 +1,491 @@
+// Rodinia profiles and kernels (bfs, bptree, CFD/Euler3D, heartwall,
+// hotspot, hotspot3D, lavamd, leukocyte, particlefilter, sradv1, sradv2).
+//
+// Profile calibration notes:
+//  * bfs — level-synchronized frontier expansion: cheap memory-bound
+//    iterations (dynamic overhead hurts) and a large serial graph-build
+//    phase (static(BS) ~2x gain list, Sec. 5A).
+//  * bptree — "the initialization phase (inherently sequential) takes the
+//    vast majority of the execution time" (Sec. 5A): serial dominates, all
+//    loop schedules nearly tie, static(BS) wins big over static(SB).
+//  * heartwall — trip count of only 51 (one iteration per sample point):
+//    a stress case for AID's sampling when NI is close to the team size.
+//  * hotspot3D — moderate-cost memory-lean iterations over many time steps;
+//    the paper reports AID-dynamic's largest win over dynamic(BS) on the
+//    ARM board here (+16.8%).
+//  * leukocyte — few very heavy, very uneven iterations: the strongest
+//    dynamic-friendly case (paper Sec. 5A).
+//  * particlefilter — the famous inversion: "the final iterations in a
+//    long-running loop are more heavyweight computationally than the first"
+//    so static under the BS mapping assigns MORE work to small cores and
+//    static(BS) < static(SB) (Sec. 5A). Encoded as a kRamp cost shape.
+//  * sradv1/sradv2 — uniform diffusion sweeps whose imbalance comes purely
+//    from core asymmetry; dynamic partially fixes it, AID-static fully.
+#include <cmath>
+
+#include "workloads/kernels.h"
+#include "workloads/workload.h"
+
+namespace aid::workloads {
+namespace {
+
+using kernels::Graph;
+using kernels::Grid2D;
+using kernels::Grid3D;
+
+AppSpec bfs_spec() {
+  AppSpec s;
+  s.name = "bfs";
+  s.suite = "Rodinia";
+  s.description = "level-synchronized BFS; frontier-sized loops";
+  s.phases.push_back(SerialSpec{"graph-build", 20e6, 0.70});
+  const i64 frontier[10] = {100,   600,   3000,  12000, 30000,
+                            30000, 12000, 3000,  600,   100};
+  for (int level = 0; level < 10; ++level) {
+    LoopSpec loop;
+    loop.name = "level" + std::to_string(level);
+    loop.trip = frontier[level];
+    loop.invocations = 4;  // four BFS source restarts
+    loop.cost_small_ns = 240.0;
+    loop.compute_fraction = 0.20;  // pointer chasing: memory bound
+    loop.contention = 0.5;
+    loop.serial_between_ns = 30e3;
+    s.phases.push_back(loop);
+  }
+  return s;
+}
+
+AppSpec bptree_spec() {
+  AppSpec s;
+  s.name = "bptree";
+  s.suite = "Rodinia";
+  s.description = "B+tree queries; serial tree construction dominates";
+  s.phases.push_back(SerialSpec{"tree-build", 120e6, 0.55});
+  const char* names[2] = {"range-queries", "point-queries"};
+  for (int l = 0; l < 2; ++l) {
+    LoopSpec loop;
+    loop.name = names[l];
+    loop.trip = 10000;
+    loop.invocations = 6;
+    loop.cost_small_ns = 500.0;
+    loop.compute_fraction = 0.50;
+    loop.contention = 0.5;
+    loop.shape = CostShape::kLognormal;
+    loop.shape_param = 0.15;
+    loop.seed = 0xBB + static_cast<u64>(l);
+    s.phases.push_back(loop);
+  }
+  return s;
+}
+
+AppSpec cfd_spec() {
+  AppSpec s;
+  s.name = "CFDEuler3D";
+  s.suite = "Rodinia";
+  s.description = "unstructured-grid Euler solver";
+  s.phases.push_back(SerialSpec{"mesh-load", 4e6, 0.6});
+  const double fractions[4] = {0.52, 0.57, 0.46, 0.50};
+  for (int l = 0; l < 4; ++l) {
+    LoopSpec loop;
+    loop.name = "flux" + std::to_string(l);
+    loop.trip = 10000;
+    loop.invocations = 5;
+    loop.cost_small_ns = 2000.0;
+    loop.compute_fraction = fractions[l];
+    loop.contention = 0.55;
+    loop.shape = CostShape::kLognormal;
+    loop.shape_param = 0.25;
+    loop.drift = 0.25;  // mesh-ordered cell degree structure
+    loop.seed = 0xCF + static_cast<u64>(l);
+    loop.serial_between_ns = 60e3;
+    s.phases.push_back(loop);
+  }
+  return s;
+}
+
+AppSpec heartwall_spec() {
+  AppSpec s;
+  s.name = "heartwall";
+  s.suite = "Rodinia";
+  s.description = "heart-wall tracking; 51 heavy iterations per frame";
+  s.phases.push_back(SerialSpec{"frame-load", 10e6, 0.65});
+  LoopSpec loop;
+  loop.name = "track-points";
+  loop.trip = 51;  // one iteration per tracked sample point, as in Rodinia
+  loop.invocations = 60;
+  loop.cost_small_ns = 1.2e6;
+  loop.compute_fraction = 0.80;
+  loop.contention = 0.60;
+  loop.shape = CostShape::kLognormal;
+  loop.shape_param = 0.20;
+  loop.seed = 0x88;
+  loop.serial_between_ns = 300e3;
+  s.phases.push_back(loop);
+  return s;
+}
+
+AppSpec hotspot_spec() {
+  AppSpec s;
+  s.name = "hotspot";
+  s.suite = "Rodinia";
+  s.description = "2D thermal stencil, one loop per row block";
+  s.phases.push_back(SerialSpec{"init", 3e6, 0.6});
+  const double fractions[2] = {0.50, 0.45};
+  const char* names[2] = {"temperature", "power"};
+  for (int l = 0; l < 2; ++l) {
+    LoopSpec loop;
+    loop.name = names[l];
+    loop.trip = 8192;
+    loop.invocations = 20;
+    loop.cost_small_ns = 500.0;
+    loop.compute_fraction = fractions[l];
+    loop.contention = 0.6;
+    loop.drift = 0.20;
+    loop.serial_between_ns = 25e3;
+    s.phases.push_back(loop);
+  }
+  return s;
+}
+
+AppSpec hotspot3d_spec() {
+  AppSpec s;
+  s.name = "hotspot3D";
+  s.suite = "Rodinia";
+  s.description = "3D thermal stencil over many time steps";
+  s.phases.push_back(SerialSpec{"init", 25e6, 0.75});
+  LoopSpec loop;
+  loop.name = "stencil3d";
+  // Iteration cost comparable to one pool removal: dynamic pays ~2x
+  // bookkeeping per iteration while AID-dynamic amortizes it over R*M-sized
+  // blocks — the paper's +16.8% AID-dynamic win on the ARM board.
+  loop.trip = 16384;
+  loop.invocations = 18;
+  loop.cost_small_ns = 560.0;
+  loop.compute_fraction = 0.42;
+  loop.contention = 0.5;
+  loop.drift = 0.20;
+  loop.serial_between_ns = 50e3;
+  s.phases.push_back(loop);
+  return s;
+}
+
+AppSpec lavamd_spec() {
+  AppSpec s;
+  s.name = "lavamd";
+  s.suite = "Rodinia";
+  s.description = "molecular dynamics; heavy per-box force loops";
+  s.phases.push_back(SerialSpec{"box-setup", 5e6, 0.6});
+  LoopSpec loop;
+  loop.name = "lj-forces";
+  loop.trip = 4096;
+  loop.invocations = 10;
+  loop.cost_small_ns = 4800.0;
+  loop.compute_fraction = 0.90;
+  loop.contention = 0.55;
+  loop.shape = CostShape::kLognormal;
+  loop.shape_param = 0.15;
+  loop.drift = 0.30;  // box density ordering
+  loop.seed = 0x1A;
+  loop.serial_between_ns = 80e3;
+  s.phases.push_back(loop);
+  return s;
+}
+
+AppSpec leukocyte_spec() {
+  AppSpec s;
+  s.name = "leukocyte";
+  s.suite = "Rodinia";
+  s.description = "cell detection+tracking; few, heavy, uneven iterations";
+  s.phases.push_back(SerialSpec{"video-load", 8e6, 0.6});
+  LoopSpec detect;
+  detect.name = "detect-cells";
+  detect.trip = 600;
+  detect.invocations = 1;
+  detect.cost_small_ns = 150e3;
+  detect.compute_fraction = 0.85;
+  detect.contention = 0.5;
+  detect.shape = CostShape::kLognormal;
+  detect.shape_param = 0.50;
+  detect.seed = 0x1E;
+  s.phases.push_back(detect);
+  LoopSpec track;
+  track.name = "track-cells";
+  track.trip = 400;
+  track.invocations = 20;
+  track.cost_small_ns = 90e3;
+  track.compute_fraction = 0.80;
+  track.contention = 0.5;
+  track.shape = CostShape::kLognormal;
+  track.shape_param = 0.40;
+  track.seed = 0x1F;
+  track.serial_between_ns = 200e3;
+  s.phases.push_back(track);
+  return s;
+}
+
+AppSpec particlefilter_spec() {
+  AppSpec s;
+  s.name = "particlefilter";
+  s.suite = "Rodinia";
+  s.description = "ramp-shaped weights loop: later iterations heavier";
+  s.phases.push_back(SerialSpec{"init", 4e6, 0.6});
+  LoopSpec weights;
+  weights.name = "weights";
+  weights.trip = 20000;
+  weights.invocations = 6;
+  weights.cost_small_ns = 4000.0;
+  weights.compute_fraction = 0.70;
+  weights.contention = 0.55;
+  weights.shape = CostShape::kRamp;
+  weights.shape_param = 0.6;  // last iterations ~1.6x the first (Sec. 5A)
+  weights.serial_between_ns = 100e3;
+  s.phases.push_back(weights);
+  LoopSpec resample;
+  resample.name = "resample";
+  resample.trip = 10000;
+  resample.invocations = 6;
+  resample.cost_small_ns = 2000.0;
+  resample.compute_fraction = 0.45;
+  resample.contention = 0.55;
+  resample.serial_between_ns = 60e3;
+  s.phases.push_back(resample);
+  return s;
+}
+
+AppSpec sradv1_spec() {
+  AppSpec s;
+  s.name = "sradv1";
+  s.suite = "Rodinia";
+  s.description = "speckle-reducing anisotropic diffusion, v1";
+  s.phases.push_back(SerialSpec{"image-load", 2e6, 0.6});
+  const char* names[2] = {"diff-coeff", "update"};
+  const double fractions[2] = {0.56, 0.50};
+  for (int l = 0; l < 2; ++l) {
+    LoopSpec loop;
+    loop.name = names[l];
+    loop.trip = 6000;
+    loop.invocations = 20;
+    loop.cost_small_ns = 1400.0;
+    loop.compute_fraction = fractions[l];
+    loop.contention = 0.55;
+    loop.drift = 0.25;
+    loop.serial_between_ns = 30e3;
+    s.phases.push_back(loop);
+  }
+  return s;
+}
+
+AppSpec sradv2_spec() {
+  AppSpec s;
+  s.name = "sradv2";
+  s.suite = "Rodinia";
+  s.description = "speckle-reducing anisotropic diffusion, v2";
+  s.phases.push_back(SerialSpec{"image-load", 2e6, 0.6});
+  const char* names[2] = {"diff-coeff", "update"};
+  const double fractions[2] = {0.52, 0.46};
+  for (int l = 0; l < 2; ++l) {
+    LoopSpec loop;
+    loop.name = names[l];
+    loop.trip = 9000;
+    loop.invocations = 12;
+    loop.cost_small_ns = 1300.0;
+    loop.compute_fraction = fractions[l];
+    loop.contention = 0.55;
+    loop.drift = 0.25;
+    loop.serial_between_ns = 30e3;
+    s.phases.push_back(loop);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------- kernels
+
+double bfs_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                  double scale) {
+  const i64 nodes = std::max<i64>(64, static_cast<i64>(20000 * scale));
+  const Graph g = Graph::random(nodes, 6, 0xBF5);
+  std::vector<i64> dist(static_cast<usize>(nodes), -1);
+  std::vector<std::atomic<i64>> next_dist(static_cast<usize>(nodes));
+  dist[0] = 0;
+  for (usize i = 0; i < next_dist.size(); ++i)
+    next_dist[i].store(dist[i], std::memory_order_relaxed);
+  for (int level = 0; level < 12; ++level) {
+    team.parallel_for(0, nodes, 1, spec, [&](i64 v, const rt::WorkerInfo&) {
+      (void)kernels::bfs_relax_node(g, dist, next_dist, v);
+    });
+    for (usize i = 0; i < next_dist.size(); ++i)
+      dist[i] = next_dist[i].load(std::memory_order_relaxed);
+  }
+  double checksum = 0.0;
+  for (i64 d : dist) checksum += static_cast<double>(d);
+  return checksum;
+}
+
+double bptree_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                     double scale) {
+  const i64 n = std::max<i64>(256, static_cast<i64>(50000 * scale));
+  std::vector<i64> keys(static_cast<usize>(n));
+  for (i64 i = 0; i < n; ++i) keys[static_cast<usize>(i)] = 3 * i;  // sorted
+  const i64 queries = n;
+  std::vector<i64> found(static_cast<usize>(queries));
+  team.parallel_for(0, queries, 1, spec, [&](i64 q, const rt::WorkerInfo&) {
+    found[static_cast<usize>(q)] = kernels::sorted_search(keys, 2 * q);
+  });
+  double checksum = 0.0;
+  for (i64 f : found) checksum += static_cast<double>(f);
+  return checksum;
+}
+
+double cfd_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                  double scale) {
+  const i64 cells = std::max<i64>(64, static_cast<i64>(30000 * scale));
+  std::vector<double> residual(static_cast<usize>(cells));
+  team.parallel_for(0, cells, 1, spec, [&](i64 c, const rt::WorkerInfo&) {
+    residual[static_cast<usize>(c)] = kernels::euler_flux(c, 0xCFD);
+  });
+  double checksum = 0.0;
+  for (double r : residual) checksum += r;
+  return checksum;
+}
+
+double heartwall_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                        double scale) {
+  const i64 side = std::max<i64>(64, static_cast<i64>(256 * std::sqrt(scale)));
+  const Grid2D image = Grid2D::generate(side, side, 0x881);
+  const Grid2D tmpl = Grid2D::generate(16, 16, 0x882);
+  const i64 points = 51;
+  std::vector<double> corr(static_cast<usize>(points));
+  team.parallel_for(0, points, 1, spec, [&](i64 p, const rt::WorkerInfo&) {
+    corr[static_cast<usize>(p)] = kernels::window_correlation(image, tmpl, p);
+  });
+  double checksum = 0.0;
+  for (double c : corr) checksum += c;
+  return checksum;
+}
+
+double hotspot_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                      double scale) {
+  const i64 side = std::max<i64>(32, static_cast<i64>(256 * std::sqrt(scale)));
+  Grid2D a = Grid2D::generate(side, side, 0x407);
+  Grid2D b = a;
+  for (int step = 0; step < 4; ++step) {
+    const Grid2D& in = (step % 2 == 0) ? a : b;
+    Grid2D& out = (step % 2 == 0) ? b : a;
+    team.parallel_for(0, side, 1, spec, [&](i64 row, const rt::WorkerInfo&) {
+      kernels::stencil2d_row(in, out, row, 0.18);
+    });
+  }
+  double checksum = 0.0;
+  for (double v : a.cells) checksum += v;
+  return checksum;
+}
+
+double hotspot3d_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                        double scale) {
+  const i64 side = std::max<i64>(16, static_cast<i64>(64 * std::cbrt(scale)));
+  Grid3D a = Grid3D::generate(side, side, side, 0x3D);
+  Grid3D b = a;
+  for (int step = 0; step < 3; ++step) {
+    const Grid3D& in = (step % 2 == 0) ? a : b;
+    Grid3D& out = (step % 2 == 0) ? b : a;
+    team.parallel_for(0, side, 1, spec, [&](i64 z, const rt::WorkerInfo&) {
+      kernels::stencil3d_plane(in, out, z, 0.12);
+    });
+  }
+  double checksum = 0.0;
+  for (double v : a.cells) checksum += v;
+  return checksum;
+}
+
+double lavamd_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                     double scale) {
+  const i64 particles = std::max<i64>(64, static_cast<i64>(8000 * scale));
+  std::vector<double> force(static_cast<usize>(particles));
+  team.parallel_for(0, particles, 1, spec, [&](i64 p, const rt::WorkerInfo&) {
+    force[static_cast<usize>(p)] = kernels::lj_force(p, 48, 0x1A7A);
+  });
+  double checksum = 0.0;
+  for (double f : force) checksum += f;
+  return checksum;
+}
+
+double leukocyte_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                        double scale) {
+  const i64 side = std::max<i64>(96, static_cast<i64>(384 * std::sqrt(scale)));
+  const Grid2D frame = Grid2D::generate(side, side, 0x1EU);
+  const Grid2D cell_tmpl = Grid2D::generate(24, 24, 0x1F);
+  const i64 candidates = 300;
+  std::vector<double> score(static_cast<usize>(candidates));
+  team.parallel_for(0, candidates, 1, spec, [&](i64 c, const rt::WorkerInfo&) {
+    score[static_cast<usize>(c)] =
+        kernels::window_correlation(frame, cell_tmpl, c * 7);
+  });
+  double checksum = 0.0;
+  for (double v : score) checksum += v;
+  return checksum;
+}
+
+double particlefilter_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                             double scale) {
+  const i64 particles = std::max<i64>(128, static_cast<i64>(60000 * scale));
+  std::vector<double> weights(static_cast<usize>(particles));
+  double checksum = 0.0;
+  for (i64 frame = 0; frame < 3; ++frame) {
+    team.parallel_for(0, particles, 1, spec,
+                      [&](i64 p, const rt::WorkerInfo&) {
+                        weights[static_cast<usize>(p)] =
+                            kernels::particle_weight(p, frame, 0x9F);
+                      });
+    double norm = 0.0;
+    for (double w : weights) norm += w;
+    checksum += norm;
+  }
+  return checksum;
+}
+
+double srad_kernel_impl(rt::Team& team, const sched::ScheduleSpec& spec,
+                        double scale, double k, u64 seed) {
+  const i64 side = std::max<i64>(32, static_cast<i64>(256 * std::sqrt(scale)));
+  Grid2D a = Grid2D::generate(side, side, seed);
+  Grid2D b = a;
+  for (int step = 0; step < 4; ++step) {
+    const Grid2D& in = (step % 2 == 0) ? a : b;
+    Grid2D& out = (step % 2 == 0) ? b : a;
+    team.parallel_for(0, side, 1, spec, [&](i64 row, const rt::WorkerInfo&) {
+      kernels::stencil2d_row(in, out, row, k);
+    });
+  }
+  double checksum = 0.0;
+  for (double v : a.cells) checksum += v;
+  return checksum;
+}
+
+double sradv1_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                     double scale) {
+  return srad_kernel_impl(team, spec, scale, 0.10, 0x51);
+}
+
+double sradv2_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                     double scale) {
+  return srad_kernel_impl(team, spec, scale, 0.15, 0x52);
+}
+
+}  // namespace
+
+std::vector<Workload> make_rodinia_workloads() {
+  std::vector<Workload> v;
+  v.emplace_back(bfs_spec(), bfs_kernel);
+  v.emplace_back(bptree_spec(), bptree_kernel);
+  v.emplace_back(cfd_spec(), cfd_kernel);
+  v.emplace_back(heartwall_spec(), heartwall_kernel);
+  v.emplace_back(hotspot_spec(), hotspot_kernel);
+  v.emplace_back(hotspot3d_spec(), hotspot3d_kernel);
+  v.emplace_back(lavamd_spec(), lavamd_kernel);
+  v.emplace_back(leukocyte_spec(), leukocyte_kernel);
+  v.emplace_back(particlefilter_spec(), particlefilter_kernel);
+  v.emplace_back(sradv1_spec(), sradv1_kernel);
+  v.emplace_back(sradv2_spec(), sradv2_kernel);
+  return v;
+}
+
+}  // namespace aid::workloads

@@ -1,0 +1,68 @@
+// A benchmark = simulator profile + real kernel.
+//
+// The profile (AppSpec) drives the virtual-time engine that regenerates the
+// paper's figures; the kernel is a genuine computation executed through the
+// real thread team, used by integration tests (schedule-invariance: every
+// schedule must produce the serial result) and by the examples.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/team.h"
+#include "sched/schedule_spec.h"
+#include "sim/app_model.h"
+#include "workloads/profile.h"
+
+namespace aid::workloads {
+
+class Workload {
+ public:
+  /// Runs the real computation on the team under the given schedule and
+  /// returns a checksum. `scale` in (0, 1] shrinks the problem for tests.
+  using KernelFn = std::function<double(rt::Team& team,
+                                        const sched::ScheduleSpec& spec,
+                                        double scale)>;
+
+  Workload(AppSpec spec, KernelFn kernel)
+      : spec_(std::move(spec)), kernel_(std::move(kernel)) {}
+
+  [[nodiscard]] const AppSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] const std::string& suite() const { return spec_.suite; }
+
+  /// Simulator model for a platform (see workloads/profile.h).
+  [[nodiscard]] sim::AppModel model(const platform::Platform& platform,
+                                    double scale = 1.0) const {
+    return build_model(spec_, platform, scale);
+  }
+
+  [[nodiscard]] bool has_kernel() const { return kernel_ != nullptr; }
+  double run_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                    double scale = 1.0) const {
+    return kernel_(team, spec, scale);
+  }
+
+ private:
+  AppSpec spec_;
+  KernelFn kernel_;
+};
+
+/// The three suites evaluated in the paper (Sec. 5).
+[[nodiscard]] std::vector<Workload> make_npb_workloads();
+[[nodiscard]] std::vector<Workload> make_parsec_workloads();
+[[nodiscard]] std::vector<Workload> make_rodinia_workloads();
+
+/// All 21 benchmarks, in the paper's Fig. 6/7 display order.
+[[nodiscard]] const std::vector<Workload>& all_workloads();
+
+/// Lookup by name; nullptr when unknown.
+[[nodiscard]] const Workload* find_workload(std::string_view name);
+
+/// All workloads of one suite ("NPB", "PARSEC", "Rodinia").
+[[nodiscard]] std::vector<const Workload*> workloads_of_suite(
+    std::string_view suite);
+
+}  // namespace aid::workloads

@@ -1,0 +1,140 @@
+// The libgomp-shaped ABI (rt/gomp_compat.h): code structured exactly like
+// GCC's OpenMP expansion must run correctly with the environment-selected
+// schedule — the paper's "recompile, don't rewrite" integration story.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/env.h"
+#include "rt/gomp_compat.h"
+#include "rt/runtime.h"
+
+namespace aid::rt::gomp {
+namespace {
+
+// The global runtime reads the environment once; configure it before any
+// test forks a team. A 4-thread emulation-free team keeps CI stable.
+struct GlobalRuntimeConfigurator {
+  GlobalRuntimeConfigurator() {
+    ::setenv("AID_PLATFORM", "generic:2,2,3.0", 0);
+    ::setenv("AID_NUM_THREADS", "4", 0);
+    ::setenv("AID_SCHEDULE", "aid-static", 0);
+    ::setenv("AID_EMULATE_AMP", "0", 0);
+  }
+};
+const GlobalRuntimeConfigurator g_configure;
+
+struct LoopCtx {
+  std::vector<std::atomic<int>> hits;
+  std::atomic<long> sum{0};
+  explicit LoopCtx(usize n) : hits(n) {
+    for (auto& h : hits) h.store(0);
+  }
+};
+
+void gcc_style_loop_body(void* data) {
+  auto* ctx = static_cast<LoopCtx*>(data);
+  long start = 0;
+  long end = 0;
+  if (aid_gomp_loop_runtime_start(0, static_cast<long>(ctx->hits.size()), 1,
+                                  &start, &end)) {
+    do {
+      for (long i = start; i < end; ++i)
+        ctx->hits[static_cast<usize>(i)].fetch_add(1);
+    } while (aid_gomp_loop_runtime_next(&start, &end));
+  }
+  aid_gomp_loop_end();
+}
+
+TEST(GompCompat, RuntimeScheduledLoopCoversEverythingOnce) {
+  LoopCtx ctx(10000);
+  aid_gomp_parallel(gcc_style_loop_body, &ctx);
+  for (const auto& h : ctx.hits) ASSERT_EQ(h.load(), 1);
+}
+
+void strided_body(void* data) {
+  auto* ctx = static_cast<LoopCtx*>(data);
+  long start = 0;
+  long end = 0;
+  // for (i = 10; i < 100; i += 7): 13 iterations.
+  if (aid_gomp_loop_runtime_start(10, 100, 7, &start, &end)) {
+    do {
+      for (long i = start; i != end; i += 7) ctx->sum.fetch_add(i);
+    } while (aid_gomp_loop_runtime_next(&start, &end));
+  }
+  aid_gomp_loop_end();
+}
+
+TEST(GompCompat, StridedLoopMapsUserCoordinates) {
+  LoopCtx ctx(1);
+  aid_gomp_parallel(strided_body, &ctx);
+  long expected = 0;
+  for (long i = 10; i < 100; i += 7) expected += i;
+  EXPECT_EQ(ctx.sum.load(), expected);
+}
+
+void two_loops_body(void* data) {
+  auto* ctx = static_cast<LoopCtx*>(data);
+  for (int rep = 0; rep < 2; ++rep) {
+    long start = 0;
+    long end = 0;
+    if (aid_gomp_loop_runtime_start(0, static_cast<long>(ctx->hits.size()), 1,
+                                    &start, &end)) {
+      do {
+        for (long i = start; i < end; ++i)
+          ctx->hits[static_cast<usize>(i)].fetch_add(1);
+      } while (aid_gomp_loop_runtime_next(&start, &end));
+    }
+    aid_gomp_loop_end();
+  }
+}
+
+TEST(GompCompat, ConsecutiveWorkSharesChainCorrectly) {
+  LoopCtx ctx(2048);
+  aid_gomp_parallel(two_loops_body, &ctx);
+  for (const auto& h : ctx.hits) ASSERT_EQ(h.load(), 2);
+}
+
+void nowait_body(void* data) {
+  auto* ctx = static_cast<LoopCtx*>(data);
+  long start = 0;
+  long end = 0;
+  if (aid_gomp_loop_runtime_start(0, 512, 1, &start, &end)) {
+    do {
+      for (long i = start; i < end; ++i)
+        ctx->hits[static_cast<usize>(i)].fetch_add(1);
+    } while (aid_gomp_loop_runtime_next(&start, &end));
+  }
+  aid_gomp_loop_end_nowait();  // no barrier: threads proceed immediately
+  aid_gomp_barrier();          // explicit barrier instead
+}
+
+TEST(GompCompat, NowaitPlusExplicitBarrier) {
+  LoopCtx ctx(512);
+  aid_gomp_parallel(nowait_body, &ctx);
+  for (const auto& h : ctx.hits) ASSERT_EQ(h.load(), 1);
+}
+
+void team_query_body(void* data) {
+  auto* ctx = static_cast<LoopCtx*>(data);
+  ctx->hits[static_cast<usize>(aid_gomp_thread_num())].fetch_add(1);
+  ctx->sum.store(aid_gomp_num_threads());
+}
+
+TEST(GompCompat, ThreadAndTeamQueries) {
+  const int team_size = Runtime::instance().team().nthreads();
+  LoopCtx ctx(static_cast<usize>(team_size));
+  aid_gomp_parallel(team_query_body, &ctx);
+  EXPECT_EQ(ctx.sum.load(), team_size);
+  for (const auto& h : ctx.hits)
+    EXPECT_EQ(h.load(), 1) << "every member runs fn exactly once";
+}
+
+TEST(GompCompat, SerialQueriesOutsideParallel) {
+  EXPECT_EQ(aid_gomp_thread_num(), 0);
+  EXPECT_EQ(aid_gomp_num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace aid::rt::gomp

@@ -1,0 +1,145 @@
+// harness/: configs, measurement protocol, figure assembly, gain summaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "harness/figure_printer.h"
+
+namespace aid::harness {
+namespace {
+
+ExperimentParams tiny_params(const platform::Platform& p) {
+  ExperimentParams params;
+  params.overhead = overhead_for(p);
+  params.scale = 0.05;
+  params.runs = 5;
+  return params;
+}
+
+TEST(StandardConfigs, MatchPaperLegend) {
+  const auto configs = standard_configs();
+  ASSERT_EQ(configs.size(), 7u);
+  EXPECT_EQ(configs[0].label, "static(SB)");
+  EXPECT_EQ(configs[0].mapping, platform::Mapping::kSmallFirst);
+  EXPECT_EQ(configs[1].label, "static(BS)");
+  EXPECT_EQ(configs[6].label, "AID-dynamic");
+  // All AID variants use the BS mapping (paper Sec. 4.3).
+  for (usize i = 4; i < 7; ++i)
+    EXPECT_EQ(configs[i].mapping, platform::Mapping::kBigFirst)
+        << configs[i].label;
+  // Paper defaults: AID-hybrid 80%, AID-dynamic (m=1, M=5).
+  EXPECT_DOUBLE_EQ(configs[5].spec.hybrid_percent, 80.0);
+  EXPECT_EQ(configs[6].spec.major_chunk, 5);
+}
+
+TEST(OverheadFor, SelectsPresetByPlatform) {
+  const auto a = overhead_for(platform::odroid_xu4());
+  const auto b = overhead_for(platform::xeon_emulated_amp());
+  // The Odroid's dominant dynamic-scheduling cost is locality loss (tiny
+  // caches, slow LPDDR3); the Xeon pays relatively more bookkeeping.
+  EXPECT_GT(a.locality_penalty_ns, b.locality_penalty_ns);
+  EXPECT_GT(b.pool_removal_ns, a.pool_removal_ns);
+}
+
+TEST(Measure, ProtocolIsDeterministic) {
+  const auto p = platform::odroid_xu4();
+  const auto* ep = workloads::find_workload("EP");
+  ASSERT_NE(ep, nullptr);
+  const auto params = tiny_params(p);
+  const auto config = standard_configs()[0];
+  const auto m1 = measure(*ep, p, config, params);
+  const auto m2 = measure(*ep, p, config, params);
+  EXPECT_DOUBLE_EQ(m1.time_ns, m2.time_ns);
+  EXPECT_GT(m1.time_ns, 0.0);
+}
+
+TEST(Measure, NoiseStaysSmall) {
+  const auto p = platform::odroid_xu4();
+  const auto* ep = workloads::find_workload("EP");
+  auto params = tiny_params(p);
+  const auto config = standard_configs()[0];
+  const auto with_noise = measure(*ep, p, config, params);
+  params.noise_sigma = 0.0;
+  const auto without = measure(*ep, p, config, params);
+  EXPECT_NEAR(with_noise.time_ns / without.time_ns, 1.0, 0.05);
+}
+
+TEST(RunFigure, NormalizedBaselineIsOne) {
+  const auto p = platform::odroid_xu4();
+  const std::vector<const workloads::Workload*> apps{
+      workloads::find_workload("EP"), workloads::find_workload("IS")};
+  const auto data =
+      run_figure(apps, p, standard_configs(), tiny_params(p));
+  ASSERT_EQ(data.app_names.size(), 2u);
+  for (const auto& row : data.normalized)
+    EXPECT_DOUBLE_EQ(row[0], 1.0) << "baseline column must be 1.0";
+}
+
+TEST(RunFigure, AidStaticBeatsStaticBsOnEp) {
+  // The paper's headline qualitative result on a uniform high-SF loop.
+  const auto p = platform::odroid_xu4();
+  const std::vector<const workloads::Workload*> apps{
+      workloads::find_workload("EP")};
+  const auto data = run_figure(apps, p, standard_configs(), tiny_params(p));
+  const usize aid = config_index(data, "AID-static");
+  const usize bs = config_index(data, "static(BS)");
+  EXPECT_GT(data.normalized[0][aid], data.normalized[0][bs]);
+}
+
+TEST(SummarizeGain, ComputesMeanAndGmean) {
+  FigureData data;
+  data.config_labels = {"a", "b"};
+  data.time_ns = {{100.0, 50.0}, {100.0, 100.0}};  // +100% and 0% gains
+  data.normalized = {{1.0, 2.0}, {1.0, 1.0}};
+  data.app_names = {"x", "y"};
+  data.app_suites = {"s", "s"};
+  const auto g = summarize_gain(data, 1, 0, "b vs a");
+  EXPECT_DOUBLE_EQ(g.mean_percent, 50.0);
+  EXPECT_NEAR(g.gmean_percent, (std::sqrt(2.0) - 1.0) * 100.0, 1e-9);
+}
+
+TEST(OfflineSf, MatchesProfileSoloSf) {
+  // The offline protocol measures the profile's solo SF (plus overhead
+  // effects): for EP's single loop on Platform A, compute_fraction 0.93
+  // gives SF ~ 1/(0.93/9 + 0.07/1.15).
+  const auto p = platform::odroid_xu4();
+  const auto* ep = workloads::find_workload("EP");
+  const auto sf = measure_offline_sf(*ep, p, tiny_params(p));
+  ASSERT_EQ(sf.size(), 1u);
+  // Execution noise and runtime overhead perturb the measured ratio; the
+  // solo-model prediction is 1/(0.93/9 + 0.07/1.15) ~ 6.1.
+  EXPECT_NEAR(sf[0], 1.0 / (0.93 / 9.0 + 0.07 / 1.15), 1.2);
+}
+
+TEST(OnlineSf, ContendedLoopEstimatesLowerThanOffline) {
+  // Fig. 9c: blackscholes' online (full-team) SF is far below the offline
+  // (single-thread) SF on Platform A.
+  const auto p = platform::odroid_xu4();
+  const auto* bs = workloads::find_workload("blackscholes");
+  auto params = tiny_params(p);
+  const auto offline = measure_offline_sf(*bs, p, params);
+  const auto online = measure_online_sf(*bs, p, params);
+  ASSERT_EQ(offline.size(), online.size());
+  ASSERT_EQ(offline.size(), 1u);
+  EXPECT_GT(offline[0], 4.0);
+  EXPECT_LT(online[0], 2.6);
+}
+
+TEST(FigurePrinter, RendersSuitesAndGeomean) {
+  const auto p = platform::odroid_xu4();
+  const std::vector<const workloads::Workload*> apps{
+      workloads::find_workload("EP"), workloads::find_workload("bfs")};
+  const auto data = run_figure(apps, p, standard_configs(), tiny_params(p));
+  std::ostringstream os;
+  print_figure(os, data, "test title");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("test title"), std::string::npos);
+  EXPECT_NE(out.find("(NPB)"), std::string::npos);
+  EXPECT_NE(out.find("(Rodinia)"), std::string::npos);
+  EXPECT_NE(out.find("geomean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aid::harness

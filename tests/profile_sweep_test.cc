@@ -1,0 +1,109 @@
+// Parameterized sweep over all 21 workload profiles x both platforms:
+// structural invariants every profile must satisfy on every platform.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/experiment.h"
+#include "workloads/workload.h"
+
+namespace aid::workloads {
+namespace {
+
+class ProfileSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (app, plat)
+
+platform::Platform platform_of(int idx) {
+  return idx == 0 ? platform::odroid_xu4() : platform::xeon_emulated_amp();
+}
+
+TEST_P(ProfileSweep, ModelInvariants) {
+  const auto& workload =
+      all_workloads()[static_cast<usize>(std::get<0>(GetParam()))];
+  const auto platform = platform_of(std::get<1>(GetParam()));
+  const auto model = workload.model(platform, 0.25);
+
+  EXPECT_EQ(model.name, workload.name());
+  EXPECT_GT(model.num_loop_phases(), 0);
+  EXPECT_GT(model.total_iterations(), 0);
+
+  for (const auto& phase : model.phases) {
+    if (const auto* lp = std::get_if<sim::LoopPhase>(&phase)) {
+      ASSERT_NE(lp->cost, nullptr) << lp->name;
+      ASSERT_GE(lp->trip_count, 1) << lp->name;
+      ASSERT_GE(lp->invocations, 1) << lp->name;
+      // Cost sanity on both core types: positive, and never faster on the
+      // slow type than on the fast type.
+      const Nanos slow = lp->cost->iter_cost(0, 0);
+      const Nanos fast = lp->cost->iter_cost(0, 1);
+      EXPECT_GT(slow, 0) << lp->name;
+      EXPECT_GE(slow, fast) << lp->name;
+      // Full-range query consistency with per-iteration queries.
+      const sched::IterRange all{0, lp->trip_count};
+      const Nanos range = lp->cost->range_cost(all, 0);
+      EXPECT_GT(range, 0) << lp->name;
+      if (lp->cost_solo != nullptr) {
+        // Contended loops: the solo model must show a BIGGER big-core
+        // advantage than the loaded model (Fig. 9c direction).
+        const double loaded_ratio =
+            static_cast<double>(lp->cost->iter_cost(0, 0)) /
+            static_cast<double>(std::max<Nanos>(1, lp->cost->iter_cost(0, 1)));
+        const double solo_ratio =
+            static_cast<double>(lp->cost_solo->iter_cost(0, 0)) /
+            static_cast<double>(
+                std::max<Nanos>(1, lp->cost_solo->iter_cost(0, 1)));
+        EXPECT_GE(solo_ratio, loaded_ratio * 0.999) << lp->name;
+      }
+    } else {
+      const auto& sp = std::get<sim::SerialPhase>(phase);
+      EXPECT_GE(sp.cost_small_ns, 0.0) << sp.name;
+    }
+  }
+}
+
+TEST_P(ProfileSweep, AidStaticNeverLosesBadlyToStaticBS) {
+  // The paper's core promise: AID-static is a safe replacement for static
+  // on AMPs. Across all apps and platforms it must never be more than a few
+  // percent slower than static(BS) (sampling cost + rounding), and the
+  // offline protocol must produce finite positive SF for every loop.
+  const auto& workload =
+      all_workloads()[static_cast<usize>(std::get<0>(GetParam()))];
+  const auto platform = platform_of(std::get<1>(GetParam()));
+  harness::ExperimentParams params;
+  params.overhead = harness::overhead_for(platform);
+  // Full scale: shrinking trips below the team size (heartwall's 51-
+  // iteration loop!) manufactures a regime the paper never evaluates.
+  params.scale = 1.0;
+
+  const harness::SchedConfig st{"static(BS)",
+                                sched::ScheduleSpec::static_even(),
+                                platform::Mapping::kBigFirst};
+  const harness::SchedConfig aid{"AID-static",
+                                 sched::ScheduleSpec::aid_static(1),
+                                 platform::Mapping::kBigFirst};
+  const double t_static =
+      harness::measure(workload, platform, st, params).time_ns;
+  const double t_aid =
+      harness::measure(workload, platform, aid, params).time_ns;
+  EXPECT_LT(t_aid, t_static * 1.06)
+      << workload.name() << ": AID-static must be a safe static replacement";
+
+  const auto sf = harness::measure_offline_sf(workload, platform, params);
+  for (double v : sf) {
+    EXPECT_GT(v, 0.5) << workload.name();
+    EXPECT_LT(v, 12.0) << workload.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All21x2, ProfileSweep,
+    ::testing::Combine(::testing::Range(0, 21), ::testing::Range(0, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& param_info) {
+      return all_workloads()[static_cast<usize>(
+                 std::get<0>(param_info.param))]
+                 .name() +
+             (std::get<1>(param_info.param) == 0 ? "_A" : "_B");
+    });
+
+}  // namespace
+}  // namespace aid::workloads

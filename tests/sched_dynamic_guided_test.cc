@@ -1,0 +1,109 @@
+// DynamicScheduler and GuidedScheduler semantics.
+#include <gtest/gtest.h>
+
+#include "sched/dynamic_sched.h"
+#include "sched/guided_sched.h"
+#include "test_util.h"
+
+namespace aid::sched {
+namespace {
+
+using test::amp_2s2b;
+using test::drive;
+using test::total_of;
+
+TEST(DynamicScheduler, RemovalCountMatchesChunking) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto r = drive(ScheduleSpec::dynamic(5), 100, layout,
+                       *test::uniform_cost(100, 3.0));
+  // 100/5 = 20 successful removals plus up to nthreads empty probes.
+  EXPECT_GE(r.sim.pool_removals, 20);
+  EXPECT_LE(r.sim.pool_removals, 20 + 4);
+}
+
+TEST(DynamicScheduler, BigCoresTakeMoreIterations) {
+  // The paper's core observation about dynamic on AMPs: big-core threads
+  // come back for chunks more often, absorbing more work.
+  const auto p = amp_2s2b(4.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto r = drive(ScheduleSpec::dynamic(1), 1000, layout,
+                       *test::uniform_cost(1000, 4.0));
+  // tids 0,1 are big (BS mapping), 2,3 small.
+  const i64 big = total_of(r, 0) + total_of(r, 1);
+  const i64 small = total_of(r, 2) + total_of(r, 3);
+  EXPECT_GT(big, 3 * small) << "4x cores should take ~4x the iterations";
+  EXPECT_EQ(big + small, 1000);
+}
+
+TEST(DynamicScheduler, BalancesAmpToNearIdeal) {
+  const auto p = amp_2s2b(3.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto r = drive(ScheduleSpec::dynamic(1), 800, layout,
+                       *test::uniform_cost(1000, 3.0));
+  // Ideal: total work 800us over aggregate speed 2*3+2*1 = 8 small-core
+  // equivalents -> 100us. Allow the last-chunk tail.
+  EXPECT_LT(r.sim.completion_ns, 110'000);
+}
+
+TEST(DynamicScheduler, ChunkLargerThanLoopGoesToOneThread) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto r = drive(ScheduleSpec::dynamic(1000), 64, layout,
+                       *test::uniform_cost(10, 3.0));
+  int winners = 0;
+  for (int tid = 0; tid < 4; ++tid) winners += total_of(r, tid) > 0;
+  EXPECT_EQ(winners, 1);
+}
+
+TEST(DynamicScheduler, ZeroIterationLoopTerminates) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto r = drive(ScheduleSpec::dynamic(1), 0, layout,
+                       *test::uniform_cost(10, 3.0));
+  EXPECT_EQ(r.sim.total_iterations(), 0);
+}
+
+TEST(GuidedScheduler, ChunksDecrease) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto r = drive(ScheduleSpec::guided(1), 1024, layout,
+                       *test::uniform_cost(100, 3.0));
+  // First removal on any thread is remaining/nthreads = 256.
+  i64 first_size = 0;
+  for (int tid = 0; tid < 4; ++tid)
+    if (!r.ranges[static_cast<usize>(tid)].empty())
+      first_size = std::max(first_size, r.ranges[static_cast<usize>(tid)][0].size());
+  EXPECT_EQ(first_size, 256);
+
+  // Guided uses far fewer removals than dynamic,1.
+  EXPECT_LT(r.sim.pool_removals, 80);
+}
+
+TEST(GuidedScheduler, RespectsMinimumChunk) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto r = drive(ScheduleSpec::guided(7), 1000, layout,
+                       *test::uniform_cost(100, 3.0));
+  for (int tid = 0; tid < 4; ++tid) {
+    const auto& ranges = r.ranges[static_cast<usize>(tid)];
+    for (usize i = 0; i + 1 < ranges.size(); ++i)
+      EXPECT_GE(ranges[i].size(), 7) << "only the final chunk may be short";
+  }
+}
+
+TEST(GuidedScheduler, StrandsSmallCoreWithEarlyHugeChunk) {
+  // Why guided performs poorly on AMPs (paper Sec. 5): an early ~NI/T chunk
+  // can land on a small core and dominate completion time.
+  const auto p = amp_2s2b(4.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kSmallFirst);
+  const auto guided = drive(ScheduleSpec::guided(1), 4000, layout,
+                            *test::uniform_cost(1000, 4.0));
+  const auto dyn = drive(ScheduleSpec::dynamic(1), 4000, layout,
+                         *test::uniform_cost(1000, 4.0));
+  EXPECT_GT(guided.sim.completion_ns, dyn.sim.completion_ns * 3 / 2)
+      << "guided should be clearly worse than dynamic on this AMP";
+}
+
+}  // namespace
+}  // namespace aid::sched

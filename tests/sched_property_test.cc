@@ -1,0 +1,154 @@
+// Property-based sweeps over every schedule kind: the invariants that must
+// hold for ANY (schedule, team, loop size, cost shape) combination.
+//
+//  P1  exactly-once coverage: every canonical iteration is executed once
+//      (enforced by LoopSimulator's internal check plus explicit bitmap).
+//  P2  ranges are within bounds and non-empty.
+//  P3  no two handed-out ranges overlap.
+//  P4  determinism: the same configuration replays bit-identically.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "test_util.h"
+
+namespace aid::sched {
+namespace {
+
+struct Case {
+  const char* label;
+  ScheduleSpec spec;
+};
+
+std::vector<Case> all_schedules() {
+  return {
+      {"static", ScheduleSpec::static_even()},
+      {"static4", ScheduleSpec::static_chunked(4)},
+      {"dynamic1", ScheduleSpec::dynamic(1)},
+      {"dynamic7", ScheduleSpec::dynamic(7)},
+      {"guided", ScheduleSpec::guided(1)},
+      {"aid-static", ScheduleSpec::aid_static(1)},
+      {"aid-static3", ScheduleSpec::aid_static(3)},
+      {"aid-static-offline", ScheduleSpec::aid_static_offline(2.5)},
+      {"aid-hybrid80", ScheduleSpec::aid_hybrid(1, 80.0)},
+      {"aid-hybrid50", ScheduleSpec::aid_hybrid(2, 50.0)},
+      {"aid-dynamic", ScheduleSpec::aid_dynamic(1, 5)},
+      {"aid-dynamic2-8", ScheduleSpec::aid_dynamic(2, 8)},
+      {"aid-dynamic-noend", ScheduleSpec::aid_dynamic_no_endgame(1, 8)},
+      {"trapezoid", ScheduleSpec::trapezoid()},
+      {"wfactoring", ScheduleSpec::weighted_factoring()},
+  };
+}
+
+class ScheduleProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, i64, int>> {
+  // (schedule index, nthreads, iterations, cost shape id)
+};
+
+TEST_P(ScheduleProperty, CoverageBoundsOverlapDeterminism) {
+  const auto [spec_idx, nthreads, count, shape] = GetParam();
+  const Case c = all_schedules()[static_cast<usize>(spec_idx)];
+
+  const auto p = test::amp_4s4b(3.0);
+  const platform::TeamLayout layout(p, nthreads, platform::Mapping::kBigFirst);
+
+  std::shared_ptr<const sim::CostModel> cost;
+  const std::vector<double> sf{1.0, 3.0};
+  switch (shape) {
+    case 0:
+      cost = std::make_shared<sim::UniformCostModel>(500.0, sf);
+      break;
+    case 1:
+      cost = std::make_shared<sim::AffineCostModel>(200.0, 1.5, count, sf);
+      break;
+    default: {
+      std::vector<double> table(static_cast<usize>(count));
+      for (i64 i = 0; i < count; ++i)
+        table[static_cast<usize>(i)] =
+            100.0 + static_cast<double>((i * 7919) % 1000);
+      cost = std::make_shared<sim::TableCostModel>(std::move(table), sf);
+    }
+  }
+
+  const auto r1 = test::drive(c.spec, count, layout, *cost);
+
+  // P1-P3: coverage bitmap from the recorded ranges.
+  std::vector<u8> seen(static_cast<usize>(count), 0);
+  for (int tid = 0; tid < nthreads; ++tid) {
+    for (const auto& range : r1.ranges[static_cast<usize>(tid)]) {
+      ASSERT_FALSE(range.empty()) << c.label << ": empty range handed out";
+      ASSERT_GE(range.begin, 0) << c.label;
+      ASSERT_LE(range.end, count) << c.label;
+      for (i64 i = range.begin; i < range.end; ++i) {
+        ASSERT_EQ(seen[static_cast<usize>(i)], 0)
+            << c.label << ": iteration " << i << " executed twice";
+        seen[static_cast<usize>(i)] = 1;
+      }
+    }
+  }
+  for (i64 i = 0; i < count; ++i)
+    ASSERT_EQ(seen[static_cast<usize>(i)], 1)
+        << c.label << ": iteration " << i << " never executed";
+
+  // P4: determinism.
+  const auto r2 = test::drive(c.spec, count, layout, *cost);
+  EXPECT_EQ(r1.sim.completion_ns, r2.sim.completion_ns) << c.label;
+  EXPECT_EQ(r1.sim.iterations, r2.sim.iterations) << c.label;
+}
+
+std::string property_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, int, i64, int>>& info) {
+  std::string label = all_schedules()[static_cast<usize>(
+                          std::get<0>(info.param))].label;
+  for (char& c : label)
+    if (c == '-') c = '_';
+  return label + "_t" + std::to_string(std::get<1>(info.param)) + "_n" +
+         std::to_string(std::get<2>(info.param)) + "_s" +
+         std::to_string(std::get<3>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedules, ScheduleProperty,
+    ::testing::Combine(::testing::Range(0, 15),         // schedule
+                       ::testing::Values(1, 2, 5, 8),   // nthreads
+                       ::testing::Values<i64>(0, 1, 13, 257, 2048),  // count
+                       ::testing::Values(0, 1, 2)),     // cost shape
+    property_case_name);
+
+class MappingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingProperty, AidWorksUnderBothMappings) {
+  // AID assumes BS, but must remain correct (cover everything) under SB
+  // too — it just distributes according to the observed per-tid speeds.
+  const int spec_idx = GetParam();
+  const Case c = all_schedules()[static_cast<usize>(spec_idx)];
+  const auto p = test::amp_2s2b(2.0);
+  for (const auto mapping :
+       {platform::Mapping::kSmallFirst, platform::Mapping::kBigFirst}) {
+    const platform::TeamLayout layout(p, 4, mapping);
+    const auto r = test::drive(c.spec, 500, layout,
+                               *test::uniform_cost(400, 2.0));
+    EXPECT_EQ(r.sim.total_iterations(), 500)
+        << c.label << " under " << platform::to_string(mapping);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, MappingProperty,
+                         ::testing::Range(0, 15));
+
+TEST(ScheduleProperty, LabelsAreUniqueAndParsable) {
+  // The display forms of the factory specs round-trip through the parser
+  // (except offline-SF, which is an internal variant).
+  for (const auto& c : all_schedules()) {
+    if (c.spec.offline_sf || !c.spec.aid_endgame) continue;
+    if (c.spec.kind == ScheduleKind::kTrapezoid) continue;  // 0,0 defaults
+    const auto parsed = parse_schedule(c.spec.display().substr(
+        0, c.spec.display().find(" (")));
+    ASSERT_TRUE(parsed.has_value()) << c.spec.display();
+    EXPECT_EQ(parsed->kind, c.spec.kind);
+  }
+}
+
+}  // namespace
+}  // namespace aid::sched

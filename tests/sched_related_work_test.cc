@@ -1,0 +1,170 @@
+// Related-work baselines: TrapezoidScheduler (Tzen & Ni '93) and
+// WeightedFactoringScheduler (Hummel et al. '96), plus the AID-dynamic
+// endgame ablation.
+#include <gtest/gtest.h>
+
+#include "sched/factoring_sched.h"
+#include "sched/trapezoid_sched.h"
+#include "test_util.h"
+
+namespace aid::sched {
+namespace {
+
+using test::amp_2s2b;
+using test::drive;
+using test::total_of;
+
+TEST(Trapezoid, ChunkSizesDecreaseLinearly) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const TrapezoidScheduler sched(1024, layout, /*first=*/100, /*last=*/10);
+  // C = ceil(2*1024/110) = 19 chunks; delta = 90/18 = 5.
+  EXPECT_EQ(sched.chunk_size(0), 100);
+  EXPECT_EQ(sched.chunk_size(1), 95);
+  EXPECT_EQ(sched.chunk_size(18), 10);
+  EXPECT_EQ(sched.chunk_size(100), 10) << "clamped at the last chunk size";
+}
+
+TEST(Trapezoid, ClassicDefaultsFromTeamSize) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const TrapezoidScheduler sched(800, layout);
+  EXPECT_EQ(sched.chunk_size(0), 100) << "first = NI/(2T)";
+}
+
+TEST(Trapezoid, CoversExactly) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  for (i64 count : {0, 1, 17, 1000, 4096}) {
+    const auto r = drive(ScheduleSpec::trapezoid(), count, layout,
+                         *test::uniform_cost(200, 3.0));
+    EXPECT_EQ(r.sim.total_iterations(), count) << count;
+  }
+}
+
+TEST(Trapezoid, FewerRemovalsThanDynamic) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto cost = test::uniform_cost(200, 3.0);
+  const auto tss = drive(ScheduleSpec::trapezoid(), 4096, layout, *cost);
+  const auto dyn = drive(ScheduleSpec::dynamic(1), 4096, layout, *cost);
+  EXPECT_LT(tss.sim.pool_removals, dyn.sim.pool_removals / 10);
+}
+
+TEST(Trapezoid, ParseForms) {
+  auto s = parse_schedule("trapezoid");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->kind, ScheduleKind::kTrapezoid);
+  s = parse_schedule("trapezoid,128,4");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->chunk, 128);
+  EXPECT_EQ(s->major_chunk, 4);
+  EXPECT_FALSE(parse_schedule("trapezoid,4,128")) << "last must be <= first";
+}
+
+TEST(WeightedFactoring, WeightsDefaultToNominalSpeeds) {
+  const auto p = amp_2s2b(3.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const WeightedFactoringScheduler sched(100, layout);
+  // BS: tids 0,1 big (speed 3), 2,3 small (speed 1).
+  EXPECT_DOUBLE_EQ(sched.weights()[0], 3.0);
+  EXPECT_DOUBLE_EQ(sched.weights()[3], 1.0);
+}
+
+TEST(WeightedFactoring, BigCoresReceiveProportionallyMore) {
+  const auto p = amp_2s2b(3.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto r = drive(ScheduleSpec::weighted_factoring(), 4000, layout,
+                       *test::uniform_cost(1000, 3.0));
+  const i64 big = total_of(r, 0) + total_of(r, 1);
+  const i64 small = total_of(r, 2) + total_of(r, 3);
+  EXPECT_GT(big, 2 * small);
+  EXPECT_EQ(big + small, 4000);
+}
+
+TEST(WeightedFactoring, MatchesAidWhenNominalEqualsTrueSf) {
+  // With the loop's real SF equal to the platform's nominal ratio, static
+  // weights are as good as sampling: both near the ideal completion.
+  const auto p = amp_2s2b(3.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto cost = test::uniform_cost(1000, 3.0);
+  const auto wf =
+      drive(ScheduleSpec::weighted_factoring(), 4000, layout, *cost);
+  const auto aid = drive(ScheduleSpec::aid_static(1), 4000, layout, *cost);
+  EXPECT_NEAR(static_cast<double>(wf.sim.completion_ns),
+              static_cast<double>(aid.sim.completion_ns),
+              static_cast<double>(aid.sim.completion_ns) * 0.10);
+}
+
+TEST(WeightedFactoring, WeightsSetChunkSizesNotTotals) {
+  // Factoring's classic robustness: geometric decay makes the per-thread
+  // iteration TOTALS track the true execution speed no matter what the
+  // weights claim (a self-scheduling property). The weights govern the
+  // per-removal CHUNK sizes — so wrong weights show up as oversized chunks
+  // (tail-imbalance and locality risk), not as skewed totals.
+  const auto p = amp_2s2b(3.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto cost = test::uniform_cost(1000, 1.2);  // true SF 1.2
+  const auto wf =
+      drive(ScheduleSpec::weighted_factoring(), 4000, layout, *cost);
+
+  // Totals: fair share under the TRUE SF, 2*1.2/(2*1.2+2) = 54.5%.
+  const double big_share =
+      static_cast<double>(total_of(wf, 0) + total_of(wf, 1)) / 4000.0;
+  EXPECT_NEAR(big_share, 0.545, 0.06);
+
+  // Chunk sizes: governed by the (wrong) 3:1 nominal weights.
+  const auto mean_chunk = [&](int tid) {
+    const auto& ranges = wf.ranges[static_cast<usize>(tid)];
+    i64 total = 0;
+    for (const auto& r : ranges) total += r.size();
+    return static_cast<double>(total) / static_cast<double>(ranges.size());
+  };
+  EXPECT_GT(mean_chunk(0), 2.0 * mean_chunk(3))
+      << "big-core removals should be ~3x the small-core ones";
+}
+
+TEST(WeightedFactoring, MoreRemovalsThanAidStatic) {
+  // The price of factoring's self-correcting decay: O(T log NI) removals
+  // versus AID-static's O(T).
+  const auto p = amp_2s2b(3.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto cost = test::uniform_cost(1000, 3.0);
+  const auto wf =
+      drive(ScheduleSpec::weighted_factoring(), 4000, layout, *cost);
+  const auto aid = drive(ScheduleSpec::aid_static(1), 4000, layout, *cost);
+  EXPECT_GT(wf.sim.pool_removals, 2 * aid.sim.pool_removals);
+}
+
+TEST(WeightedFactoring, ParseForms) {
+  auto s = parse_schedule("weighted-factoring");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->kind, ScheduleKind::kWeightedFactoring);
+  EXPECT_TRUE(parse_schedule("wfactoring"));
+  EXPECT_FALSE(parse_schedule("weighted-factoring,3"));
+}
+
+TEST(AidDynamicEndgameAblation, DisablingEndgameRestoresChunkSensitivity) {
+  // Fig. 5 caption: the endgame switch "greatly improves load balancing at
+  // the end of the loop". Without it, a large M strands the tail.
+  const auto p = amp_2s2b(3.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto cost = test::uniform_cost(1000, 3.0);
+  const i64 count = 600;  // small loop: the tail matters
+  const auto with_endgame =
+      drive(ScheduleSpec::aid_dynamic(1, 40), count, layout, *cost);
+  const auto without =
+      drive(ScheduleSpec::aid_dynamic_no_endgame(1, 40), count, layout, *cost);
+  EXPECT_LE(with_endgame.sim.completion_ns, without.sim.completion_ns);
+  EXPECT_EQ(with_endgame.sim.total_iterations(), count);
+  EXPECT_EQ(without.sim.total_iterations(), count);
+}
+
+TEST(AidDynamicEndgameAblation, DisplayAnnotatesAblation) {
+  EXPECT_NE(ScheduleSpec::aid_dynamic_no_endgame().display().find(
+                "no endgame"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace aid::sched

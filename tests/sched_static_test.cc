@@ -1,0 +1,121 @@
+// StaticScheduler: the conventional OpenMP static schedule.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sched/static_sched.h"
+#include "test_util.h"
+
+namespace aid::sched {
+namespace {
+
+using test::amp_2s2b;
+using test::drive;
+using test::total_of;
+
+TEST(StaticEvenBlock, SplitsRemainderAcrossLeadingThreads) {
+  // 10 iterations over 4 threads: 3,3,2,2.
+  EXPECT_EQ(StaticScheduler::even_block(10, 4, 0), (IterRange{0, 3}));
+  EXPECT_EQ(StaticScheduler::even_block(10, 4, 1), (IterRange{3, 6}));
+  EXPECT_EQ(StaticScheduler::even_block(10, 4, 2), (IterRange{6, 8}));
+  EXPECT_EQ(StaticScheduler::even_block(10, 4, 3), (IterRange{8, 10}));
+}
+
+TEST(StaticEvenBlock, ExactDivision) {
+  for (int tid = 0; tid < 4; ++tid) {
+    const IterRange r = StaticScheduler::even_block(100, 4, tid);
+    EXPECT_EQ(r.size(), 25);
+    EXPECT_EQ(r.begin, tid * 25);
+  }
+}
+
+TEST(StaticEvenBlock, FewerIterationsThanThreads) {
+  EXPECT_EQ(StaticScheduler::even_block(2, 4, 0).size(), 1);
+  EXPECT_EQ(StaticScheduler::even_block(2, 4, 1).size(), 1);
+  EXPECT_EQ(StaticScheduler::even_block(2, 4, 2).size(), 0);
+  EXPECT_EQ(StaticScheduler::even_block(2, 4, 3).size(), 0);
+}
+
+TEST(StaticEvenBlock, ZeroIterations) {
+  for (int tid = 0; tid < 3; ++tid)
+    EXPECT_TRUE(StaticScheduler::even_block(0, 3, tid).empty());
+}
+
+TEST(StaticScheduler, EvenModeHandsExactlyOneBlockPerThread) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto r =
+      drive(ScheduleSpec::static_even(), 100, layout, *test::uniform_cost(100, 3.0));
+  for (int tid = 0; tid < 4; ++tid) {
+    EXPECT_EQ(r.ranges[static_cast<usize>(tid)].size(), 1u);
+    EXPECT_EQ(total_of(r, tid), 25);
+  }
+}
+
+TEST(StaticScheduler, ChunkedModeRoundRobins) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto r = drive(ScheduleSpec::static_chunked(3), 24, layout,
+                       *test::uniform_cost(100, 3.0));
+  // Thread t owns chunks t, t+4: [3t, 3t+3) and [3t+12, 3t+15).
+  for (int tid = 0; tid < 4; ++tid) {
+    ASSERT_EQ(r.ranges[static_cast<usize>(tid)].size(), 2u);
+    EXPECT_EQ(r.ranges[static_cast<usize>(tid)][0],
+              (IterRange{3 * tid, 3 * tid + 3}));
+    EXPECT_EQ(r.ranges[static_cast<usize>(tid)][1],
+              (IterRange{12 + 3 * tid, 12 + 3 * tid + 3}));
+  }
+}
+
+TEST(StaticScheduler, ChunkedModeClampsLastChunk) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 2, platform::Mapping::kBigFirst);
+  const auto r = drive(ScheduleSpec::static_chunked(4), 10, layout,
+                       *test::uniform_cost(100, 3.0));
+  // Chunks: t0 [0,4) [8,10); t1 [4,8).
+  EXPECT_EQ(total_of(r, 0), 6);
+  EXPECT_EQ(total_of(r, 1), 4);
+}
+
+TEST(StaticScheduler, NoPoolRemovals) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  const auto r = drive(ScheduleSpec::static_even(), 1000, layout,
+                       *test::uniform_cost(10, 3.0));
+  EXPECT_EQ(r.sim.pool_removals, 0);
+}
+
+TEST(StaticScheduler, ResetReplaysIdentically) {
+  const auto p = amp_2s2b();
+  const platform::TeamLayout layout(p, 3, platform::Mapping::kSmallFirst);
+  auto sched = make_scheduler(ScheduleSpec::static_even(), 30, layout);
+  sim::LoopSimulator simulator(layout, {});
+  const auto cost = test::uniform_cost(50, 3.0);
+  const auto r1 = simulator.run(*sched, 30, *cost);
+  sched->reset(30);
+  const auto r2 = simulator.run(*sched, 30, *cost);
+  EXPECT_EQ(r1.completion_ns, r2.completion_ns);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+}
+
+TEST(StaticScheduler, ImbalanceOnAmpMatchesTheory) {
+  // Paper Fig. 1: with uniform iterations, static on an AMP is bounded by
+  // the small cores. 2B-2S, big 3x: each thread gets NI/4; completion =
+  // (NI/4) * cost_small; a 4S run completes in the same time.
+  const auto amp = amp_2s2b(3.0);
+  const platform::TeamLayout amp_layout(amp, 4, platform::Mapping::kBigFirst);
+  const auto r_amp = drive(ScheduleSpec::static_even(), 400, amp_layout,
+                           *test::uniform_cost(1000, 3.0));
+
+  const auto sym = platform::symmetric(4);
+  const platform::TeamLayout sym_layout(sym, 4, platform::Mapping::kSmallFirst);
+  const auto r_sym =
+      drive(ScheduleSpec::static_even(), 400, sym_layout,
+            *std::make_shared<sim::UniformCostModel>(1000.0, std::vector<double>{1.0}));
+
+  EXPECT_EQ(r_amp.sim.completion_ns, r_sym.sim.completion_ns)
+      << "2B-2S should not beat 4S under static (Fig. 1)";
+}
+
+}  // namespace
+}  // namespace aid::sched

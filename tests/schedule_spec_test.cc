@@ -1,0 +1,108 @@
+// ScheduleSpec parsing (the OMP_SCHEDULE-style environment syntax).
+#include <gtest/gtest.h>
+
+#include "sched/schedule_spec.h"
+
+namespace aid::sched {
+namespace {
+
+TEST(ParseSchedule, Static) {
+  auto s = parse_schedule("static");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->kind, ScheduleKind::kStatic);
+  EXPECT_EQ(s->chunk, 0);
+
+  s = parse_schedule("static,16");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->chunk, 16);
+}
+
+TEST(ParseSchedule, DynamicDefaultsChunkToOne) {
+  auto s = parse_schedule("dynamic");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->kind, ScheduleKind::kDynamic);
+  EXPECT_EQ(s->effective_chunk(), 1);
+
+  s = parse_schedule("dynamic,8");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->chunk, 8);
+}
+
+TEST(ParseSchedule, Guided) {
+  const auto s = parse_schedule("guided,4");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->kind, ScheduleKind::kGuided);
+  EXPECT_EQ(s->chunk, 4);
+}
+
+TEST(ParseSchedule, AidStatic) {
+  auto s = parse_schedule("aid-static");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->kind, ScheduleKind::kAidStatic);
+  EXPECT_EQ(s->effective_chunk(), 1);
+
+  s = parse_schedule("AID-STATIC,4");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->chunk, 4);
+
+  s = parse_schedule("aid_static,2");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->chunk, 2);
+}
+
+TEST(ParseSchedule, AidHybrid) {
+  auto s = parse_schedule("aid-hybrid");
+  ASSERT_TRUE(s);
+  EXPECT_DOUBLE_EQ(s->hybrid_percent, 80.0);  // paper default
+
+  s = parse_schedule("aid-hybrid,1,60");
+  ASSERT_TRUE(s);
+  EXPECT_DOUBLE_EQ(s->hybrid_percent, 60.0);
+
+  EXPECT_FALSE(parse_schedule("aid-hybrid,1,150"));
+}
+
+TEST(ParseSchedule, AidDynamic) {
+  auto s = parse_schedule("aid-dynamic");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->chunk, 1);
+  EXPECT_EQ(s->major_chunk, 5);  // paper Sec. 5A default
+
+  s = parse_schedule("aid-dynamic,2,20");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->chunk, 2);
+  EXPECT_EQ(s->major_chunk, 20);
+
+  EXPECT_FALSE(parse_schedule("aid-dynamic,20,2")) << "requires M >= m";
+}
+
+TEST(ParseSchedule, WhitespaceTolerant) {
+  const auto s = parse_schedule("  dynamic , 4 ");
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->kind, ScheduleKind::kDynamic);
+  EXPECT_EQ(s->chunk, 4);
+}
+
+TEST(ParseSchedule, Malformed) {
+  EXPECT_FALSE(parse_schedule(""));
+  EXPECT_FALSE(parse_schedule("bogus"));
+  EXPECT_FALSE(parse_schedule("dynamic,abc"));
+  EXPECT_FALSE(parse_schedule("dynamic,-3"));
+  EXPECT_FALSE(parse_schedule("static,1,2"));
+  EXPECT_FALSE(parse_schedule("aid-dynamic,1,2,3"));
+}
+
+TEST(ScheduleSpecDisplay, CanonicalForms) {
+  EXPECT_EQ(ScheduleSpec::static_even().display(), "static");
+  EXPECT_EQ(ScheduleSpec::static_chunked(8).display(), "static,8");
+  EXPECT_EQ(ScheduleSpec::dynamic(4).display(), "dynamic,4");
+  EXPECT_EQ(ScheduleSpec::aid_dynamic(1, 5).display(), "aid-dynamic,1,5");
+}
+
+TEST(ScheduleSpecDisplay, OfflineSfAnnotated) {
+  const auto s = ScheduleSpec::aid_static_offline(3.5);
+  EXPECT_NE(s.display().find("offline-SF"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aid::sched

@@ -1,0 +1,139 @@
+// SfEstimator: the lock-free sampling accumulator (paper Sec. 4.2, fn. 2).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sched/sf_estimator.h"
+
+namespace aid::sched {
+namespace {
+
+TEST(SfEstimator, LastRecorderIsSignalled) {
+  SfEstimator e(2);
+  e.reset(3);
+  EXPECT_FALSE(e.record(0, 100, 1));
+  EXPECT_FALSE(e.record(1, 50, 1));
+  EXPECT_FALSE(e.complete());
+  EXPECT_TRUE(e.record(1, 50, 1));
+  EXPECT_TRUE(e.complete());
+}
+
+TEST(SfEstimator, EqualChunksReduceToPaperTimeRatio) {
+  // 2 small threads at 300ns/iter, 2 big at 100ns/iter, 1 iteration each:
+  // SF = avg small time / avg big time = 3.
+  SfEstimator e(2);
+  e.reset(4);
+  e.record(0, 300, 1);
+  e.record(0, 300, 1);
+  e.record(1, 100, 1);
+  e.record(1, 100, 1);
+  const auto sf = e.speedup_factors({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(sf[0], 1.0);
+  EXPECT_DOUBLE_EQ(sf[1], 3.0);
+}
+
+TEST(SfEstimator, RateBasedHandlesUnequalChunks) {
+  // Big thread did 10 iterations in 500ns (rate 0.02), small did 2 in
+  // 400ns (rate 0.005): SF = 4 regardless of the chunk difference.
+  SfEstimator e(2);
+  e.reset(2);
+  e.record(0, 400, 2);
+  e.record(1, 500, 10);
+  const auto sf = e.speedup_factors({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(sf[1], 4.0);
+}
+
+TEST(SfEstimator, ZeroIterationSamplesDoNotPollute) {
+  SfEstimator e(2);
+  e.reset(3);
+  e.record(0, 100, 1);
+  e.record(1, 0, 0);  // found the pool empty
+  e.record(1, 25, 1);
+  const auto sf = e.speedup_factors({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(sf[1], 4.0);
+}
+
+TEST(SfEstimator, MissingTypeFallsBackToNominalSpeed) {
+  SfEstimator e(2);
+  e.reset(2);
+  e.record(0, 100, 1);
+  e.record(0, 100, 1);  // nobody sampled type 1
+  const auto sf = e.speedup_factors({1.0, 2.4});
+  EXPECT_DOUBLE_EQ(sf[0], 1.0);
+  EXPECT_DOUBLE_EQ(sf[1], 2.4);
+}
+
+TEST(SfEstimator, ZeroElapsedClampedToOneNanosecond) {
+  SfEstimator e(2);
+  e.reset(2);
+  e.record(0, 0, 5);  // coarse timer: 0ns for 5 iterations
+  e.record(1, 10, 5);
+  const auto sf = e.speedup_factors({1.0, 1.0});
+  EXPECT_GT(sf[1], 0.0);
+  EXPECT_LT(sf[1], 1.0);  // type1 measured slower here; clamped, not inf/nan
+}
+
+TEST(SfEstimator, SfClampedBelow) {
+  SfEstimator e(2);
+  e.reset(2);
+  e.record(0, 1, 1000000);  // absurd rate for the slow type
+  e.record(1, 1000000, 1);
+  const auto sf = e.speedup_factors({1.0, 1.0});
+  EXPECT_GE(sf[1], SfEstimator::kMinSf);
+}
+
+TEST(SfEstimator, ThreeTypes) {
+  SfEstimator e(3);
+  e.reset(3);
+  e.record(0, 600, 1);
+  e.record(1, 300, 1);
+  e.record(2, 100, 1);
+  const auto sf = e.speedup_factors({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(sf[0], 1.0);
+  EXPECT_DOUBLE_EQ(sf[1], 2.0);
+  EXPECT_DOUBLE_EQ(sf[2], 6.0);
+}
+
+TEST(SfEstimator, ResetRearmsForNextPhase) {
+  SfEstimator e(2);
+  e.reset(2);
+  e.record(0, 100, 1);
+  e.record(1, 50, 1);
+  EXPECT_TRUE(e.complete());
+  e.reset(2);
+  EXPECT_FALSE(e.complete());
+  e.record(0, 200, 1);
+  e.record(1, 25, 1);
+  const auto sf = e.speedup_factors({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(sf[1], 8.0) << "old phase data must not leak";
+}
+
+TEST(SfEstimator, ConcurrentRecordingCountsExactly) {
+  // The completion counter must be exact under true concurrency (this is
+  // what makes AID lock-free rather than racy).
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  SfEstimator e(2);
+  for (int round = 0; round < kRounds; ++round) {
+    e.reset(kThreads);
+    std::atomic<int> last_signals{0};
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(kThreads);
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&e, &last_signals, t] {
+          if (e.record(t % 2, 100 + t, 1)) last_signals.fetch_add(1);
+        });
+      }
+    }
+    ASSERT_EQ(last_signals.load(), 1) << "exactly one thread closes a phase";
+    ASSERT_TRUE(e.complete());
+  }
+}
+
+TEST(AidKFormula, TwoType) {
+  EXPECT_DOUBLE_EQ(aid_k(800, {4, 4}, {1.0, 3.0}), 50.0);
+}
+
+}  // namespace
+}  // namespace aid::sched

@@ -1,0 +1,151 @@
+// The virtual-time engine's overhead-model physics: locality penalty,
+// wake-up jitter, execution noise — each knob exists to reproduce a
+// specific paper observation (see sim/overhead_model.h) and is pinned here.
+#include <gtest/gtest.h>
+
+#include "sim/overhead_model.h"
+#include "test_util.h"
+
+namespace aid::sim {
+namespace {
+
+using sched::ScheduleSpec;
+
+TEST(LocalityCost, VanishesForLargeChunks) {
+  OverheadModel m = OverheadModel::zero();
+  m.locality_penalty_ns = 100;
+  m.locality_chunk_iters = 32;
+  EXPECT_EQ(m.locality_cost(32, 3200), 0);
+  EXPECT_EQ(m.locality_cost(100, 10000), 0);
+  EXPECT_GT(m.locality_cost(1, 100), 0);
+}
+
+TEST(LocalityCost, PerIterationPenaltyDecaysWithChunkSize) {
+  OverheadModel m = OverheadModel::zero();
+  m.locality_penalty_ns = 100;
+  m.locality_chunk_iters = 32;
+  m.locality_ref_iter_ns = 400;
+  // Same per-iteration cost (100ns): penalty per iteration must decrease
+  // with the chunk size.
+  const double per1 = static_cast<double>(m.locality_cost(1, 100));
+  const double per8 = static_cast<double>(m.locality_cost(8, 800)) / 8.0;
+  const double per31 = static_cast<double>(m.locality_cost(31, 3100)) / 31.0;
+  EXPECT_GT(per1, per8);
+  EXPECT_GT(per8, per31);
+}
+
+TEST(LocalityCost, CheapIterationsPayMoreThanHeavyOnes) {
+  // The Fig. 8 split: IS's 100ns iterations bleed when scattered; BT's
+  // 2.5us line-solves do not care.
+  OverheadModel m = OverheadModel::zero();
+  m.locality_penalty_ns = 400;
+  m.locality_ref_iter_ns = 400;
+  const Nanos cheap = m.locality_cost(1, 100);     // 100ns iteration
+  const Nanos heavy = m.locality_cost(1, 10'000);  // 10us iteration
+  EXPECT_GT(cheap, 4 * heavy);
+}
+
+TEST(OverheadModel, CallCostChargesContentionPerPeer) {
+  OverheadModel m = OverheadModel::zero();
+  m.next_call_ns = 10;
+  m.pool_removal_ns = 100;
+  m.contention_ns = 5;
+  EXPECT_EQ(m.call_cost(false, 8), 10);
+  EXPECT_EQ(m.call_cost(true, 1), 110);
+  EXPECT_EQ(m.call_cost(true, 8), 110 + 5 * 7);
+}
+
+TEST(WakeupJitter, MasterAlwaysArrivesFirstAndResultsAreDeterministic) {
+  const auto p = test::amp_2s2b(2.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  OverheadModel m = OverheadModel::zero();
+  m.wakeup_jitter_ns = 5000;
+
+  auto sched = sched::make_scheduler(ScheduleSpec::dynamic(1), 64, layout);
+  LoopSimulator sim(layout, m);
+  const auto cost = test::uniform_cost(100, 2.0);
+  const auto r1 = sim.run(*sched, 64, *cost);
+  // Master (tid 0) pays no jitter.
+  EXPECT_EQ(r1.overhead_ns[0], 0);
+  // At least one worker should have drawn nonzero jitter.
+  EXPECT_GT(r1.overhead_ns[1] + r1.overhead_ns[2] + r1.overhead_ns[3], 0);
+
+  sched->reset(64);
+  const auto r2 = sim.run(*sched, 64, *cost);
+  EXPECT_EQ(r1.completion_ns, r2.completion_ns) << "same start -> same jitter";
+
+  // Different start time -> different arrival pattern (almost surely).
+  sched->reset(64);
+  const auto r3 = sim.run(*sched, 64, *cost, /*start_ns=*/123456);
+  EXPECT_NE(r1.overhead_ns, r3.overhead_ns);
+}
+
+TEST(ExecNoise, MeanPreservingAndDeterministic) {
+  const auto p = test::amp_2s2b(1.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  OverheadModel noisy = OverheadModel::zero();
+  noisy.exec_noise_sigma = 0.10;
+  noisy.noise_ref_ns = 20'000;
+
+  const auto cost = test::uniform_cost(1000, 1.0);
+  auto sched = sched::make_scheduler(ScheduleSpec::dynamic(1), 20000, layout);
+  LoopSimulator sim(layout, noisy);
+  const auto r1 = sim.run(*sched, 20000, *cost);
+  sched->reset(20000);
+  const auto r2 = sim.run(*sched, 20000, *cost);
+  EXPECT_EQ(r1.completion_ns, r2.completion_ns) << "noise must replay";
+
+  // Aggregate busy time stays within ~2% of the noiseless total (the
+  // lognormal is mean-preserving; 20000 samples average it out).
+  LoopSimulator clean_sim(layout, OverheadModel::zero());
+  auto sched2 = sched::make_scheduler(ScheduleSpec::dynamic(1), 20000, layout);
+  const auto clean = clean_sim.run(*sched2, 20000, *cost);
+  const double busy_noisy = static_cast<double>(r1.busy_ns[0] + r1.busy_ns[1] +
+                                                r1.busy_ns[2] + r1.busy_ns[3]);
+  const double busy_clean =
+      static_cast<double>(clean.busy_ns[0] + clean.busy_ns[1] +
+                          clean.busy_ns[2] + clean.busy_ns[3]);
+  EXPECT_NEAR(busy_noisy / busy_clean, 1.0, 0.02);
+}
+
+TEST(ExecNoise, SigmaDecaysWithRangeDuration) {
+  // Indirect check: with a huge reference duration the noise acts at full
+  // sigma; with a tiny one, long ranges are nearly noise-free. Compare the
+  // spread of per-thread busy times under static scheduling (one huge block
+  // per thread).
+  const auto p = platform::symmetric(4);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kSmallFirst);
+  const auto cost = std::make_shared<UniformCostModel>(
+      1000.0, std::vector<double>{1.0});
+
+  const auto spread = [&](Nanos ref) {
+    OverheadModel m = OverheadModel::zero();
+    m.exec_noise_sigma = 0.2;
+    m.noise_ref_ns = ref;
+    auto sched =
+        sched::make_scheduler(ScheduleSpec::static_even(), 4000, layout);
+    LoopSimulator sim(layout, m);
+    const auto r = sim.run(*sched, 4000, *cost);
+    Nanos lo = r.busy_ns[0];
+    Nanos hi = r.busy_ns[0];
+    for (Nanos b : r.busy_ns) {
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+    }
+    return static_cast<double>(hi - lo) / static_cast<double>(hi);
+  };
+
+  EXPECT_GT(spread(/*ref=*/1'000'000'000), 4.0 * spread(/*ref=*/100));
+}
+
+TEST(OverheadPresets, EncodeThePlatformStories) {
+  const auto a = OverheadModel::platform_a();
+  const auto b = OverheadModel::platform_b();
+  // A: locality dominates; B: bookkeeping relatively heavier.
+  EXPECT_GT(a.locality_penalty_ns, b.locality_penalty_ns);
+  EXPECT_GT(b.pool_removal_ns, a.pool_removal_ns);
+  EXPECT_GT(a.wakeup_jitter_ns, b.wakeup_jitter_ns);
+}
+
+}  // namespace
+}  // namespace aid::sim

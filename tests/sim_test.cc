@@ -1,0 +1,208 @@
+// sim/: cost models, the loop simulator, the app simulator.
+#include <gtest/gtest.h>
+
+#include "sim/app_simulator.h"
+#include "sim/cost_model.h"
+#include "test_util.h"
+#include "trace/trace.h"
+
+namespace aid::sim {
+namespace {
+
+using sched::IterRange;
+using sched::ScheduleSpec;
+
+TEST(CostModels, UniformRangeMatchesSum) {
+  const UniformCostModel m(100.0, {1.0, 4.0});
+  EXPECT_EQ(m.iter_cost(0, 0), 100);
+  EXPECT_EQ(m.iter_cost(0, 1), 25);
+  EXPECT_EQ(m.range_cost({10, 20}, 0), 1000);
+  EXPECT_EQ(m.range_cost({10, 20}, 1), 250);
+}
+
+TEST(CostModels, AffineClosedFormEqualsLoop) {
+  const AffineCostModel m(100.0, 3.0, 1000, {1.0, 2.0});
+  for (const IterRange r : {IterRange{0, 10}, IterRange{500, 777}}) {
+    Nanos manual = 0;
+    for (i64 i = r.begin; i < r.end; ++i) manual += m.iter_cost(i, 0);
+    // Closed form accumulates in real arithmetic; allow 1ns/iter rounding.
+    EXPECT_NEAR(static_cast<double>(m.range_cost(r, 0)),
+                static_cast<double>(manual), static_cast<double>(r.size()));
+  }
+}
+
+TEST(CostModels, TablePrefixSums) {
+  const TableCostModel m({10.0, 20.0, 30.0, 40.0}, {1.0, 2.0});
+  EXPECT_EQ(m.count(), 4);
+  EXPECT_EQ(m.iter_cost(2, 0), 30);
+  EXPECT_EQ(m.range_cost({0, 4}, 0), 100);
+  EXPECT_EQ(m.range_cost({1, 3}, 0), 50);
+  EXPECT_EQ(m.range_cost({1, 3}, 1), 25);
+}
+
+TEST(CostModels, SfFallbackUsesLastEntry) {
+  // A cost model built with 2 types queried with type 3 (more clusters than
+  // the profile knew about) clamps to the last SF.
+  const UniformCostModel m(100.0, {1.0, 4.0});
+  EXPECT_EQ(m.iter_cost(0, 3), 25);
+}
+
+TEST(LoopSimulator, ChargesOverheadPerInteraction) {
+  const auto p = test::amp_2s2b(1.0);  // symmetric speeds, AMP shape
+  const platform::TeamLayout layout(p, 2, platform::Mapping::kBigFirst);
+  auto sched = sched::make_scheduler(ScheduleSpec::dynamic(1), 10, layout);
+  LoopSimulator sim(layout, OverheadModel{100, 0, 0, 0});
+  const auto cost = test::uniform_cost(1000, 1.0);
+  const auto r = sim.run(*sched, 10, *cost);
+  // 10 successful + 2 empty probes = 12 calls x 100ns overhead total,
+  // split across 2 workers; busy = 10 x 1000ns.
+  EXPECT_EQ(r.overhead_ns[0] + r.overhead_ns[1], 1200);
+  EXPECT_EQ(r.busy_ns[0] + r.busy_ns[1], 10'000);
+}
+
+TEST(LoopSimulator, ForkJoinChargedOncePerLoop) {
+  const auto p = test::amp_2s2b(1.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  auto sched = sched::make_scheduler(ScheduleSpec::static_even(), 4, layout);
+  LoopSimulator sim(layout, OverheadModel{0, 0, 0, 500});
+  const auto r = sim.run(*sched, 4, *test::uniform_cost(100, 1.0));
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(r.overhead_ns[static_cast<usize>(t)], 500);
+  EXPECT_EQ(r.completion_ns, 600);
+}
+
+TEST(LoopSimulator, TraceRecordsAllThreeStates) {
+  const auto p = test::amp_2s2b(3.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  auto sched = sched::make_scheduler(ScheduleSpec::static_even(), 400, layout);
+  LoopSimulator sim(layout, OverheadModel{50, 50, 0, 100});
+  trace::Trace tr(4);
+  (void)sim.run(*sched, 400, *test::uniform_cost(1000, 3.0), 0, &tr);
+  // Big threads (tid 0,1) finish early and wait at the barrier.
+  EXPECT_GT(tr.time_in(0, trace::State::kSync), 0);
+  EXPECT_GT(tr.time_in(0, trace::State::kRunning), 0);
+  EXPECT_GT(tr.time_in(0, trace::State::kScheduling), 0);
+  // The slowest thread has no barrier wait.
+  EXPECT_EQ(tr.time_in(3, trace::State::kSync), 0);
+}
+
+TEST(LoopSimulator, StartTimeOffsetsEverything) {
+  const auto p = test::amp_2s2b(2.0);
+  const platform::TeamLayout layout(p, 2, platform::Mapping::kBigFirst);
+  auto sched = sched::make_scheduler(ScheduleSpec::static_even(), 100, layout);
+  LoopSimulator sim(layout, OverheadModel::zero());
+  const auto cost = test::uniform_cost(100, 2.0);
+  const auto r0 = sim.run(*sched, 100, *cost, 0);
+  sched->reset(100);
+  const auto r1 = sim.run(*sched, 100, *cost, 5000);
+  EXPECT_EQ(r1.completion_ns - 5000, r0.completion_ns);
+}
+
+AppModel two_phase_app() {
+  AppModel app;
+  app.name = "test-app";
+  SerialPhase init;
+  init.name = "init";
+  init.cost_small_ns = 10'000.0;
+  init.sf = {1.0, 2.0};
+  app.phases.emplace_back(init);
+  LoopPhase loop;
+  loop.name = "work";
+  loop.trip_count = 400;
+  loop.invocations = 3;
+  loop.cost = std::make_shared<UniformCostModel>(100.0,
+                                                 std::vector<double>{1.0, 2.0});
+  loop.serial_between_ns = 1'000.0;
+  app.phases.emplace_back(loop);
+  return app;
+}
+
+TEST(AppSimulator, SerialPhaseSpeedDependsOnMasterCore) {
+  const auto p = test::amp_2s2b(2.0);
+  const AppModel app = two_phase_app();
+
+  const platform::TeamLayout bs(p, 4, platform::Mapping::kBigFirst);
+  AppSimulator sim_bs(p, bs, ScheduleSpec::static_even(), OverheadModel::zero());
+  const auto r_bs = sim_bs.run(app);
+
+  const platform::TeamLayout sb(p, 4, platform::Mapping::kSmallFirst);
+  AppSimulator sim_sb(p, sb, ScheduleSpec::static_even(), OverheadModel::zero());
+  const auto r_sb = sim_sb.run(app);
+
+  // Serial phases run 2x faster when the master owns a big core: this is
+  // the static(BS) vs static(SB) gap of Fig. 6.
+  EXPECT_EQ(r_sb.serial_ns, 2 * r_bs.serial_ns);
+  EXPECT_LT(r_bs.total_ns, r_sb.total_ns);
+}
+
+TEST(AppSimulator, PhaseAccountingAddsUp) {
+  const auto p = test::amp_2s2b(2.0);
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  AppSimulator sim(p, layout, ScheduleSpec::static_even(),
+                   OverheadModel::zero());
+  const auto r = sim.run(two_phase_app());
+  EXPECT_EQ(r.total_ns, r.serial_ns + r.parallel_ns);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_FALSE(r.phases[0].is_loop);
+  EXPECT_TRUE(r.phases[1].is_loop);
+  EXPECT_EQ(r.phases[1].invocations, 3);
+}
+
+TEST(AppSimulator, SoloRunUsesSoloCostModel) {
+  const auto p = test::amp_2s2b(4.0);
+  AppModel app;
+  app.name = "contended";
+  LoopPhase loop;
+  loop.name = "hot";
+  loop.trip_count = 100;
+  loop.cost = std::make_shared<UniformCostModel>(100.0,
+                                                 std::vector<double>{1.0, 1.5});
+  loop.cost_solo = std::make_shared<UniformCostModel>(
+      100.0, std::vector<double>{1.0, 4.0});
+  app.phases.emplace_back(loop);
+
+  // Single thread on a big core: solo SF 4 -> 100 iters at 25ns = 2500ns.
+  const platform::TeamLayout solo(p, 1, platform::Mapping::kBigFirst);
+  AppSimulator sim_solo(p, solo, ScheduleSpec::static_even(),
+                        OverheadModel::zero());
+  EXPECT_EQ(sim_solo.run(app).total_ns, 2500);
+
+  // Full team: loaded SF 1.5 applies instead.
+  const platform::TeamLayout team(p, 4, platform::Mapping::kBigFirst);
+  AppSimulator sim_team(p, team, ScheduleSpec::static_even(),
+                        OverheadModel::zero());
+  const auto r = sim_team.run(app);
+  // static even: 25 iters per thread; small threads at 100ns -> 2500ns.
+  EXPECT_EQ(r.total_ns, 2500);
+}
+
+TEST(AppSimulator, OfflineSfPerLoopIsApplied) {
+  const auto p = test::amp_2s2b(3.0);
+  AppModel app;
+  app.name = "two-loops";
+  for (int l = 0; l < 2; ++l) {
+    LoopPhase loop;
+    loop.name = "L" + std::to_string(l);
+    loop.trip_count = 800;
+    loop.cost = std::make_shared<UniformCostModel>(
+        1000.0, std::vector<double>{1.0, 3.0});
+    app.phases.emplace_back(loop);
+  }
+  const platform::TeamLayout layout(p, 4, platform::Mapping::kBigFirst);
+  AppSimulator sim(p, layout, ScheduleSpec::aid_static(1),
+                   OverheadModel::zero());
+  sim.set_offline_sf_per_loop({3.0, 3.0});
+  const auto r = sim.run(app);
+  // Offline mode: one removal per thread per loop (plus empty probes), and
+  // near-ideal balance: 800*1000/8 = 100us per loop.
+  EXPECT_LE(r.pool_removals, 16);
+  EXPECT_LT(r.total_ns, 2 * 102'000);
+}
+
+TEST(AppModelHelpers, Counters) {
+  const AppModel app = two_phase_app();
+  EXPECT_EQ(app.num_loop_phases(), 1);
+  EXPECT_EQ(app.total_iterations(), 1200);
+}
+
+}  // namespace
+}  // namespace aid::sim

@@ -1,0 +1,96 @@
+// Shared helpers for libaid tests.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "platform/platform.h"
+#include "platform/team_layout.h"
+#include "sched/loop_scheduler.h"
+#include "sim/cost_model.h"
+#include "sim/loop_simulator.h"
+#include "sim/overhead_model.h"
+
+namespace aid::test {
+
+/// A 2-small + 2-big AMP with big cores 3x faster (uniformly: compute and
+/// memory components equal), handy for exact arithmetic in tests.
+inline platform::Platform amp_2s2b(double big_speed = 3.0) {
+  return platform::generic_amp(2, 2, big_speed, "test-2s2b");
+}
+
+/// 4-small + 4-big like the paper's boards.
+inline platform::Platform amp_4s4b(double big_speed = 3.0) {
+  return platform::generic_amp(4, 4, big_speed, "test-4s4b");
+}
+
+/// Execute a scheduler to completion in the deterministic engine and return
+/// the per-thread assignment map {tid -> executed iteration numbers}. Also
+/// verifies the exactly-once coverage invariant via LoopSimulator's check.
+struct DriveResult {
+  sim::LoopResult sim;
+  std::vector<std::vector<sched::IterRange>> ranges;  ///< per tid, in order
+};
+
+/// Cost model where every iteration takes `small_ns` on type 0 and
+/// `small_ns / big_speed` on type 1.
+inline std::shared_ptr<const sim::CostModel> uniform_cost(
+    double small_ns, double big_speed) {
+  return std::make_shared<sim::UniformCostModel>(
+      small_ns, std::vector<double>{1.0, big_speed});
+}
+
+/// Wraps a scheduler so every handed-out range is recorded per thread.
+class RecordingScheduler final : public sched::LoopScheduler {
+ public:
+  RecordingScheduler(sched::LoopScheduler& inner, int nthreads)
+      : inner_(inner), ranges_(static_cast<usize>(nthreads)) {}
+
+  bool next(sched::ThreadContext& tc, sched::IterRange& out) override {
+    const bool got = inner_.next(tc, out);
+    if (got) ranges_[static_cast<usize>(tc.tid)].push_back(out);
+    return got;
+  }
+  void reset(i64 count) override {
+    inner_.reset(count);
+    for (auto& r : ranges_) r.clear();
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return inner_.name();
+  }
+  [[nodiscard]] sched::SchedulerStats stats() const override {
+    return inner_.stats();
+  }
+
+  [[nodiscard]] const std::vector<std::vector<sched::IterRange>>& ranges()
+      const {
+    return ranges_;
+  }
+
+ private:
+  sched::LoopScheduler& inner_;
+  std::vector<std::vector<sched::IterRange>> ranges_;
+};
+
+/// Run `spec` over `count` iterations on `layout` under the given cost
+/// model; returns the LoopResult plus all ranges each thread received.
+inline DriveResult drive(const sched::ScheduleSpec& spec, i64 count,
+                         const platform::TeamLayout& layout,
+                         const sim::CostModel& cost,
+                         sim::OverheadModel overhead = sim::OverheadModel::zero()) {
+  auto sched = sched::make_scheduler(spec, count, layout);
+  RecordingScheduler recorder(*sched, layout.nthreads());
+  sim::LoopSimulator simulator(layout, overhead);
+  DriveResult r{simulator.run(recorder, count, cost), recorder.ranges()};
+  return r;
+}
+
+/// Total iterations a thread received.
+inline i64 total_of(const DriveResult& r, int tid) {
+  i64 n = 0;
+  for (const auto& range : r.ranges[static_cast<usize>(tid)]) n += range.size();
+  return n;
+}
+
+}  // namespace aid::test

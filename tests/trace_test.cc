@@ -1,0 +1,108 @@
+// trace/: interval recording, imbalance metrics, renderers.
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+
+namespace aid::trace {
+namespace {
+
+TEST(Trace, RecordsAndMergesContiguousSameState) {
+  Trace t(2);
+  t.record(0, State::kRunning, 0, 10);
+  t.record(0, State::kRunning, 10, 20);  // merges
+  t.record(0, State::kSync, 20, 30);
+  ASSERT_EQ(t.timeline(0).size(), 2u);
+  EXPECT_EQ(t.timeline(0)[0].duration(), 20);
+  EXPECT_EQ(t.time_in(0, State::kRunning), 20);
+  EXPECT_EQ(t.time_in(0, State::kSync), 10);
+}
+
+TEST(Trace, DropsEmptyIntervals) {
+  Trace t(1);
+  t.record(0, State::kRunning, 5, 5);
+  EXPECT_TRUE(t.timeline(0).empty());
+}
+
+TEST(Trace, SpanCoversAllThreads) {
+  Trace t(3);
+  t.record(1, State::kRunning, 100, 200);
+  t.record(2, State::kSync, 50, 400);
+  EXPECT_EQ(t.span_begin(), 50);
+  EXPECT_EQ(t.span_end(), 400);
+}
+
+TEST(Analyze, BalancedTraceHasImbalanceOne) {
+  Trace t(2);
+  t.record(0, State::kRunning, 0, 100);
+  t.record(1, State::kRunning, 0, 100);
+  const auto rep = analyze(t);
+  EXPECT_DOUBLE_EQ(rep.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(rep.utilization, 1.0);
+  EXPECT_DOUBLE_EQ(rep.sync_fraction, 0.0);
+}
+
+TEST(Analyze, ImbalancedTrace) {
+  // Fig. 1a shape: one thread busy the whole span, one half idle.
+  Trace t(2);
+  t.record(0, State::kRunning, 0, 50);
+  t.record(0, State::kSync, 50, 100);
+  t.record(1, State::kRunning, 0, 100);
+  const auto rep = analyze(t);
+  EXPECT_DOUBLE_EQ(rep.imbalance, 100.0 / 75.0);
+  EXPECT_DOUBLE_EQ(rep.utilization, 0.75);
+  EXPECT_DOUBLE_EQ(rep.sync_fraction, 0.25);
+}
+
+TEST(Analyze, SchedulingFraction) {
+  Trace t(1);
+  t.record(0, State::kScheduling, 0, 25);
+  t.record(0, State::kRunning, 25, 100);
+  const auto rep = analyze(t);
+  EXPECT_DOUBLE_EQ(rep.sched_fraction, 0.25);
+}
+
+TEST(RenderAscii, ShowsDominantStatePerBucket) {
+  Trace t(2);
+  t.record(0, State::kRunning, 0, 100);
+  t.record(1, State::kRunning, 0, 50);
+  t.record(1, State::kSync, 50, 100);
+  const std::string out = render_ascii(t, 10);
+  // Thread 1 all running; thread 2 half running, half sync.
+  EXPECT_NE(out.find("Thread 1 |##########|"), std::string::npos) << out;
+  EXPECT_NE(out.find("Thread 2 |#####.....|"), std::string::npos) << out;
+  EXPECT_NE(out.find("legend"), std::string::npos);
+}
+
+TEST(RenderAscii, EmptyTrace) {
+  Trace t(1);
+  EXPECT_EQ(render_ascii(t, 10), "(empty trace)\n");
+}
+
+TEST(ExportPrv, EmitsParaverStateRecords) {
+  Trace t(2);
+  t.record(0, State::kRunning, 0, 10);
+  t.record(1, State::kScheduling, 0, 5);
+  t.record(1, State::kSync, 5, 10);
+  const std::string prv = export_prv(t);
+  EXPECT_NE(prv.find("#Paraver"), std::string::npos);
+  EXPECT_NE(prv.find("1:1:1:1:1:0:10:1"), std::string::npos);
+  EXPECT_NE(prv.find("1:2:1:1:2:0:5:15"), std::string::npos);
+  EXPECT_NE(prv.find("1:2:1:1:2:5:10:7"), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  Trace t(1);
+  t.record(0, State::kRunning, 0, 10);
+  t.clear();
+  EXPECT_TRUE(t.timeline(0).empty());
+  EXPECT_EQ(t.span_end(), 0);
+}
+
+TEST(StateNames, Stable) {
+  EXPECT_STREQ(to_string(State::kRunning), "Running");
+  EXPECT_STREQ(to_string(State::kSync), "Synchronization");
+  EXPECT_STREQ(to_string(State::kScheduling), "Scheduling and Fork/Join");
+}
+
+}  // namespace
+}  // namespace aid::trace

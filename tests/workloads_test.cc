@@ -1,0 +1,240 @@
+// workloads/: kernel correctness, profile construction, registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/kernels.h"
+#include "workloads/workload.h"
+
+namespace aid::workloads {
+namespace {
+
+namespace k = kernels;
+
+TEST(Kernels, BlackScholesKnownValue) {
+  // Canonical textbook case: S=100, K=100, r=5%, sigma=20%, T=1y.
+  const double call = k::black_scholes(100, 100, 0.05, 0.2, 1.0, true);
+  const double put = k::black_scholes(100, 100, 0.05, 0.2, 1.0, false);
+  EXPECT_NEAR(call, 10.4506, 1e-3);
+  EXPECT_NEAR(put, 5.5735, 1e-3);
+  // Put-call parity: C - P = S - K e^{-rT}.
+  EXPECT_NEAR(call - put, 100.0 - 100.0 * std::exp(-0.05), 1e-9);
+}
+
+TEST(Kernels, StencilPreservesConstantField) {
+  k::Grid2D g;
+  g.width = 8;
+  g.height = 8;
+  g.cells.assign(64, 3.5);
+  k::Grid2D out = g;
+  for (i64 r = 0; r < 8; ++r) k::stencil2d_row(g, out, r, 0.2);
+  for (double v : out.cells) EXPECT_DOUBLE_EQ(v, 3.5);
+}
+
+TEST(Kernels, Stencil3dPreservesConstantField) {
+  k::Grid3D g;
+  g.width = g.height = g.depth = 4;
+  g.cells.assign(64, -1.25);
+  k::Grid3D out = g;
+  for (i64 p = 0; p < 4; ++p) k::stencil3d_plane(g, out, p, 0.1);
+  for (double v : out.cells) EXPECT_DOUBLE_EQ(v, -1.25);
+}
+
+TEST(Kernels, LaplacianRowSumsAreNonNegative) {
+  const auto m = k::CsrMatrix::laplacian_2d(6);
+  EXPECT_EQ(m.rows, 36);
+  // A * ones: interior rows sum to 0, boundary rows positive.
+  const std::vector<double> ones(36, 1.0);
+  double total = 0.0;
+  for (i64 r = 0; r < m.rows; ++r) {
+    const double v = k::spmv_row(m, ones, r);
+    EXPECT_GE(v, -1e-12);
+    total += v;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Kernels, SpmvIdentityOnUnitVector) {
+  const auto m = k::CsrMatrix::laplacian_2d(4);
+  std::vector<double> e(16, 0.0);
+  e[5] = 1.0;  // interior node
+  EXPECT_DOUBLE_EQ(k::spmv_row(m, e, 5), 4.0);
+  EXPECT_DOUBLE_EQ(k::spmv_row(m, e, 6), -1.0);
+}
+
+TEST(Kernels, TridiagSolveDeterministic) {
+  const double a = k::tridiag_line_solve(3, 64, 0xAB);
+  const double b = k::tridiag_line_solve(3, 64, 0xAB);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NE(a, k::tridiag_line_solve(4, 64, 0xAB));
+  EXPECT_TRUE(std::isfinite(a));
+}
+
+TEST(Kernels, EpAcceptanceRateNearTheory) {
+  // Marsaglia polar accepts with probability pi/4 ~ 0.785.
+  i64 accepted = 0;
+  const i64 n = 20000;
+  double sx = 0.0;
+  double sy = 0.0;
+  for (i64 i = 0; i < n; ++i) accepted += k::ep_pair_accept(0xE9, i, &sx, &sy);
+  const double rate = static_cast<double>(accepted) / static_cast<double>(n);
+  EXPECT_NEAR(rate, 0.785, 0.02);
+}
+
+TEST(Kernels, DftBinZeroIsSignalSum) {
+  // Bin 0 magnitude = |sum of samples|.
+  const i64 n = 128;
+  double sum = 0.0;
+  for (i64 t = 0; t < n; ++t) {
+    // Reconstruct the same samples the kernel uses is not exposed; instead
+    // check bin symmetry: |X[k]| == |X[n-k]| for real signals.
+    (void)t;
+  }
+  sum = k::dft_bin(0, n, 0xF7);
+  EXPECT_TRUE(std::isfinite(sum));
+  EXPECT_NEAR(k::dft_bin(5, n, 0xF7), k::dft_bin(n - 5, n, 0xF7), 1e-9);
+}
+
+TEST(Kernels, HistogramCountsEverything) {
+  const auto batch = k::KeyBatch::generate(1000, 64, 0x15);
+  std::vector<i64> counts(64, 0);
+  k::is_histogram_slice(batch, counts, 0, 1000);
+  i64 total = 0;
+  for (i64 c : counts) total += c;
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(Kernels, BfsReachesNeighbours) {
+  const auto g = k::Graph::random(100, 4, 0xBF5);
+  std::vector<i64> dist(100, -1);
+  dist[0] = 0;
+  std::vector<std::atomic<i64>> next(100);
+  for (usize i = 0; i < 100; ++i) next[i].store(dist[i]);
+  i64 improved = 0;
+  for (i64 v = 0; v < 100; ++v) improved += k::bfs_relax_node(g, dist, next, v);
+  EXPECT_GT(improved, 0);
+  // Node 0's neighbours are now at distance 1.
+  for (i64 e = g.row_ptr[0]; e < g.row_ptr[1]; ++e) {
+    const i64 to = g.adj[static_cast<usize>(e)];
+    if (to != 0) {
+      EXPECT_EQ(next[static_cast<usize>(to)].load(), 1);
+    }
+  }
+}
+
+TEST(Kernels, SortedSearch) {
+  const std::vector<i64> keys{2, 4, 6, 8, 10};
+  EXPECT_EQ(k::sorted_search(keys, 6), 2);
+  EXPECT_EQ(k::sorted_search(keys, 7), -1);
+  EXPECT_EQ(k::sorted_search(keys, 2), 0);
+  EXPECT_EQ(k::sorted_search(keys, 11), -1);
+}
+
+TEST(Kernels, ParticleWeightInUnitInterval) {
+  for (i64 p = 0; p < 100; ++p) {
+    const double w = k::particle_weight(p, 3, 0x9F);
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+TEST(Kernels, KmedianAssignNonNegativeAndTight) {
+  const auto pts = k::PointSet::generate(50, 4, 1);
+  const auto ctrs = k::PointSet::generate(5, 4, 2);
+  for (i64 i = 0; i < 50; ++i) {
+    const double d = k::kmedian_assign(pts, ctrs, i);
+    EXPECT_GE(d, 0.0);
+  }
+  // A point that IS a center has distance 0 to itself.
+  EXPECT_DOUBLE_EQ(k::kmedian_assign(ctrs, ctrs, 3), 0.0);
+}
+
+// ---------------------------------------------------------------- profiles
+
+TEST(Registry, HasAll21PaperBenchmarks) {
+  const auto& all = all_workloads();
+  EXPECT_EQ(all.size(), 21u);
+  EXPECT_EQ(workloads_of_suite("NPB").size(), 7u);
+  EXPECT_EQ(workloads_of_suite("PARSEC").size(), 3u);
+  EXPECT_EQ(workloads_of_suite("Rodinia").size(), 11u);
+  for (const char* name :
+       {"BT", "CG", "EP", "FT", "IS", "LU", "MG", "blackscholes", "bodytrack",
+        "streamcluster", "bfs", "bptree", "CFDEuler3D", "heartwall", "hotspot",
+        "hotspot3D", "lavamd", "leukocyte", "particlefilter", "sradv1",
+        "sradv2"}) {
+    EXPECT_NE(find_workload(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_workload("nonexistent"), nullptr);
+}
+
+TEST(Registry, BtAndCgHaveThirtyLoopsForFig2) {
+  const auto p = platform::odroid_xu4();
+  for (const char* name : {"BT", "CG"}) {
+    const auto model = find_workload(name)->model(p);
+    EXPECT_EQ(model.num_loop_phases(), 30) << name;
+  }
+}
+
+TEST(Profiles, EveryModelBuildsOnBothPlatforms) {
+  for (const auto& platform :
+       {platform::odroid_xu4(), platform::xeon_emulated_amp()}) {
+    for (const auto& w : all_workloads()) {
+      const auto model = w.model(platform, 0.1);
+      EXPECT_FALSE(model.phases.empty()) << w.name();
+      EXPECT_GT(model.total_iterations(), 0) << w.name();
+    }
+  }
+}
+
+TEST(Profiles, LoopSfRespectsPlatformEnvelope) {
+  const auto a = platform::odroid_xu4();
+  const auto b = platform::xeon_emulated_amp();
+  for (const auto& w : all_workloads()) {
+    for (const auto& phase : w.spec().phases) {
+      const auto* lp = std::get_if<LoopSpec>(&phase);
+      if (lp == nullptr) continue;
+      const auto sf_a = loop_sf(a, lp->compute_fraction, lp->contention, false);
+      const auto sf_b = loop_sf(b, lp->compute_fraction, lp->contention, false);
+      EXPECT_DOUBLE_EQ(sf_a[0], 1.0);
+      EXPECT_GT(sf_a[1], 1.0);
+      EXPECT_LE(sf_a[1], 9.0) << w.name() << "/" << lp->name;
+      EXPECT_GE(sf_b[1], 1.5 - 1e-9) << w.name() << "/" << lp->name;
+      EXPECT_LE(sf_b[1], 2.25 + 1e-9) << w.name() << "/" << lp->name;
+    }
+  }
+}
+
+TEST(Profiles, ContentionOnlyErodesFullTeamSf) {
+  const auto a = platform::odroid_xu4();
+  const auto solo = loop_sf(a, 0.95, 0.75, /*full_team=*/false);
+  const auto loaded = loop_sf(a, 0.95, 0.75, /*full_team=*/true);
+  EXPECT_GT(solo[1], 5.0) << "blackscholes-like offline SF (Fig. 9c)";
+  EXPECT_LT(loaded[1], 2.5) << "collapses under the full team";
+}
+
+TEST(Profiles, ScaleShrinksTripCounts) {
+  const auto p = platform::odroid_xu4();
+  const auto* w = find_workload("EP");
+  const auto full = w->model(p, 1.0);
+  const auto tiny = w->model(p, 0.01);
+  EXPECT_LT(tiny.total_iterations(), full.total_iterations() / 50);
+}
+
+TEST(Profiles, ParticlefilterRampShape) {
+  // Paper Sec. 5A: final iterations are heavier than the first.
+  const auto p = platform::odroid_xu4();
+  const auto model = find_workload("particlefilter")->model(p);
+  const sim::LoopPhase* weights = nullptr;
+  for (const auto& phase : model.phases)
+    if (const auto* lp = std::get_if<sim::LoopPhase>(&phase);
+        lp != nullptr && lp->name == "weights")
+      weights = lp;
+  ASSERT_NE(weights, nullptr);
+  const auto& cost = *weights->cost;
+  // shape_param 0.6: the last iteration costs ~1.6x the first.
+  EXPECT_GT(static_cast<double>(cost.iter_cost(weights->trip_count - 1, 0)),
+            1.4 * static_cast<double>(cost.iter_cost(0, 0)));
+}
+
+}  // namespace
+}  // namespace aid::workloads
