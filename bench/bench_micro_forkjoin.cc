@@ -1,0 +1,132 @@
+// Fork/join fast-path microbenchmark (runtime critical path, no simulation).
+//
+// The paper's core claim is that AID adds negligible runtime overhead over
+// libgomp `dynamic`; that only holds if the *runtime's own* fork/join cost
+// is negligible, which is exactly what this bench pins down. For each
+// (nthreads, loop-size, schedule) configuration it measures, per
+// Team::run_loop call:
+//
+//   roundtrip_ns      — full dispatch -> barrier -> return latency;
+//   dispatch_first_ns — master's run_loop entry to the first body
+//                       invocation anywhere in the team;
+//   join_last_ns      — last body invocation's end to run_loop's return.
+//
+// Medians and p95s are printed as a table and emitted as
+// BENCH_micro_forkjoin.json (see bench_util.h) so the before/after effect
+// of runtime changes stays machine-trackable across PRs.
+//
+// Tunables: AID_BENCH_FORKJOIN_RUNS (samples/config, default 300),
+// AID_BENCH_FORKJOIN_MAXTHREADS (default 16, capped sweep 1,2,4,8,16).
+#include <atomic>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/time_source.h"
+#include "platform/platform.h"
+#include "rt/team.h"
+
+namespace {
+
+using namespace aid;
+
+struct LatencySamples {
+  std::vector<double> roundtrip;
+  std::vector<double> dispatch_first;
+  std::vector<double> join_last;
+};
+
+LatencySamples measure(rt::Team& team, i64 count,
+                       const sched::ScheduleSpec& spec, int runs) {
+  const SteadyTimeSource clock;
+  LatencySamples out;
+  std::atomic<Nanos> first_ts{0};
+  std::atomic<Nanos> last_ts{0};
+
+  const rt::RangeBody body = [&](i64, i64, const rt::WorkerInfo&) {
+    Nanos expected = 0;
+    const Nanos now = clock.now();
+    first_ts.compare_exchange_strong(expected, now,
+                                     std::memory_order_relaxed);
+    // Max-update: concurrent finishers must not let an earlier timestamp
+    // overwrite a later one, or join_last_ns absorbs inter-worker skew.
+    const Nanos end = clock.now();
+    Nanos prev = last_ts.load(std::memory_order_relaxed);
+    while (prev < end && !last_ts.compare_exchange_weak(
+                             prev, end, std::memory_order_relaxed)) {
+    }
+  };
+
+  const int warmup = runs / 10 + 5;
+  for (int r = -warmup; r < runs; ++r) {
+    first_ts.store(0, std::memory_order_relaxed);
+    last_ts.store(0, std::memory_order_relaxed);
+    const Nanos t0 = clock.now();
+    team.run_loop(count, spec, body);
+    const Nanos t1 = clock.now();
+    if (r < 0) continue;
+    out.roundtrip.push_back(static_cast<double>(t1 - t0));
+    const Nanos first = first_ts.load(std::memory_order_relaxed);
+    const Nanos last = last_ts.load(std::memory_order_relaxed);
+    if (count > 0 && first != 0) {
+      out.dispatch_first.push_back(static_cast<double>(first - t0));
+      out.join_last.push_back(static_cast<double>(t1 - last));
+    }
+  }
+  return out;
+}
+
+void report(bench::BenchJsonWriter& json, const std::string& config,
+            const char* metric, const std::vector<double>& samples) {
+  if (samples.empty()) return;
+  const bench::SampleSummary s = bench::summarize(samples);
+  std::printf("  %-45s %-18s median %9.0f ns   p95 %9.0f ns\n",
+              config.c_str(), metric, s.median, s.p95);
+  json.add(config, metric, s);
+}
+
+}  // namespace
+
+int main() {
+  const int runs =
+      static_cast<int>(env::get_int("AID_BENCH_FORKJOIN_RUNS", 300));
+  const int max_threads =
+      static_cast<int>(env::get_int("AID_BENCH_FORKJOIN_MAXTHREADS", 16));
+
+  bench::BenchJsonWriter json("micro_forkjoin");
+  std::printf("fork/join fast-path latency (%d runs per config)\n\n", runs);
+
+  const struct {
+    const char* label;
+    sched::ScheduleSpec spec;
+  } specs[] = {
+      {"static", sched::ScheduleSpec::static_even()},
+      {"dynamic16", sched::ScheduleSpec::dynamic(16)},
+  };
+
+  for (int nthreads : {1, 2, 4, 8, 16}) {
+    if (nthreads > max_threads) break;
+    // No throttling: pure runtime cost, no emulated AMP. The platform always
+    // has at least one core of each type (generic_amp's contract); the team
+    // binds the first `nthreads` of them.
+    const auto platform = platform::generic_amp(
+        nthreads - nthreads / 2 > 0 ? nthreads - nthreads / 2 : 1,
+        nthreads / 2 > 0 ? nthreads / 2 : 1, 2.0);
+    rt::Team team(platform, nthreads, platform::Mapping::kBigFirst,
+                  /*emulate_amp=*/false);
+    for (const i64 count : {i64{0}, i64{1} << 10, i64{1} << 14}) {
+      for (const auto& [label, spec] : specs) {
+        if (count == 0 && spec.kind != sched::ScheduleKind::kStatic)
+          continue;  // empty loop: scheduler choice is irrelevant
+        char config[96];
+        std::snprintf(config, sizeof config,
+                      "threads=%d/count=%lld/sched=%s", nthreads,
+                      static_cast<long long>(count), label);
+        const LatencySamples s = measure(team, count, spec, runs);
+        report(json, config, "roundtrip_ns", s.roundtrip);
+        report(json, config, "dispatch_first_ns", s.dispatch_first);
+        report(json, config, "join_last_ns", s.join_last);
+      }
+    }
+  }
+  return 0;
+}

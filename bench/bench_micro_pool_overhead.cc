@@ -17,7 +17,7 @@ namespace {
 using namespace aid;
 
 void BM_WorkShareTake(benchmark::State& state) {
-  sched::WorkShare pool;
+  sched::WorkShare pool;  // google-benchmark locals are per-thread
   pool.reset(1LL << 60);
   for (auto _ : state) {
     benchmark::DoNotOptimize(pool.take(1));
@@ -35,6 +35,20 @@ void BM_WorkShareTakeAdaptive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorkShareTakeAdaptive)->ThreadRange(1, 4)->UseRealTime();
+
+// Endgame-stealing guard: probing a *drained* pool must be a read-only
+// check (no fetch_add hammering, next_ stays bounded) and must not count
+// as a removal.
+void BM_WorkShareTakeDrained(benchmark::State& state) {
+  sched::WorkShare pool;
+  pool.reset(1);
+  (void)pool.take(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.take(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkShareTakeDrained)->ThreadRange(1, 4)->UseRealTime();
 
 void BM_SfEstimatorRecord(benchmark::State& state) {
   sched::SfEstimator estimator(2);

@@ -6,7 +6,13 @@
 //   AID_BENCH_RUNS  — repetitions per measurement (default 5, paper value)
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/env.h"
 #include "harness/experiment.h"
@@ -48,5 +54,108 @@ inline void print_header(const std::string& what,
             << platform.describe()
             << "=====================================================\n\n";
 }
+
+// --- machine-readable results (perf-trajectory tracking) -------------------
+//
+// Benches append {config, metric, median, p95, runs} records to a
+// BenchJsonWriter which serializes them as BENCH_<name>.json (an array of
+// objects, one per measured configuration). Future PRs diff these files to
+// track the perf trajectory. The output directory defaults to the working
+// directory and can be redirected with AID_BENCH_JSON_DIR; setting
+// AID_BENCH_JSON_DIR=- disables writing.
+
+/// Robust order statistics of one measurement series, in the series' unit.
+struct SampleSummary {
+  double median = 0.0;
+  double p95 = 0.0;
+  int runs = 0;
+};
+
+/// Summarize by sorting a copy; `samples` may arrive in any order.
+inline SampleSummary summarize(std::vector<double> samples) {
+  if (samples.empty()) return {};
+  std::sort(samples.begin(), samples.end());
+  const auto at_quantile = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const usize lo = static_cast<usize>(pos);
+    const usize hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] + (samples[hi] - samples[lo]) * frac;
+  };
+  return {at_quantile(0.5), at_quantile(0.95),
+          static_cast<int>(samples.size())};
+}
+
+class BenchJsonWriter {
+ public:
+  /// `bench_name` names the output file: BENCH_<bench_name>.json.
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  ~BenchJsonWriter() { flush(); }
+
+  /// Record one (config, metric) measurement series, e.g.
+  /// add("threads=8/count=0", "roundtrip_ns", summarize(samples)).
+  void add(const std::string& config, const std::string& metric,
+           const SampleSummary& s) {
+    records_.push_back({config, metric, s});
+  }
+
+  /// Write BENCH_<name>.json. Called automatically on destruction; safe to
+  /// call early (subsequent flushes rewrite the full record set).
+  void flush() {
+    const std::string dir = env::get_string("AID_BENCH_JSON_DIR", ".");
+    if (dir == "-" || records_.empty()) return;
+    std::ofstream out(dir + "/BENCH_" + bench_name_ + ".json");
+    if (!out) return;
+    out << "[\n";
+    for (usize i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << "  {\"bench\": \"" << json_str(bench_name_)
+          << "\", \"config\": \"" << json_str(r.config)
+          << "\", \"metric\": \"" << json_str(r.metric)
+          << "\", \"median\": " << json_num(r.summary.median)
+          << ", \"p95\": " << json_num(r.summary.p95)
+          << ", \"runs\": " << r.summary.runs << '}'
+          << (i + 1 < records_.size() ? "," : "") << '\n';
+    }
+    out << "]\n";
+  }
+
+ private:
+  struct Record {
+    std::string config;
+    std::string metric;
+    SampleSummary summary;
+  };
+
+  // JSON has no NaN/Inf literals; degenerate samples serialize as 0.
+  static double json_num(double v) { return std::isfinite(v) ? v : 0.0; }
+
+  // Escape the characters that would break a JSON string literal.
+  static std::string json_str(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
 
 }  // namespace aid::bench

@@ -1,0 +1,44 @@
+// Cache-line isolation for per-thread records.
+//
+// The scheduler hot paths index contiguous arrays by thread id (per-thread
+// scheduler state, per-worker throttles, per-worker dispatch docks, per-slot
+// removal counters). Without padding, neighboring elements share a cache
+// line and every write by one thread invalidates the line under its
+// neighbors — false sharing that scales with the very thread counts the
+// paper's Figs. 6-8 sweep. Padded<T> pads and aligns each element to
+// kCacheLineBytes so element i is the only resident of its line(s).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "common/types.h"
+
+namespace aid {
+
+/// A T in its own cache line(s). Use as the element type of per-thread
+/// arrays: std::vector<Padded<PerThread>>. Access via * / -> / value.
+template <typename T>
+struct alignas(kCacheLineBytes) Padded {
+  Padded() = default;
+
+  /// Forwarding constructor so vectors can emplace_back(args-of-T...).
+  /// Constrained so a single Padded argument still picks the copy/move
+  /// constructor instead of trying T(Padded&).
+  template <typename... Args>
+    requires(!(sizeof...(Args) == 1 &&
+               (std::is_same_v<std::remove_cvref_t<Args>, Padded> && ...)))
+  explicit Padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T value{};
+
+  [[nodiscard]] T& operator*() noexcept { return value; }
+  [[nodiscard]] const T& operator*() const noexcept { return value; }
+  [[nodiscard]] T* operator->() noexcept { return &value; }
+  [[nodiscard]] const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(sizeof(Padded<char>) == kCacheLineBytes);
+static_assert(alignof(Padded<char>) == kCacheLineBytes);
+
+}  // namespace aid

@@ -1,8 +1,8 @@
 #include "rt/team.h"
 
-#include <chrono>
-
 #include "common/check.h"
+#include "common/env.h"
+#include "common/spin_wait.h"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -35,7 +35,12 @@ Team::Team(const platform::Platform& platform, int nthreads,
       layout_(platform_, nthreads > 0 ? nthreads : platform_.num_cores(),
               mapping),
       sf_clock_(sf_cpu_time ? static_cast<const TimeSource*>(&cpu_clock_)
-                            : static_cast<const TimeSource*>(&clock_)) {
+                            : static_cast<const TimeSource*>(&clock_)),
+      docks_(static_cast<usize>(layout_.nthreads() - 1)),
+      spin_budget_(static_cast<i32>(env::get_int(
+          "AID_FORKJOIN_SPIN", default_spin_budget(layout_.nthreads())))),
+      yield_budget_(static_cast<i32>(env::get_int(
+          "AID_FORKJOIN_YIELD", default_yield_budget(layout_.nthreads())))) {
   const double max_speed =
       platform_.speed_of_type(platform_.num_core_types() - 1);
   throttles_.reserve(static_cast<usize>(layout_.nthreads()));
@@ -54,30 +59,87 @@ Team::Team(const platform::Platform& platform, int nthreads,
 }
 
 Team::~Team() {
-  {
-    const std::scoped_lock lock(mutex_);
-    shutting_down_ = true;
-  }
-  job_cv_.notify_all();
+  // Shutdown is the cold path: bump every dock and broadcast on the shared
+  // epoch unconditionally. Workers check shutting_down_ before touching the
+  // job fields.
+  shutting_down_.store(true, std::memory_order_seq_cst);
+  ++job_generation_;
+  for (auto& dock : docks_)
+    dock->gen.store(job_generation_, std::memory_order_seq_cst);
+  epoch_->store(job_generation_, std::memory_order_seq_cst);
+  epoch_->notify_all();
   // jthread joins on destruction.
 }
 
-void Team::worker_main(int tid) {
-  u64 seen_generation = 0;
+u64 Team::wait_for_dispatch(Dock& dock, u64 seen) {
+  u64 g = dock.gen.load(std::memory_order_acquire);
+  if (g != seen) return g;
+
+  // Spin (polling only this worker's own cache line), then yield (donate
+  // the CPU to the master on oversubscribed hosts rather than paying a
+  // futex sleep the master must then wake).
+  if (spin_then_yield(
+          [&] {
+            g = dock.gen.load(std::memory_order_acquire);
+            return g != seen;
+          },
+          spin_budget_, yield_budget_))
+    return g;
+
+  // Block on the shared epoch (one master notify_all wakes the team).
+  // The sleepers_ increment must precede the final generation re-check so
+  // it pairs with the master's publish-then-check-sleepers sequence
+  // (Dekker: either we see the new generation here, or the master sees our
+  // registration and pays the wake syscall).
   for (;;) {
-    {
-      std::unique_lock lock(mutex_);
-      job_cv_.wait(lock, [&] {
-        return shutting_down_ || job_generation_ != seen_generation;
-      });
-      if (shutting_down_) return;
-      seen_generation = job_generation_;
+    const u64 e = epoch_->load(std::memory_order_seq_cst);
+    sleepers_->fetch_add(1, std::memory_order_seq_cst);
+    g = dock.gen.load(std::memory_order_seq_cst);
+    if (g != seen) {
+      sleepers_->fetch_sub(1, std::memory_order_relaxed);
+      return g;
     }
+    epoch_->wait(e, std::memory_order_seq_cst);
+    sleepers_->fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Team::join_workers() {
+  int n = unfinished_->load(std::memory_order_acquire);
+  if (n == 0) return;
+
+  if (spin_then_yield(
+          [&] {
+            return unfinished_->load(std::memory_order_acquire) == 0;
+          },
+          spin_budget_, yield_budget_))
+    return;
+
+  // Mirror of wait_for_dispatch: publish parked, then re-check, so the last
+  // worker's decrement-then-check-parked cannot slip between our check and
+  // our sleep without producing a wake.
+  master_parked_->store(true, std::memory_order_seq_cst);
+  for (;;) {
+    n = unfinished_->load(std::memory_order_seq_cst);
+    if (n == 0) break;
+    unfinished_->wait(n, std::memory_order_seq_cst);
+  }
+  master_parked_->store(false, std::memory_order_relaxed);
+}
+
+void Team::worker_main(int tid) {
+  Dock& dock = *docks_[static_cast<usize>(tid - 1)];
+  u64 seen = 0;
+  for (;;) {
+    seen = wait_for_dispatch(dock, seen);
+    if (shutting_down_.load(std::memory_order_acquire)) return;
     participate(tid);
-    {
-      const std::scoped_lock lock(mutex_);
-      if (--active_workers_ == 0) done_cv_.notify_all();
-    }
+    // Completion barrier check-in. The release ordering (via seq_cst)
+    // publishes this worker's scheduler mutations to the master's stats()
+    // read; the parked check pairs with join_workers' Dekker sequence.
+    if (unfinished_->fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        master_parked_->load(std::memory_order_seq_cst))
+      unfinished_->notify_one();
   }
 }
 
@@ -88,7 +150,7 @@ void Team::participate(int tid) {
       .speed = layout_.speed_of(tid),
       .time = sf_clock_,
   };
-  const Throttle& throttle = throttles_[static_cast<usize>(tid)];
+  const Throttle& throttle = *throttles_[static_cast<usize>(tid)];
   const WorkerInfo info{tid, tc.core_type, tc.speed};
 
   sched::IterRange r;
@@ -106,25 +168,35 @@ void Team::run_loop(i64 count, const sched::ScheduleSpec& spec,
                 "nested/concurrent run_loop is not supported");
 
   auto sched = sched::make_scheduler(spec, count, layout_);
-  {
-    const std::scoped_lock lock(mutex_);
-    job_sched_ = sched.get();
-    job_body_ = &body;
-    active_workers_ = layout_.nthreads() - 1;
+  job_sched_ = sched.get();
+  job_body_ = &body;
+
+  if (docks_.empty() || count == 0) {
+    // Serial fast path: a one-thread team (or an empty loop) has nothing to
+    // dispatch — run the master's participation with zero synchronization.
+    participate(/*tid=*/0);
+  } else {
+    unfinished_->store(static_cast<int>(docks_.size()),
+                       std::memory_order_relaxed);
     ++job_generation_;
-  }
-  job_cv_.notify_all();
+    // Publish per-dock generations first, then the shared epoch, then check
+    // for sleepers: pairs with wait_for_dispatch's register-then-re-check
+    // (Dekker), so the single notify_all syscall is paid only when some
+    // worker actually reached the futex.
+    for (auto& dock : docks_)
+      dock->gen.store(job_generation_, std::memory_order_seq_cst);
+    epoch_->store(job_generation_, std::memory_order_seq_cst);
+    if (sleepers_->load(std::memory_order_seq_cst) != 0)
+      epoch_->notify_all();
 
-  participate(/*tid=*/0);  // the master is team member 0, as in libgomp
-
-  {
-    std::unique_lock lock(mutex_);
-    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
-    job_sched_ = nullptr;
-    job_body_ = nullptr;
+    participate(/*tid=*/0);  // the master is team member 0, as in libgomp
+    join_workers();
   }
+
+  job_sched_ = nullptr;
+  job_body_ = nullptr;
   last_stats_ = sched->stats();
-  in_loop_.store(false);
+  in_loop_.store(false, std::memory_order_release);
 }
 
 }  // namespace aid::rt

@@ -6,6 +6,14 @@
 // GOMP_loop_*_start/next protocol — executes the body on them, and joins an
 // implicit barrier.
 //
+// The fork/join critical path is lock-free in steady state (see
+// src/rt/README.md for the design): dispatch is a per-worker cache-line-
+// padded generation counter (a distributed sense-reversing barrier — each
+// worker's "sense" is the last generation it observed), completion is an
+// atomic countdown, and both sides wait by bounded spinning with CPU-relax
+// hints before blocking in std::atomic::wait (futex). No mutex or
+// condition variable exists anywhere in the runtime.
+//
 // Thread-to-core semantics come from a TeamLayout (SB/BS mapping). On hosts
 // that are not real AMPs, per-worker Throttles emulate the asymmetry
 // (rt/throttle.h); on a real AMP, enable AID_BIND_THREADS and disable
@@ -13,13 +21,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/padded.h"
 #include "common/time_source.h"
 #include "platform/team_layout.h"
 #include "rt/runtime_config.h"
@@ -79,27 +86,55 @@ class Team {
   }
 
  private:
+  /// One worker's dispatch mailbox, alone in its cache line (via Padded):
+  /// the generation of the last job published to this worker. The worker's
+  /// wait condition is gen != last-seen (the sense-reversal), and its spin
+  /// phase polls only this private line. Blocking happens on the *shared*
+  /// epoch_ word instead, so one futex broadcast wakes the whole team.
+  struct Dock {
+    std::atomic<u64> gen{0};
+  };
+
   void worker_main(int tid);
   void participate(int tid);
+
+  /// Worker side: spin-then-block until `dock.gen` leaves `seen`; returns
+  /// the new generation.
+  u64 wait_for_dispatch(Dock& dock, u64 seen);
+
+  /// Master side: spin-then-block until every worker has checked into the
+  /// completion barrier (unfinished_ == 0).
+  void join_workers();
 
   platform::Platform platform_;
   platform::TeamLayout layout_;
   SteadyTimeSource clock_;
   ThreadCpuTimeSource cpu_clock_;
   const TimeSource* sf_clock_;  // what the schedulers' sampling observes
-  std::vector<Throttle> throttles_;
+  std::vector<Padded<Throttle>> throttles_;
 
-  // Job dispatch: master publishes {scheduler, body} under the mutex and
-  // bumps the generation; workers wake, participate, and count down.
-  std::mutex mutex_;
-  std::condition_variable job_cv_;
-  std::condition_variable done_cv_;
-  u64 job_generation_ = 0;
-  bool shutting_down_ = false;
+  // Job dispatch: the master writes {job_sched_, job_body_} (plain stores),
+  // then publishes the new generation into every dock and finally into
+  // epoch_ with release-or-stronger stores; a worker's acquire read of its
+  // dock's generation makes the job fields visible. Workers that exhaust
+  // their spin budget sleep in epoch_.wait() (futex) after bumping
+  // sleepers_ — the master pays one notify_all syscall only when
+  // sleepers_ != 0. Completion: each worker decrements unfinished_
+  // (release); the master's acquire read of zero makes all scheduler
+  // mutations visible before stats() is read. Steady state takes no lock.
+  u64 job_generation_ = 0;  // master-only
   sched::LoopScheduler* job_sched_ = nullptr;
   const RangeBody* job_body_ = nullptr;
-  int active_workers_ = 0;
+  std::atomic<bool> shutting_down_{false};
+  Padded<std::atomic<u64>> epoch_;        // workers' shared sleep channel
+  Padded<std::atomic<int>> sleepers_;     // workers blocked in epoch_.wait
+  Padded<std::atomic<int>> unfinished_;   // completion countdown
+  Padded<std::atomic<bool>> master_parked_;
+  std::vector<Padded<Dock>> docks_;  // worker tid t uses docks_[t - 1]
   std::atomic<bool> in_loop_{false};  // reentrancy guard
+  i32 spin_budget_ = 0;   // cpu_relax budget before yielding/blocking
+  i32 yield_budget_ = 0;  // sched_yield budget before blocking (see
+                          // common/spin_wait.h: oversubscribed hosts only)
 
   sched::SchedulerStats last_stats_;
   std::vector<std::jthread> workers_;

@@ -11,7 +11,8 @@ AidBlockScheduler::AidBlockScheduler(i64 count,
                                      i64 chunk, double aid_fraction,
                                      std::optional<double> offline_sf,
                                      std::string name)
-    : estimator_(layout.num_core_types()),
+    : pool_(layout.nthreads()),
+      estimator_(layout.num_core_types()),
       count_(count),
       chunk_(chunk > 0 ? chunk : 1),
       aid_fraction_(aid_fraction),
@@ -41,7 +42,7 @@ void AidBlockScheduler::reset(i64 count) {
   count_ = count;
   pool_.reset(count);
   estimator_.reset(nthreads_);
-  for (auto& pt : per_thread_) pt = PerThread{};
+  for (auto& pt : per_thread_) *pt = PerThread{};
   k_ = 0.0;
   reported_sf_ = 0.0;
   aid_ready_.store(false, std::memory_order_release);
@@ -55,7 +56,7 @@ void AidBlockScheduler::reset(i64 count) {
     k_ = aid_k(aid_fraction_ * static_cast<double>(count_), threads_per_type_,
                sf_);
     reported_sf_ = sf_.back();
-    for (auto& pt : per_thread_) pt.state = State::kAid;
+    for (auto& pt : per_thread_) pt->state = State::kAid;
     aid_ready_.store(true, std::memory_order_release);
   }
 }
@@ -88,7 +89,7 @@ bool AidBlockScheduler::take_aid_block(ThreadContext& tc, PerThread& pt,
   pt.state = State::kDrain;
   const i64 want = target_of_type(tc.core_type) - pt.delta;
   if (want >= 1) {
-    const IterRange r = pool_.take(want);
+    const IterRange r = pool_.take(want, tc.tid);
     if (!r.empty()) {
       out = r;
       return true;
@@ -96,11 +97,11 @@ bool AidBlockScheduler::take_aid_block(ThreadContext& tc, PerThread& pt,
     return false;  // pool exhausted: loop over for this thread
   }
   // Thread already covered its share while waiting; fall through to drain.
-  return drain(out);
+  return drain(out, tc.tid);
 }
 
-bool AidBlockScheduler::drain(IterRange& out) {
-  const IterRange r = pool_.take(chunk_);
+bool AidBlockScheduler::drain(IterRange& out, int tid) {
+  const IterRange r = pool_.take(chunk_, tid);
   if (r.empty()) return false;
   out = r;
   return true;
@@ -108,12 +109,12 @@ bool AidBlockScheduler::drain(IterRange& out) {
 
 bool AidBlockScheduler::next(ThreadContext& tc, IterRange& out) {
   AID_DCHECK(tc.tid >= 0 && tc.tid < nthreads_);
-  PerThread& pt = per_thread_[static_cast<usize>(tc.tid)];
+  PerThread& pt = *per_thread_[static_cast<usize>(tc.tid)];
 
   switch (pt.state) {
     case State::kSampling: {
       pt.sample_start = tc.now();
-      const IterRange r = pool_.take(chunk_);
+      const IterRange r = pool_.take(chunk_, tc.tid);
       if (r.empty()) {
         // Loop smaller than the team's sampling demand: this thread has
         // nothing to sample. Still contribute to the completion count so
@@ -139,7 +140,7 @@ bool AidBlockScheduler::next(ThreadContext& tc, IterRange& out) {
     case State::kWait: {
       if (!aid_ready_.load(std::memory_order_acquire)) {
         // SAMPLING_WAIT: keep the core busy with dynamic chunk steals.
-        const IterRange r = pool_.take(chunk_);
+        const IterRange r = pool_.take(chunk_, tc.tid);
         if (r.empty()) return false;
         pt.delta += r.size();
         out = r;
@@ -153,7 +154,7 @@ bool AidBlockScheduler::next(ThreadContext& tc, IterRange& out) {
       return take_aid_block(tc, pt, out);
 
     case State::kDrain:
-      return drain(out);
+      return drain(out, tc.tid);
   }
   AID_CHECK(false);
   return false;

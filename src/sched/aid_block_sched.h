@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/padded.h"
 #include "sched/loop_scheduler.h"
 #include "sched/sf_estimator.h"
 #include "sched/work_share.h"
@@ -49,6 +50,9 @@ class AidBlockScheduler final : public LoopScheduler {
   void reset(i64 count) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] SchedulerStats stats() const override;
+  [[nodiscard]] i64 pool_removals_of(int tid) const override {
+    return pool_.removals_of(tid);
+  }
 
   /// The per-thread AID target for a core type (SF_t·k, rounded), exposed
   /// for tests of the distribution math.
@@ -68,7 +72,9 @@ class AidBlockScheduler final : public LoopScheduler {
     kDrain,          // hybrid tail / rounding leftovers: dynamic stealing
   };
 
-  struct alignas(kCacheLineBytes) PerThread {
+  /// Mutated only by its owning thread; stored as Padded<PerThread> so
+  /// neighbors never false-share a cache line.
+  struct PerThread {
     State state = State::kSampling;
     Nanos sample_start = 0;
     i64 sampled = 0;  ///< iterations in the sampling chunk
@@ -77,7 +83,7 @@ class AidBlockScheduler final : public LoopScheduler {
 
   void finalize(ThreadContext& tc);
   bool take_aid_block(ThreadContext& tc, PerThread& pt, IterRange& out);
-  bool drain(IterRange& out);
+  bool drain(IterRange& out, int tid);
 
   WorkShare pool_;
   SfEstimator estimator_;
@@ -98,7 +104,7 @@ class AidBlockScheduler final : public LoopScheduler {
   const int nthreads_;
   std::vector<int> threads_per_type_;
   std::vector<double> nominal_speed_;
-  std::vector<PerThread> per_thread_;
+  std::vector<Padded<PerThread>> per_thread_;
 };
 
 }  // namespace aid::sched

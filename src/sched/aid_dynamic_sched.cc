@@ -10,7 +10,8 @@ AidDynamicScheduler::AidDynamicScheduler(i64 count,
                                          const platform::TeamLayout& layout,
                                          i64 minor_chunk, i64 major_chunk,
                                          bool endgame_enabled)
-    : estimator_(layout.num_core_types()),
+    : pool_(layout.nthreads()),
+      estimator_(layout.num_core_types()),
       count_(count),
       minor_chunk_(minor_chunk > 0 ? minor_chunk : 1),
       major_chunk_(major_chunk > 0 ? major_chunk : 5),
@@ -36,7 +37,7 @@ void AidDynamicScheduler::reset(i64 count) {
   count_ = count;
   pool_.reset(count);
   estimator_.reset(nthreads_);
-  for (auto& pt : per_thread_) pt = PerThread{};
+  for (auto& pt : per_thread_) *pt = PerThread{};
   for (auto& r : ratio_) r = 1.0;
   reported_sf_ = 0.0;
   phases_completed_.store(0, std::memory_order_relaxed);
@@ -60,9 +61,9 @@ void AidDynamicScheduler::close_phase() {
   epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
-bool AidDynamicScheduler::steal_minor(PerThread& pt, IterRange& out,
+bool AidDynamicScheduler::steal_minor(PerThread& pt, int tid, IterRange& out,
                                       bool count_delta) {
-  const IterRange r = pool_.take(minor_chunk_);
+  const IterRange r = pool_.take(minor_chunk_, tid);
   if (r.empty()) return false;
   if (count_delta) pt.delta += r.size();
   out = r;
@@ -77,7 +78,7 @@ bool AidDynamicScheduler::enter_phase(ThreadContext& tc, PerThread& pt,
   if (should_endgame()) {
     endgame_.store(true, std::memory_order_release);
     pt.state = State::kWait;
-    return steal_minor(pt, out, /*count_delta=*/false);
+    return steal_minor(pt, tc.tid, out, /*count_delta=*/false);
   }
 
   const double r_t = ratio_[static_cast<usize>(tc.core_type)];
@@ -91,10 +92,10 @@ bool AidDynamicScheduler::enter_phase(ThreadContext& tc, PerThread& pt,
     pt.delta = -want;
     if (estimator_.record(tc.core_type, 0, 0)) close_phase();
     pt.state = State::kWait;
-    return steal_minor(pt, out, /*count_delta=*/true);
+    return steal_minor(pt, tc.tid, out, /*count_delta=*/true);
   }
   pt.delta = 0;
-  const IterRange r = pool_.take(want);
+  const IterRange r = pool_.take(want, tc.tid);
   if (r.empty()) {
     // Pool drained under us; still count the phase contribution so peers
     // are not stalled, then end this worker's loop.
@@ -111,7 +112,7 @@ bool AidDynamicScheduler::enter_phase(ThreadContext& tc, PerThread& pt,
 
 bool AidDynamicScheduler::next(ThreadContext& tc, IterRange& out) {
   AID_DCHECK(tc.tid >= 0 && tc.tid < nthreads_);
-  PerThread& pt = per_thread_[static_cast<usize>(tc.tid)];
+  PerThread& pt = *per_thread_[static_cast<usize>(tc.tid)];
 
   if (endgame_.load(std::memory_order_acquire)) {
     // Terminal mode: conventional dynamic(m) to the end of the loop.
@@ -123,13 +124,13 @@ bool AidDynamicScheduler::next(ThreadContext& tc, IterRange& out) {
         close_phase();
       pt.state = State::kWait;
     }
-    return steal_minor(pt, out, /*count_delta=*/false);
+    return steal_minor(pt, tc.tid, out, /*count_delta=*/false);
   }
 
   switch (pt.state) {
     case State::kSampling: {
       pt.block_start = tc.now();
-      const IterRange r = pool_.take(minor_chunk_);
+      const IterRange r = pool_.take(minor_chunk_, tc.tid);
       if (r.empty()) {
         if (estimator_.record(tc.core_type, 0, 0)) close_phase();
         pt.state = State::kWait;
@@ -156,7 +157,7 @@ bool AidDynamicScheduler::next(ThreadContext& tc, IterRange& out) {
         return enter_phase(tc, pt, out);
       }
       // Phase still in flight elsewhere: keep the core busy with m-steals.
-      return steal_minor(pt, out, /*count_delta=*/true);
+      return steal_minor(pt, tc.tid, out, /*count_delta=*/true);
     }
   }
   AID_CHECK(false);

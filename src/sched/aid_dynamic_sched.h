@@ -25,6 +25,7 @@
 #include <atomic>
 #include <vector>
 
+#include "common/padded.h"
 #include "sched/loop_scheduler.h"
 #include "sched/sf_estimator.h"
 #include "sched/work_share.h"
@@ -45,6 +46,9 @@ class AidDynamicScheduler final : public LoopScheduler {
     return "aid-dynamic";
   }
   [[nodiscard]] SchedulerStats stats() const override;
+  [[nodiscard]] i64 pool_removals_of(int tid) const override {
+    return pool_.removals_of(tid);
+  }
 
   /// Current per-type progress ratios R_t (R of the slowest type == 1);
   /// exposed for tests. Only stable between phases.
@@ -61,7 +65,9 @@ class AidDynamicScheduler final : public LoopScheduler {
     kWait,       // between phases: steal m, watch the epoch
   };
 
-  struct alignas(kCacheLineBytes) PerThread {
+  /// Mutated only by its owning thread; stored as Padded<PerThread> so
+  /// neighbors never false-share a cache line.
+  struct PerThread {
     State state = State::kSampling;
     Nanos block_start = 0;
     i64 block_iters = 0;
@@ -78,7 +84,7 @@ class AidDynamicScheduler final : public LoopScheduler {
   /// `out` was filled.
   bool enter_phase(ThreadContext& tc, PerThread& pt, IterRange& out);
 
-  bool steal_minor(PerThread& pt, IterRange& out, bool count_delta);
+  bool steal_minor(PerThread& pt, int tid, IterRange& out, bool count_delta);
 
   [[nodiscard]] bool should_endgame() const {
     return endgame_enabled_ && pool_.remaining() <= major_chunk_ * nthreads_;
@@ -101,7 +107,7 @@ class AidDynamicScheduler final : public LoopScheduler {
   const int nthreads_;
   std::vector<int> threads_per_type_;
   std::vector<double> nominal_speed_;
-  std::vector<PerThread> per_thread_;
+  std::vector<Padded<PerThread>> per_thread_;
 };
 
 }  // namespace aid::sched

@@ -4,14 +4,14 @@
 
 namespace aid::sched {
 
-DynamicScheduler::DynamicScheduler(i64 count, i64 chunk)
-    : chunk_(chunk > 0 ? chunk : 1) {
+DynamicScheduler::DynamicScheduler(i64 count, i64 chunk, int nthreads)
+    : pool_(nthreads), chunk_(chunk > 0 ? chunk : 1) {
   AID_CHECK(count >= 0);
   pool_.reset(count);
 }
 
-bool DynamicScheduler::next(ThreadContext&, IterRange& out) {
-  out = pool_.take(chunk_);
+bool DynamicScheduler::next(ThreadContext& tc, IterRange& out) {
+  out = pool_.take(chunk_, tc.tid);
   return !out.empty();
 }
 

@@ -15,12 +15,17 @@ namespace aid::sched {
 
 class DynamicScheduler final : public LoopScheduler {
  public:
-  DynamicScheduler(i64 count, i64 chunk);
+  /// `nthreads` sizes the pool's per-thread removal counters (callers pass
+  /// layout.nthreads()).
+  DynamicScheduler(i64 count, i64 chunk, int nthreads);
 
   bool next(ThreadContext& tc, IterRange& out) override;
   void reset(i64 count) override;
   [[nodiscard]] std::string_view name() const override { return "dynamic"; }
   [[nodiscard]] SchedulerStats stats() const override;
+  [[nodiscard]] i64 pool_removals_of(int tid) const override {
+    return pool_.removals_of(tid);
+  }
 
  private:
   WorkShare pool_;

@@ -9,7 +9,7 @@ namespace aid::sched {
 WeightedFactoringScheduler::WeightedFactoringScheduler(
     i64 count, const platform::TeamLayout& layout,
     std::vector<double> weights)
-    : weights_(std::move(weights)) {
+    : pool_(layout.nthreads()), weights_(std::move(weights)) {
   AID_CHECK(count >= 0);
   if (weights_.empty()) {
     weights_.reserve(static_cast<usize>(layout.nthreads()));
@@ -29,11 +29,13 @@ bool WeightedFactoringScheduler::next(ThreadContext& tc, IterRange& out) {
   AID_DCHECK(tc.tid >= 0 &&
              tc.tid < static_cast<int>(weights_.size()));
   const double w = weights_[static_cast<usize>(tc.tid)];
-  out = pool_.take_adaptive([this, w](i64 remaining) {
-    const i64 want = static_cast<i64>(std::llround(
-        static_cast<double>(remaining) * w / (2.0 * weight_sum_)));
-    return want > 0 ? want : 1;
-  });
+  out = pool_.take_adaptive(
+      [this, w](i64 remaining) {
+        const i64 want = static_cast<i64>(std::llround(
+            static_cast<double>(remaining) * w / (2.0 * weight_sum_)));
+        return want > 0 ? want : 1;
+      },
+      tc.tid);
   return !out.empty();
 }
 

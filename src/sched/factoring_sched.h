@@ -39,6 +39,9 @@ class WeightedFactoringScheduler final : public LoopScheduler {
     return "weighted-factoring";
   }
   [[nodiscard]] SchedulerStats stats() const override;
+  [[nodiscard]] i64 pool_removals_of(int tid) const override {
+    return pool_.removals_of(tid);
+  }
 
   [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
 

@@ -17,7 +17,8 @@ std::unique_ptr<LoopScheduler> make_scheduler(
     case ScheduleKind::kStatic:
       return std::make_unique<StaticScheduler>(count, layout, spec.chunk);
     case ScheduleKind::kDynamic:
-      return std::make_unique<DynamicScheduler>(count, spec.effective_chunk());
+      return std::make_unique<DynamicScheduler>(count, spec.effective_chunk(),
+                                                layout.nthreads());
     case ScheduleKind::kGuided:
       return std::make_unique<GuidedScheduler>(count, layout,
                                                spec.effective_chunk());

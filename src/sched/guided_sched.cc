@@ -6,16 +6,20 @@ namespace aid::sched {
 
 GuidedScheduler::GuidedScheduler(i64 count,
                                  const platform::TeamLayout& layout, i64 chunk)
-    : chunk_(chunk > 0 ? chunk : 1), nthreads_(layout.nthreads()) {
+    : pool_(layout.nthreads()),
+      chunk_(chunk > 0 ? chunk : 1),
+      nthreads_(layout.nthreads()) {
   AID_CHECK(count >= 0);
   pool_.reset(count);
 }
 
-bool GuidedScheduler::next(ThreadContext&, IterRange& out) {
-  out = pool_.take_adaptive([this](i64 remaining) {
-    const i64 q = remaining / nthreads_;
-    return q > chunk_ ? q : chunk_;
-  });
+bool GuidedScheduler::next(ThreadContext& tc, IterRange& out) {
+  out = pool_.take_adaptive(
+      [this](i64 remaining) {
+        const i64 q = remaining / nthreads_;
+        return q > chunk_ ? q : chunk_;
+      },
+      tc.tid);
   return !out.empty();
 }
 

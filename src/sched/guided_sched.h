@@ -22,6 +22,9 @@ class GuidedScheduler final : public LoopScheduler {
   void reset(i64 count) override;
   [[nodiscard]] std::string_view name() const override { return "guided"; }
   [[nodiscard]] SchedulerStats stats() const override;
+  [[nodiscard]] i64 pool_removals_of(int tid) const override {
+    return pool_.removals_of(tid);
+  }
 
  private:
   WorkShare pool_;

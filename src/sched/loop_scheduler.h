@@ -48,6 +48,16 @@ class LoopScheduler {
   [[nodiscard]] virtual std::string_view name() const = 0;
   [[nodiscard]] virtual SchedulerStats stats() const = 0;
 
+  /// Successful pool removals attributed to one thread. The simulator
+  /// polls this after every next() call to detect pool touches — it must
+  /// stay O(1), not walk all per-thread counter slots like
+  /// stats().pool_removals does. Pool-backed schedulers override it;
+  /// the default covers schedulers that never touch a pool.
+  [[nodiscard]] virtual i64 pool_removals_of(int tid) const {
+    (void)tid;
+    return 0;
+  }
+
  protected:
   LoopScheduler() = default;
 };

@@ -9,7 +9,8 @@ namespace aid::sched {
 TrapezoidScheduler::TrapezoidScheduler(i64 count,
                                        const platform::TeamLayout& layout,
                                        i64 first_chunk, i64 last_chunk)
-    : nthreads_(layout.nthreads()),
+    : pool_(layout.nthreads()),
+      nthreads_(layout.nthreads()),
       requested_first_(first_chunk),
       requested_last_(last_chunk) {
   AID_CHECK(count >= 0);
@@ -44,9 +45,15 @@ i64 TrapezoidScheduler::chunk_size(i64 k) const {
   return rounded > last_ ? rounded : last_;
 }
 
-bool TrapezoidScheduler::next(ThreadContext&, IterRange& out) {
+bool TrapezoidScheduler::next(ThreadContext& tc, IterRange& out) {
+  // Probe the drain first so an exhausted pool stops advancing the chunk
+  // index (and the index fetch_add) once the loop is over.
+  if (pool_.remaining() == 0) {
+    out = {pool_.end(), pool_.end()};
+    return false;
+  }
   const i64 k = chunk_index_.fetch_add(1, std::memory_order_relaxed);
-  out = pool_.take(chunk_size(k));
+  out = pool_.take(chunk_size(k), tc.tid);
   return !out.empty();
 }
 

@@ -26,6 +26,9 @@ class TrapezoidScheduler final : public LoopScheduler {
   void reset(i64 count) override;
   [[nodiscard]] std::string_view name() const override { return "trapezoid"; }
   [[nodiscard]] SchedulerStats stats() const override;
+  [[nodiscard]] i64 pool_removals_of(int tid) const override {
+    return pool_.removals_of(tid);
+  }
 
   /// Size of the k-th dispensed chunk (exposed for tests):
   /// max(last, first - k * delta) with delta = (first-last)/(C-1),

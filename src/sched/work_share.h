@@ -3,10 +3,22 @@
 // As in libgomp (paper Sec. 4.2): `next` tracks the first unassigned
 // iteration and `end` the loop bound; removal is a single lock-free
 // fetch-and-add, with the caller clamping the result against `end`.
+//
+// Contention hardening beyond libgomp:
+//  * check-before-fetch_add — a drained pool is detected with a read-only
+//    acquire load, so endgame stealing (every AID wait window hammers the
+//    pool until it drains) stops issuing contended RMWs and `next_` stays
+//    bounded instead of growing by `want` per failed probe;
+//  * per-thread removal counters — the success count the paper's overhead
+//    metric is proportional to lives in one cache-line-padded slot per
+//    thread (aggregated in removals()), so the hot path performs exactly
+//    one *contended* atomic op: the fetch_add on `next_`.
 #pragma once
 
 #include <atomic>
+#include <vector>
 
+#include "common/padded.h"
 #include "common/types.h"
 #include "sched/iteration_space.h"
 
@@ -14,23 +26,33 @@ namespace aid::sched {
 
 class alignas(kCacheLineBytes) WorkShare {
  public:
-  WorkShare() = default;
+  /// `nthreads` sizes the per-thread removal-counter slots; take()'s tid
+  /// must stay below it. A default-constructed pool has one slot (serial
+  /// use in tests/benches).
+  explicit WorkShare(int nthreads = 1)
+      : removals_(static_cast<usize>(nthreads > 0 ? nthreads : 1)) {}
 
   /// Arm the pool for a loop of `count` canonical iterations.
   void reset(i64 count) {
     end_ = count;
-    removals_.store(0, std::memory_order_relaxed);
+    for (auto& slot : removals_) slot->store(0, std::memory_order_relaxed);
     next_.store(0, std::memory_order_release);
   }
 
   /// Atomically remove up to `want` iterations. Returns the removed range
   /// (possibly clamped, possibly empty when the pool is exhausted).
-  /// This is the hot path: exactly one fetch_add, no CAS loop.
-  IterRange take(i64 want) {
+  /// This is the hot path: one read-only drain check, then exactly one
+  /// contended fetch_add; the removal count lands in the caller's own slot.
+  IterRange take(i64 want, int tid = 0) {
     AID_DCHECK(want >= 1);
+    // Always-on bound check: a mis-sized pool must fail loudly, not corrupt
+    // the heap through the counter slot (predicted branch, ~free).
+    AID_CHECK(tid >= 0 && static_cast<usize>(tid) < removals_.size());
+    if (next_.load(std::memory_order_acquire) >= end_) return {end_, end_};
     const i64 begin = next_.fetch_add(want, std::memory_order_acq_rel);
-    removals_.fetch_add(1, std::memory_order_relaxed);
-    if (begin >= end_) return {end_, end_};
+    if (begin >= end_) return {end_, end_};  // lost the drain race: no take
+    removals_[static_cast<usize>(tid)]->fetch_add(
+        1, std::memory_order_relaxed);
     const i64 stop = begin + want < end_ ? begin + want : end_;
     return {begin, stop};
   }
@@ -38,7 +60,8 @@ class alignas(kCacheLineBytes) WorkShare {
   /// Remove with a size that must be recomputed from the remaining count
   /// (guided scheduling). `want_of(remaining)` returns the desired chunk.
   template <typename WantFn>
-  IterRange take_adaptive(WantFn&& want_of) {
+  IterRange take_adaptive(WantFn&& want_of, int tid = 0) {
+    AID_CHECK(tid >= 0 && static_cast<usize>(tid) < removals_.size());
     i64 cur = next_.load(std::memory_order_acquire);
     while (cur < end_) {
       const i64 want = want_of(end_ - cur);
@@ -46,7 +69,8 @@ class alignas(kCacheLineBytes) WorkShare {
       const i64 stop = cur + want < end_ ? cur + want : end_;
       if (next_.compare_exchange_weak(cur, stop, std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
-        removals_.fetch_add(1, std::memory_order_relaxed);
+        removals_[static_cast<usize>(tid)]->fetch_add(
+            1, std::memory_order_relaxed);
         return {cur, stop};
       }
     }
@@ -62,16 +86,29 @@ class alignas(kCacheLineBytes) WorkShare {
 
   [[nodiscard]] i64 end() const { return end_; }
 
-  /// Number of successful pool-removal operations (the paper's runtime
-  /// overhead is proportional to this count).
+  /// Number of *successful* pool removals (the paper's runtime overhead is
+  /// proportional to this count); probes that found the pool drained are
+  /// not removals. Aggregates the per-thread slots — a stats-path cost,
+  /// not a hot-path one.
   [[nodiscard]] i64 removals() const {
-    return removals_.load(std::memory_order_relaxed);
+    i64 sum = 0;
+    for (const auto& slot : removals_)
+      sum += slot->load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// One thread's successful-removal count (single padded load; the
+  /// simulator polls this per scheduler call instead of the full sum).
+  [[nodiscard]] i64 removals_of(int tid) const {
+    AID_CHECK(tid >= 0 && static_cast<usize>(tid) < removals_.size());
+    return removals_[static_cast<usize>(tid)]->load(
+        std::memory_order_relaxed);
   }
 
  private:
   std::atomic<i64> next_{0};
   i64 end_ = 0;
-  std::atomic<i64> removals_{0};
+  std::vector<Padded<std::atomic<i64>>> removals_;  // one slot per thread
 };
 
 }  // namespace aid::sched

@@ -81,7 +81,12 @@ LoopResult LoopSimulator::run(sched::LoopScheduler& sched, i64 count,
     };
   }
 
-  i64 removals_seen = sched.stats().pool_removals;
+  // Per-tid last-seen removal counts: the scheduler call below can only
+  // add removals to the invoked tid's slot, so polling that one slot
+  // (O(1)) detects pool touches without summing every per-thread counter.
+  std::vector<i64> removals_seen(static_cast<usize>(n));
+  for (int t = 0; t < n; ++t)
+    removals_seen[static_cast<usize>(t)] = sched.pool_removals_of(t);
   int remaining_workers = n;
 
   while (remaining_workers > 0) {
@@ -100,9 +105,9 @@ LoopResult LoopSimulator::run(sched::LoopScheduler& sched, i64 count,
     const Nanos call_begin = clk.t;
     sched::IterRange r;
     const bool got = sched.next(ctx[ut], r);
-    const i64 removals_now = sched.stats().pool_removals;
-    const bool touched_pool = removals_now != removals_seen;
-    removals_seen = removals_now;
+    const i64 removals_now = sched.pool_removals_of(tid);
+    const bool touched_pool = removals_now != removals_seen[ut];
+    removals_seen[ut] = removals_now;
 
     const Nanos call_cost = overhead_.call_cost(touched_pool, n);
     clk.t += call_cost;

@@ -61,7 +61,31 @@ TEST(WorkShare, SequentialTakeClampsAtEnd) {
   EXPECT_EQ(pool.take(4), (IterRange{4, 8}));
   EXPECT_EQ(pool.take(4), (IterRange{8, 10})) << "clamped";
   EXPECT_TRUE(pool.take(4).empty());
-  EXPECT_EQ(pool.removals(), 4);
+  EXPECT_EQ(pool.removals(), 3)
+      << "a probe of an exhausted pool is not a removal";
+  EXPECT_TRUE(pool.take(4).empty());
+  EXPECT_EQ(pool.removals(), 3) << "repeated drained probes stay uncounted";
+}
+
+TEST(WorkShare, DrainedPoolStopsAdvancing) {
+  // The endgame-stealing fix: once drained, probes must not keep growing
+  // next_ (previously it grew by `want` per failed take forever).
+  WorkShare pool;
+  pool.reset(8);
+  (void)pool.take(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(pool.take(1'000'000).empty());
+  EXPECT_EQ(pool.remaining(), 0);
+  EXPECT_EQ(pool.removals(), 1);
+}
+
+TEST(WorkShare, PerThreadRemovalSlotsAggregate) {
+  WorkShare pool(/*nthreads=*/3);
+  pool.reset(9);
+  EXPECT_EQ(pool.take(3, /*tid=*/0).size(), 3);
+  EXPECT_EQ(pool.take(3, /*tid=*/1).size(), 3);
+  EXPECT_EQ(pool.take(3, /*tid=*/2).size(), 3);
+  EXPECT_TRUE(pool.take(3, /*tid=*/1).empty());
+  EXPECT_EQ(pool.removals(), 3);
 }
 
 TEST(WorkShare, RemainingNeverNegative) {

@@ -1,0 +1,145 @@
+// Fork/join stress: many back-to-back run_loop calls across schedulers and
+// thread counts on the lock-free dispatch path (rt/team.cc).
+//
+// The properties under stress:
+//  * exactly-once execution — every canonical iteration of every loop runs
+//    exactly once, for every scheduler, across repeated dispatches on the
+//    same persistent worker team (generation-counter reuse, barrier reuse);
+//  * pool_removals counts only *successful* takes — for plain dynamic the
+//    count is exactly ceil(NI / chunk); for every pool-based scheduler it
+//    can never exceed NI (each success hands out >= 1 iteration), no
+//    matter how often drained-pool probes hammer the endgame.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "platform/platform.h"
+#include "rt/team.h"
+
+namespace aid::rt {
+namespace {
+
+using platform::Mapping;
+using sched::ScheduleSpec;
+
+struct SpecCase {
+  ScheduleSpec spec;
+  bool uses_pool = true;  // false: compiled-away static distribution
+};
+
+std::vector<SpecCase> stress_specs() {
+  return {
+      {ScheduleSpec::static_even(), false},
+      {ScheduleSpec::static_chunked(3), false},
+      {ScheduleSpec::dynamic(1)},
+      {ScheduleSpec::dynamic(7)},
+      {ScheduleSpec::guided(2)},
+      {ScheduleSpec::trapezoid()},
+      {ScheduleSpec::weighted_factoring()},
+      {ScheduleSpec::aid_static(2)},
+      {ScheduleSpec::aid_hybrid(2, 70.0)},
+      {ScheduleSpec::aid_dynamic(1, 5)},
+      {ScheduleSpec::aid_dynamic_no_endgame(2, 6)},
+  };
+}
+
+TEST(ForkJoinStress, BackToBackLoopsCoverExactlyOnce) {
+  constexpr i64 kCount = 501;  // odd: exercises uneven splits
+  constexpr int kLoops = 60;
+  for (const int nthreads : {1, 2, 4, 8}) {
+    Team team(platform::generic_amp(4, 4, 3.0), nthreads, Mapping::kBigFirst,
+              /*emulate_amp=*/false);
+    for (const auto& c : stress_specs()) {
+      std::vector<std::atomic<u16>> hits(kCount);
+      for (int l = 0; l < kLoops; ++l) {
+        for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+        team.run_loop(kCount, c.spec, [&](i64 b, i64 e, const WorkerInfo&) {
+          for (i64 i = b; i < e; ++i)
+            hits[static_cast<usize>(i)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+        });
+        for (i64 i = 0; i < kCount; ++i)
+          ASSERT_EQ(hits[static_cast<usize>(i)].load(), 1)
+              << c.spec.display() << " nthreads=" << nthreads << " loop=" << l
+              << " iteration=" << i;
+      }
+    }
+  }
+}
+
+TEST(ForkJoinStress, DynamicRemovalCountIsExact) {
+  // With removals counted only on success, dynamic(c) performs exactly
+  // ceil(NI / c) removals — drained-pool probes by late workers add zero.
+  Team team(platform::generic_amp(4, 4, 3.0), 8, Mapping::kBigFirst,
+            /*emulate_amp=*/false);
+  for (const i64 chunk : {i64{1}, i64{4}, i64{13}}) {
+    for (const i64 count : {i64{1}, i64{13}, i64{500}, i64{5000}}) {
+      for (int l = 0; l < 10; ++l) {
+        team.run_loop(count, ScheduleSpec::dynamic(chunk),
+                      [](i64, i64, const WorkerInfo&) {});
+        EXPECT_EQ(team.last_loop_stats().pool_removals,
+                  (count + chunk - 1) / chunk)
+            << "chunk=" << chunk << " count=" << count;
+      }
+    }
+  }
+}
+
+TEST(ForkJoinStress, RemovalsNeverExceedIterations) {
+  // Every successful removal hands out at least one iteration, so
+  // pool_removals <= NI for every pool-based scheduler; pure static
+  // distribution performs none at all.
+  constexpr i64 kCount = 777;
+  Team team(platform::generic_amp(4, 4, 3.0), 8, Mapping::kBigFirst,
+            /*emulate_amp=*/false);
+  for (const auto& c : stress_specs()) {
+    for (int l = 0; l < 10; ++l) {
+      team.run_loop(kCount, c.spec, [](i64, i64, const WorkerInfo&) {});
+      const i64 removals = team.last_loop_stats().pool_removals;
+      if (c.uses_pool) {
+        EXPECT_GT(removals, 0) << c.spec.display();
+        EXPECT_LE(removals, kCount) << c.spec.display();
+      } else {
+        EXPECT_EQ(removals, 0) << c.spec.display();
+      }
+    }
+  }
+}
+
+TEST(ForkJoinStress, EmptyAndTinyLoopsTerminate) {
+  // The serial fast path (count == 0 skips dispatch entirely) and loops
+  // smaller than the team must still terminate and cover exactly once.
+  Team team(platform::generic_amp(4, 4, 3.0), 8, Mapping::kBigFirst,
+            /*emulate_amp=*/false);
+  for (const auto& c : stress_specs()) {
+    for (const i64 count : {i64{0}, i64{1}, i64{3}, i64{7}}) {
+      std::atomic<i64> executed{0};
+      team.run_loop(count, c.spec, [&](i64 b, i64 e, const WorkerInfo&) {
+        executed.fetch_add(e - b);
+      });
+      EXPECT_EQ(executed.load(), count) << c.spec.display();
+    }
+  }
+}
+
+TEST(ForkJoinStress, AlternatingThreadCountsViaSeparateTeams) {
+  // Two teams over the same platform, dispatched alternately: dispatch
+  // generations and completion barriers must not bleed across teams.
+  Team big(platform::generic_amp(4, 4, 3.0), 8, Mapping::kBigFirst,
+           /*emulate_amp=*/false);
+  Team small(platform::generic_amp(4, 4, 3.0), 3, Mapping::kSmallFirst,
+             /*emulate_amp=*/false);
+  std::atomic<i64> total{0};
+  for (int l = 0; l < 50; ++l) {
+    Team& team = (l % 2 == 0) ? big : small;
+    team.run_loop(64, ScheduleSpec::dynamic(2),
+                  [&](i64 b, i64 e, const WorkerInfo&) {
+                    total.fetch_add(e - b);
+                  });
+  }
+  EXPECT_EQ(total.load(), 50 * 64);
+}
+
+}  // namespace
+}  // namespace aid::rt

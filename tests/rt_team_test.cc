@@ -121,11 +121,15 @@ TEST(Team, AidSamplingEstimatesThrottledAsymmetry) {
   // a compute-heavy body. The CI host is tiny and oversubscribed, so a
   // single sample can be inverted by preemption — take the best of several
   // attempts and only require that asymmetry was observable at least once.
+  // The loop must be long enough to outlive the host's thread-wakeup
+  // latency: on a one-CPU box the master can otherwise drain the whole
+  // pool before the small-core workers ever run, leaving them nothing to
+  // sample (all-zero samples degenerate to SF == 1).
   Team team(platform::generic_amp(2, 2, 3.0), 4, Mapping::kBigFirst,
             /*emulate_amp=*/true);
   double best_sf = 0.0;
-  for (int attempt = 0; attempt < 5 && best_sf <= 1.2; ++attempt) {
-    team.run_loop(2000, ScheduleSpec::aid_static(8),
+  for (int attempt = 0; attempt < 8 && best_sf <= 1.2; ++attempt) {
+    team.run_loop(12000, ScheduleSpec::aid_static(8),
                   [](i64 b, i64 e, const WorkerInfo&) {
                     for (i64 i = b; i < e; ++i) spin_work(400);
                   });
