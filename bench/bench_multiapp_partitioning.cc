@@ -19,6 +19,7 @@ int main() {
   bench::print_header(
       "Multi-application partitioning (Sec. 4.3 extension)", full);
   const auto params = bench::params_for(full);
+  bench::BenchJsonWriter json("multiapp_partitioning");
 
   // OS partition shapes for an app co-running with one neighbour.
   struct Partition {
@@ -49,6 +50,16 @@ int main() {
       const double t_static = run(sched::ScheduleSpec::static_even());
       const double t_dynamic = run(sched::ScheduleSpec::dynamic(1));
       const double t_aid = run(sched::ScheduleSpec::aid_static(1));
+      // Machine-readable record per (app, partition): completion times and
+      // the AID-vs-static gain, for perf-trajectory diffs across PRs. The
+      // simulator is deterministic, so each cell is a single sample.
+      const std::string config =
+          std::string(app_name) + "/" + part.label;
+      json.add(config, "static_ms", bench::summarize({t_static / 1e6}));
+      json.add(config, "dynamic1_ms", bench::summarize({t_dynamic / 1e6}));
+      json.add(config, "aid_static_ms", bench::summarize({t_aid / 1e6}));
+      json.add(config, "aid_gain_vs_static_pct",
+               bench::summarize({(t_static / t_aid - 1.0) * 100.0}));
       table.row()
           .cell(std::string(part.label))
           .cell(static_cast<i64>(nthreads))

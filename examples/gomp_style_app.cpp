@@ -63,7 +63,10 @@ int main() {
 
   AppData data;
   data.batch = workloads::kernels::KeyBatch::generate(kKeys, kMaxKey, 0x6011);
-  data.bins.assign(static_cast<usize>(runtime.team().nthreads()),
+  // Size per-thread bins by the machine, not the current partition: under
+  // AID_POOL the lease may grow between this query and the parallel
+  // region (tids are always < num_cores; unused bins merge as zeros).
+  data.bins.assign(static_cast<usize>(runtime.platform().num_cores()),
                    std::vector<i64>(kMaxKey, 0));
 
   const auto t0 = std::chrono::steady_clock::now();

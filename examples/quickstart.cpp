@@ -40,22 +40,25 @@ int main() {
   // AID-static samples each core type online, estimates the loop's
   // big-to-small speedup factor (SF) and hands every thread a block
   // proportional to its measured speed (paper Sec. 4.2, Fig. 3).
-  rt::Team& team = runtime.team();
   std::vector<int> who(kN);
-  team.parallel_for(0, kN, 1, sched::ScheduleSpec::aid_static(1),
-                    [&](i64 i, const rt::WorkerInfo& w) {
-                      who[static_cast<usize>(i)] = w.tid;
-                    });
-  std::vector<i64> per_thread(static_cast<usize>(team.nthreads()), 0);
+  runtime.parallel_for(0, kN, 1, sched::ScheduleSpec::aid_static(1),
+                       [&](i64 i, const rt::WorkerInfo& w) {
+                         who[static_cast<usize>(i)] = w.tid;
+                       });
+  // Sized by the machine: under AID_POOL the partition (and so the tids
+  // recorded in `who`) may differ from nthreads() sampled after the loop.
+  std::vector<i64> per_thread(
+      static_cast<usize>(runtime.platform().num_cores()), 0);
   for (int tid : who) ++per_thread[static_cast<usize>(tid)];
 
-  const auto stats = team.last_loop_stats();
+  const auto stats = runtime.last_loop_stats();
   std::printf("\nAID-static distribution (estimated SF %.2f):\n",
               stats.estimated_sf);
-  for (int tid = 0; tid < team.nthreads(); ++tid) {
+  const platform::TeamLayout layout = runtime.layout();
+  for (int tid = 0; tid < layout.nthreads(); ++tid) {
     std::printf("  tid %d on core %d (%s): %lld iterations\n", tid,
-                team.layout().core_of(tid),
-                team.layout().core_type_of(tid) ==
+                layout.core_of(tid),
+                layout.core_type_of(tid) ==
                         runtime.platform().num_core_types() - 1
                     ? "big"
                     : "small",
@@ -69,12 +72,12 @@ int main() {
   const auto heavy_body = [&](i64 i, const rt::WorkerInfo&) {
     squares[static_cast<usize>(i)] += static_cast<double>(spin_work(500));
   };
-  team.parallel_for(0, kWorkIters, 1, sched::ScheduleSpec::dynamic(1),
-                    heavy_body);
-  const i64 dynamic_removals = team.last_loop_stats().pool_removals;
-  team.parallel_for(0, kWorkIters, 1, sched::ScheduleSpec::aid_dynamic(1, 8),
-                    heavy_body);
-  const i64 aid_removals = team.last_loop_stats().pool_removals;
+  runtime.parallel_for(0, kWorkIters, 1, sched::ScheduleSpec::dynamic(1),
+                       heavy_body);
+  const i64 dynamic_removals = runtime.last_loop_stats().pool_removals;
+  runtime.parallel_for(0, kWorkIters, 1,
+                       sched::ScheduleSpec::aid_dynamic(1, 8), heavy_body);
+  const i64 aid_removals = runtime.last_loop_stats().pool_removals;
   std::printf("\nsame loop, %lld iterations: dynamic,1 made %lld pool "
               "removals; AID-dynamic(1,8) made %lld\n",
               static_cast<long long>(kWorkIters),

@@ -58,7 +58,13 @@ Platform Platform::subset(const std::vector<int>& count_per_type,
                 "subset needs one count per core type");
   std::vector<CoreCluster> kept;
   for (usize t = 0; t < clusters_.size(); ++t) {
-    AID_CHECK(count_per_type[t] >= 0 && count_per_type[t] <= clusters_[t].count);
+    // Same diagnostic style as TeamLayout's explicit allotment: say which
+    // per-type count is infeasible and against what bound.
+    AID_CHECK_MSG(count_per_type[t] >= 0 && count_per_type[t] <= clusters_[t].count,
+                  ("subset: count " + std::to_string(count_per_type[t]) +
+                   " for type " + std::to_string(t) + " (" + clusters_[t].name +
+                   ") outside [0, " + std::to_string(clusters_[t].count) + "]")
+                      .c_str());
     if (count_per_type[t] == 0) continue;
     CoreCluster c = clusters_[t];
     c.count = count_per_type[t];

@@ -41,12 +41,24 @@ TeamLayout::TeamLayout(const Platform& platform, int nthreads,
   AID_CHECK_MSG(nthreads >= 1, "team needs at least one thread");
   AID_CHECK_MSG(nthreads <= platform.num_cores(), "oversubscription");
   const int big_type = platform.num_core_types() - 1;
-  AID_CHECK_MSG(threads_on_big >= 0 &&
-                    threads_on_big <= platform.cores_of_type(big_type),
-                "allotment exceeds the big cluster");
-  AID_CHECK_MSG(nthreads - threads_on_big <=
-                    platform.num_cores() - platform.cores_of_type(big_type),
-                "leftover threads do not fit outside the big cluster");
+  const int big_cores = platform.cores_of_type(big_type);
+  // Two distinct ways an explicit allotment can be infeasible; report which
+  // constraint failed and with what values, not a bare check.
+  AID_CHECK_MSG(threads_on_big >= 0 && threads_on_big <= big_cores,
+                ("explicit allotment: threads_on_big=" +
+                 std::to_string(threads_on_big) +
+                 " outside [0, big-cluster size " +
+                 std::to_string(big_cores) + "]")
+                    .c_str());
+  const int leftover = nthreads - threads_on_big;
+  const int non_big_cores = platform.num_cores() - big_cores;
+  AID_CHECK_MSG(leftover <= non_big_cores,
+                ("explicit allotment: " + std::to_string(leftover) +
+                 " leftover thread(s) (nthreads=" + std::to_string(nthreads) +
+                 " - threads_on_big=" + std::to_string(threads_on_big) +
+                 ") do not fit on the " + std::to_string(non_big_cores) +
+                 " core(s) outside the big cluster")
+                    .c_str());
 
   core_of_.resize(static_cast<usize>(nthreads));
   core_type_of_.resize(static_cast<usize>(nthreads));
@@ -59,6 +71,45 @@ TeamLayout::TeamLayout(const Platform& platform, int nthreads,
     // the rest ascend from core 0 (small).
     const int core = tid < threads_on_big ? platform.num_cores() - 1 - tid
                                           : tid - threads_on_big;
+    const int type = platform.core_type_of(core);
+    core_of_[static_cast<usize>(tid)] = core;
+    core_type_of_[static_cast<usize>(tid)] = type;
+    speed_of_[static_cast<usize>(tid)] = platform.speed_of_type(type);
+    ++threads_of_type_[static_cast<usize>(type)];
+  }
+}
+
+TeamLayout::TeamLayout(const Platform& platform, std::vector<int> cores,
+                       Mapping mapping)
+    : mapping_(mapping) {
+  AID_CHECK_MSG(!cores.empty(), "partition layout needs at least one core");
+  // Core ids ascend with speed (Platform stores clusters slowest-first), so
+  // mapping reduces to a sort direction on the id: SB ascending (tid 0 on
+  // the slowest granted core), BS descending (tid 0 on the fastest).
+  std::sort(cores.begin(), cores.end());
+  for (usize i = 0; i < cores.size(); ++i) {
+    AID_CHECK_MSG(cores[i] >= 0 && cores[i] < platform.num_cores(),
+                  ("partition layout: core id " + std::to_string(cores[i]) +
+                   " outside platform [0, " +
+                   std::to_string(platform.num_cores()) + ")")
+                      .c_str());
+    AID_CHECK_MSG(i == 0 || cores[i] != cores[i - 1],
+                  ("partition layout: duplicate core id " +
+                   std::to_string(cores[i]))
+                      .c_str());
+  }
+  if (mapping == Mapping::kBigFirst)
+    std::reverse(cores.begin(), cores.end());
+
+  const int nthreads = static_cast<int>(cores.size());
+  core_of_.resize(static_cast<usize>(nthreads));
+  core_type_of_.resize(static_cast<usize>(nthreads));
+  speed_of_.resize(static_cast<usize>(nthreads));
+  threads_of_type_.assign(static_cast<usize>(platform.num_core_types()), 0);
+  for (const auto& c : platform.clusters()) type_names_.push_back(c.name);
+
+  for (int tid = 0; tid < nthreads; ++tid) {
+    const int core = cores[static_cast<usize>(tid)];
     const int type = platform.core_type_of(core);
     core_of_[static_cast<usize>(tid)] = core;
     core_type_of_[static_cast<usize>(tid)] = type;

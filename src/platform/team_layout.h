@@ -39,6 +39,17 @@ class TeamLayout {
   /// leftover threads must fit on the remaining cores.
   TeamLayout(const Platform& platform, int nthreads, int threads_on_big);
 
+  /// Re-layout over an explicit set of platform core ids — the pool
+  /// manager's partition view (src/pool/): an app leases an arbitrary
+  /// subset of the machine's cores and threads are assigned to exactly
+  /// those. `cores` must be non-empty, in range, and duplicate-free.
+  /// BS assigns tid 0 the fastest (highest-id) core, descending; SB the
+  /// slowest (lowest-id) core, ascending — consistent with the whole-
+  /// machine constructors, so AID's "low tids on big cores" convention
+  /// holds on any partition.
+  TeamLayout(const Platform& platform, std::vector<int> cores,
+             Mapping mapping);
+
   [[nodiscard]] int nthreads() const { return static_cast<int>(core_of_.size()); }
   [[nodiscard]] int num_core_types() const {
     return static_cast<int>(threads_of_type_.size());

@@ -1,0 +1,157 @@
+#include "pool/policy.h"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace aid::pool {
+namespace {
+
+/// Split `total` items across apps proportionally to `share` (largest-
+/// remainder rounding; ties go to the lower app index, keeping the result
+/// deterministic in registration order).
+std::vector<int> split_proportional(int total, const std::vector<double>& share) {
+  const usize n = share.size();
+  const double sum = std::accumulate(share.begin(), share.end(), 0.0);
+  std::vector<int> out(n, 0);
+  std::vector<std::pair<double, usize>> frac;  // (-remainder, app)
+  int assigned = 0;
+  for (usize a = 0; a < n; ++a) {
+    const double ideal = static_cast<double>(total) * share[a] / sum;
+    out[a] = static_cast<int>(ideal);
+    assigned += out[a];
+    frac.emplace_back(-(ideal - static_cast<double>(out[a])), a);
+  }
+  std::sort(frac.begin(), frac.end());
+  for (usize i = 0; assigned < total; ++i, ++assigned) ++out[frac[i].second];
+  return out;
+}
+
+/// Move one core (of the donor's most-populated type) from the app holding
+/// the most cores to any app holding none — the "at least one core each"
+/// floor all policies guarantee.
+void enforce_min_one(std::vector<std::vector<int>>& counts) {
+  const usize napps = counts.size();
+  const auto total_of = [&](usize a) {
+    return std::accumulate(counts[a].begin(), counts[a].end(), 0);
+  };
+  for (usize a = 0; a < napps; ++a) {
+    if (total_of(a) > 0) continue;
+    usize donor = a;
+    for (usize b = 0; b < napps; ++b)
+      if (total_of(b) > total_of(donor)) donor = b;
+    AID_CHECK_MSG(total_of(donor) > 1, "more apps than cores");
+    const usize t = static_cast<usize>(
+        std::max_element(counts[donor].begin(), counts[donor].end()) -
+        counts[donor].begin());
+    --counts[donor][t];
+    ++counts[a][t];
+  }
+}
+
+}  // namespace
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::kEqualShare:
+      return "equal-share";
+    case Policy::kBigCorePriority:
+      return "big-core-priority";
+    case Policy::kProportional:
+      return "proportional";
+  }
+  return "?";
+}
+
+bool parse_policy(const std::string& text, Policy& out) {
+  std::string t;
+  t.reserve(text.size());
+  for (char c : text)
+    t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (t == "equal" || t == "equal-share" || t == "equalshare") {
+    out = Policy::kEqualShare;
+    return true;
+  }
+  if (t == "big-priority" || t == "big-core-priority" || t == "bigpriority") {
+    out = Policy::kBigCorePriority;
+    return true;
+  }
+  if (t == "proportional" || t == "prop") {
+    out = Policy::kProportional;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<int>> arbitrate(const std::vector<int>& cores_per_type,
+                                        const std::vector<double>& weights,
+                                        Policy policy) {
+  const usize napps = weights.size();
+  const usize ntypes = cores_per_type.size();
+  AID_CHECK_MSG(napps >= 1, "arbitrate needs at least one app");
+  AID_CHECK_MSG(ntypes >= 1, "arbitrate needs at least one core type");
+  int total_cores = 0;
+  for (int c : cores_per_type) {
+    AID_CHECK(c >= 0);
+    total_cores += c;
+  }
+  AID_CHECK_MSG(static_cast<int>(napps) <= total_cores,
+                "more apps than cores in the pool");
+  for (double w : weights) AID_CHECK_MSG(w > 0.0, "weights must be positive");
+
+  std::vector<std::vector<int>> counts(napps, std::vector<int>(ntypes, 0));
+
+  switch (policy) {
+    case Policy::kEqualShare: {
+      // Per type, even split; the remainder start index rotates with the
+      // type so one app does not collect every type's leftover core.
+      for (usize t = 0; t < ntypes; ++t) {
+        const int base = cores_per_type[t] / static_cast<int>(napps);
+        const int rem = cores_per_type[t] % static_cast<int>(napps);
+        for (usize a = 0; a < napps; ++a) counts[a][t] = base;
+        for (int r = 0; r < rem; ++r)
+          ++counts[(t + static_cast<usize>(r)) % napps][t];
+      }
+      break;
+    }
+    case Policy::kProportional: {
+      for (usize t = 0; t < ntypes; ++t) {
+        const auto split = split_proportional(cores_per_type[t], weights);
+        for (usize a = 0; a < napps; ++a) counts[a][t] = split[a];
+      }
+      break;
+    }
+    case Policy::kBigCorePriority: {
+      // Equal totals, but fill fastest-type-first in descending weight
+      // order: the heavy app's allotment is big-core-rich, the light app's
+      // small-core-rich, while nobody's core *count* differs by more
+      // than one.
+      const std::vector<double> even(napps, 1.0);
+      const auto totals = split_proportional(total_cores, even);
+      std::vector<usize> order(napps);
+      std::iota(order.begin(), order.end(), usize{0});
+      std::stable_sort(order.begin(), order.end(), [&](usize a, usize b) {
+        return weights[a] > weights[b];
+      });
+      std::vector<int> left = cores_per_type;
+      for (const usize a : order) {
+        int need = totals[a];
+        for (usize t = ntypes; t-- > 0 && need > 0;) {
+          const int take = std::min(need, left[t]);
+          counts[a][t] = take;
+          left[t] -= take;
+          need -= take;
+        }
+      }
+      break;
+    }
+  }
+
+  enforce_min_one(counts);
+  return counts;
+}
+
+}  // namespace aid::pool

@@ -1,0 +1,53 @@
+// Core-arbitration policies for the process-wide pool manager.
+//
+// When several applications share one AMP (paper Sec. 5C / the Sec. 4.3
+// OS-coordination scenario), somebody must decide how many big and small
+// cores each app holds. In the paper that somebody is the OS; in this repo
+// the PoolManager plays that role, and this module is its policy head: a
+// pure function from (cores per type, app weights) to a per-app, per-type
+// core count. Keeping it side-effect free makes the arbitration directly
+// unit-testable, independent of threads or the worker pool.
+//
+// Policies:
+//   kEqualShare       — every type's cores split evenly across apps,
+//                       weights ignored (the default; the "fair OS").
+//   kBigCorePriority  — every app gets an equal *total* core count, but
+//                       the fastest cores are packed onto the
+//                       highest-weight apps first (a latency-critical app
+//                       co-running with batch work).
+//   kProportional     — every type's cores split proportionally to the
+//                       app weights (largest-remainder rounding).
+//
+// All policies distribute the whole machine (the pool never leaves a core
+// idle by policy) and guarantee every app at least one core whenever
+// apps <= total cores.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aid::pool {
+
+enum class Policy {
+  kEqualShare,
+  kBigCorePriority,
+  kProportional,
+};
+
+[[nodiscard]] const char* to_string(Policy p);
+
+/// Parse a policy name ("equal"/"equal-share", "big-priority"/
+/// "big-core-priority", "proportional"). Returns true and writes `out` on
+/// success.
+[[nodiscard]] bool parse_policy(const std::string& text, Policy& out);
+
+/// Arbitrate `cores_per_type[t]` cores of each type (slowest-first, the
+/// Platform convention) across `weights.size()` apps. Returns
+/// counts[app][type]; column sums equal `cores_per_type` exactly.
+/// Weights must be positive; apps must number at least 1 and at most the
+/// total core count.
+[[nodiscard]] std::vector<std::vector<int>> arbitrate(
+    const std::vector<int>& cores_per_type, const std::vector<double>& weights,
+    Policy policy);
+
+}  // namespace aid::pool

@@ -1,0 +1,350 @@
+#include "pool/pool_manager.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "rt/runtime.h"
+#include "sched/loop_scheduler.h"
+
+namespace aid::pool {
+namespace {
+
+/// Cores of `type` on the platform, ascending id.
+std::vector<int> cores_of_type(const platform::Platform& p, int type) {
+  std::vector<int> out;
+  const int first = p.first_core_of_type(type);
+  for (int c = first; c < first + p.cores_of_type(type); ++c)
+    out.push_back(c);
+  return out;
+}
+
+}  // namespace
+
+// --- AppHandle -------------------------------------------------------------
+
+AppHandle::~AppHandle() { release(); }
+
+AppHandle::AppHandle(AppHandle&& other) noexcept
+    : mgr_(other.mgr_), id_(other.id_) {
+  other.mgr_ = nullptr;
+}
+
+AppHandle& AppHandle::operator=(AppHandle&& other) noexcept {
+  if (this != &other) {
+    release();
+    mgr_ = other.mgr_;
+    id_ = other.id_;
+    other.mgr_ = nullptr;
+  }
+  return *this;
+}
+
+void AppHandle::release() {
+  if (mgr_ == nullptr) return;
+  mgr_->unregister(id_);
+  mgr_ = nullptr;
+}
+
+void AppHandle::run_loop(i64 count, const sched::ScheduleSpec& spec,
+                         const rt::RangeBody& body) {
+  AID_CHECK_MSG(mgr_ != nullptr, "run_loop on a released app lease");
+  mgr_->run_loop(id_, count, spec, body);
+}
+
+const platform::TeamLayout& AppHandle::begin_region() {
+  AID_CHECK_MSG(mgr_ != nullptr, "begin_region on a released app lease");
+  std::unique_lock lk(mgr_->mutex_);
+  PoolManager::App& a = mgr_->app_of(id_);
+  if (a.region_depth == 0) {
+    // wait() evaluates the predicate (which adopts) before blocking.
+    mgr_->granted_.wait(lk, [&] {
+      mgr_->commit_idle();
+      return !a.current.empty();
+    });
+  }
+  ++a.region_depth;
+  return *a.layout;
+}
+
+void AppHandle::end_region() {
+  AID_CHECK_MSG(mgr_ != nullptr, "end_region on a released app lease");
+  std::scoped_lock lk(mgr_->mutex_);
+  PoolManager::App& a = mgr_->app_of(id_);
+  AID_CHECK_MSG(a.region_depth > 0, "end_region without begin_region");
+  if (--a.region_depth == 0) {
+    mgr_->commit_idle();
+    mgr_->granted_.notify_all();
+  }
+}
+
+platform::TeamLayout AppHandle::layout() const {
+  AID_CHECK_MSG(mgr_ != nullptr, "layout() on a released app lease");
+  std::scoped_lock lk(mgr_->mutex_);
+  const PoolManager::App& a = mgr_->app_of(id_);
+  if (a.layout != nullptr) return *a.layout;
+  // Grant not yet materialized (a draining neighbour still holds the
+  // cores): describe the pending target instead — arbitrate() guarantees
+  // it is non-empty, so nthreads()/allotment() never report a bogus 0
+  // partition in the registration window.
+  return platform::TeamLayout(mgr_->platform_, a.pending,
+                              platform::Mapping::kBigFirst);
+}
+
+AppAllotment AppHandle::allotment() const {
+  const platform::TeamLayout snapshot = layout();
+  return {snapshot.nb(), snapshot.ns()};
+}
+
+const rt::SharedAllotment& AppHandle::shared() const {
+  AID_CHECK_MSG(mgr_ != nullptr, "shared() on a released app lease");
+  std::scoped_lock lk(mgr_->mutex_);
+  return *mgr_->app_of(id_).shared;
+}
+
+sched::SchedulerStats AppHandle::last_loop_stats() const {
+  AID_CHECK_MSG(mgr_ != nullptr, "stats on a released app lease");
+  std::scoped_lock lk(mgr_->mutex_);
+  return mgr_->app_of(id_).last_stats;
+}
+
+// --- PoolManager -----------------------------------------------------------
+
+PoolManager& PoolManager::instance() {
+  static PoolManager manager(rt::platform_from_env(), [] {
+    const rt::RuntimeConfig rc = rt::RuntimeConfig::from_env();
+    Config c;
+    // The policy travels through RuntimeConfig as an opaque name (rt/ does
+    // not depend on pool/); unparsable values fall back to the default,
+    // libgomp-style.
+    (void)parse_policy(rc.pool_policy, c.policy);
+    c.emulate_amp = rc.emulate_amp;
+    c.bind_threads = rc.bind_threads;
+    c.sf_cpu_time = rc.sf_cpu_time;
+    return c;
+  }());
+  return manager;
+}
+
+PoolManager::PoolManager(platform::Platform platform, Config config)
+    : platform_(std::move(platform)),
+      config_(config),
+      pool_(platform_, WorkerPool::Options{config.emulate_amp,
+                                           config.bind_threads,
+                                           config.sf_cpu_time}) {}
+
+PoolManager::~PoolManager() {
+  std::scoped_lock lk(mutex_);
+  AID_CHECK_MSG(apps_.empty(),
+                "PoolManager destroyed with live app leases");
+}
+
+PoolManager::App& PoolManager::app_of(u64 id) {
+  const auto it = apps_.find(id);
+  AID_CHECK_MSG(it != apps_.end(), "unknown app lease");
+  return *it->second;
+}
+
+const PoolManager::App& PoolManager::app_of(u64 id) const {
+  const auto it = apps_.find(id);
+  AID_CHECK_MSG(it != apps_.end(), "unknown app lease");
+  return *it->second;
+}
+
+AppHandle PoolManager::register_app(std::string name, double weight) {
+  std::scoped_lock lk(mutex_);
+  AID_CHECK_MSG(static_cast<int>(apps_.size()) < platform_.num_cores(),
+                "more apps than cores in the pool");
+  const u64 id = next_id_++;
+  auto app = std::make_unique<App>();
+  app->id = id;
+  app->name = std::move(name);
+  app->weight = weight;
+  if (retired_.empty()) {
+    app->shared = std::make_unique<rt::SharedAllotment>();
+    app->job = std::make_unique<PoolJob>();
+  } else {
+    // Recycle a retired app's externally-referenced state (quiescent by
+    // now: its unregister required no loop in flight).
+    app->shared = std::move(retired_.back().shared);
+    app->job = std::move(retired_.back().job);
+    retired_.pop_back();
+  }
+  apps_.emplace(id, std::move(app));
+  compute_targets();
+  commit_idle();
+  granted_.notify_all();
+  return AppHandle(this, id);
+}
+
+void PoolManager::unregister(u64 id) {
+  std::scoped_lock lk(mutex_);
+  App& a = app_of(id);
+  AID_CHECK_MSG(!a.in_loop && a.region_depth == 0,
+                "app lease released with a loop or region in flight");
+  // Workers may still touch the job's completion words briefly after the
+  // app's last join, and observers may hold a shared() reference past
+  // release; park both for recycling instead of freeing.
+  retired_.push_back({std::move(a.shared), std::move(a.job)});
+  apps_.erase(id);
+  if (!apps_.empty()) compute_targets();
+  commit_idle();
+  granted_.notify_all();
+}
+
+void PoolManager::set_policy(Policy policy) {
+  std::scoped_lock lk(mutex_);
+  config_.policy = policy;
+  if (!apps_.empty()) compute_targets();
+  commit_idle();
+  granted_.notify_all();
+}
+
+Policy PoolManager::policy() const {
+  std::scoped_lock lk(mutex_);
+  return config_.policy;
+}
+
+void PoolManager::repartition() {
+  std::scoped_lock lk(mutex_);
+  if (!apps_.empty()) compute_targets();
+  commit_idle();
+  granted_.notify_all();
+}
+
+int PoolManager::registered_apps() const {
+  std::scoped_lock lk(mutex_);
+  return static_cast<int>(apps_.size());
+}
+
+int PoolManager::total_threads() const {
+  std::scoped_lock lk(mutex_);
+  return pool_.spawned_workers() + static_cast<int>(apps_.size());
+}
+
+void PoolManager::compute_targets() {
+  std::vector<App*> apps;  // registration order (map is keyed by id)
+  std::vector<double> weights;
+  for (auto& [id, app] : apps_) {
+    apps.push_back(app.get());
+    weights.push_back(app->weight);
+  }
+  std::vector<int> per_type(static_cast<usize>(platform_.num_core_types()));
+  for (int t = 0; t < platform_.num_core_types(); ++t)
+    per_type[static_cast<usize>(t)] = platform_.cores_of_type(t);
+
+  const auto counts = arbitrate(per_type, weights, config_.policy);
+
+  // Counts -> concrete core ids, sticky: an app first keeps cores it
+  // already holds of each type (fastest-held first, so partition masters
+  // stay put), then free cores fill the remainder in app order.
+  std::vector<bool> taken(static_cast<usize>(platform_.num_cores()), false);
+  std::vector<std::vector<int>> kept(apps.size());
+  for (usize a = 0; a < apps.size(); ++a) {
+    std::vector<int> want = counts[a];
+    std::vector<int> cur = apps[a]->current;  // sorted ascending
+    for (auto it = cur.rbegin(); it != cur.rend(); ++it) {
+      const int type = platform_.core_type_of(*it);
+      if (want[static_cast<usize>(type)] > 0) {
+        --want[static_cast<usize>(type)];
+        kept[a].push_back(*it);
+        taken[static_cast<usize>(*it)] = true;
+      }
+    }
+  }
+  for (usize a = 0; a < apps.size(); ++a) {
+    std::vector<int> want = counts[a];
+    for (const int c : kept[a])
+      --want[static_cast<usize>(platform_.core_type_of(c))];
+    std::vector<int> target = kept[a];
+    for (int t = 0; t < platform_.num_core_types(); ++t) {
+      for (const int c : cores_of_type(platform_, t)) {
+        if (want[static_cast<usize>(t)] == 0) break;
+        if (taken[static_cast<usize>(c)]) continue;
+        taken[static_cast<usize>(c)] = true;
+        target.push_back(c);
+        --want[static_cast<usize>(t)];
+      }
+      AID_CHECK(want[static_cast<usize>(t)] == 0);
+    }
+    std::sort(target.begin(), target.end());
+    apps[a]->pending = std::move(target);
+  }
+}
+
+void PoolManager::adopt(App& app) {
+  // Achievable now = pending minus cores other apps still hold (an in-loop
+  // neighbour releases its revoked cores at its own loop boundary).
+  std::vector<bool> held(static_cast<usize>(platform_.num_cores()), false);
+  for (const auto& [id, other] : apps_) {
+    if (other.get() == &app) continue;
+    for (const int c : other->current) held[static_cast<usize>(c)] = true;
+  }
+  std::vector<int> achievable;
+  for (const int c : app.pending)
+    if (!held[static_cast<usize>(c)]) achievable.push_back(c);
+  // Never adopt an empty partition while waiting for a neighbour to drain;
+  // keep what we have until the grant materializes.
+  if (achievable.empty()) return;
+  if (achievable == app.current) return;
+
+  app.current = std::move(achievable);
+  app.layout = std::make_unique<platform::TeamLayout>(
+      platform_, app.current, platform::Mapping::kBigFirst);
+  ++allotment_epoch_;
+  app.shared->publish({app.layout->nb(), allotment_epoch_});
+}
+
+void PoolManager::commit_idle() {
+  // Fixpoint: adopting a shrink frees cores that let a later grow succeed,
+  // so iterate until nothing moves. Bounded by total core transfers.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [id, app] : apps_) {
+      if (app->in_loop || app->region_depth > 0) continue;
+      const std::vector<int> before = app->current;
+      adopt(*app);
+      if (app->current != before) changed = true;
+    }
+  }
+}
+
+void PoolManager::run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
+                           const rt::RangeBody& body) {
+  const platform::TeamLayout* layout = nullptr;
+  PoolJob* job = nullptr;
+  {
+    std::unique_lock lk(mutex_);
+    App& a = app_of(id);
+    AID_CHECK_MSG(!a.in_loop,
+                  "nested/concurrent run_loop on one app lease");
+    if (a.region_depth == 0) {
+      // The loop boundary: adopt pending grants/revokes (the wait's
+      // predicate runs before blocking), and if every one of our granted
+      // cores is still held by a draining neighbour, wait for its
+      // boundary.
+      granted_.wait(lk, [&] {
+        commit_idle();
+        return !a.current.empty();
+      });
+    }
+    AID_CHECK_MSG(!a.current.empty(), "app lease holds no cores");
+    a.in_loop = true;
+    layout = a.layout.get();
+    job = a.job.get();
+  }
+
+  auto scheduler = sched::make_scheduler(spec, count, *layout);
+  pool_.run_loop(*layout, count, *scheduler, body, *job);
+
+  {
+    std::scoped_lock lk(mutex_);
+    App& a = app_of(id);
+    a.last_stats = scheduler->stats();
+    a.in_loop = false;
+    if (a.region_depth == 0) commit_idle();
+    granted_.notify_all();
+  }
+}
+
+}  // namespace aid::pool

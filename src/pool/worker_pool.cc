@@ -1,0 +1,184 @@
+#include "pool/worker_pool.h"
+
+#include "common/affinity.h"
+#include "common/check.h"
+#include "common/env.h"
+#include "common/spin_wait.h"
+
+namespace aid::pool {
+
+WorkerPool::WorkerPool(const platform::Platform& platform, Options options)
+    : platform_(platform),
+      options_(options),
+      sf_clock_(options.sf_cpu_time
+                    ? static_cast<const TimeSource*>(&cpu_clock_)
+                    : static_cast<const TimeSource*>(&clock_)),
+      slots_(static_cast<usize>(platform_.num_cores())),
+      spin_budget_(static_cast<i32>(env::get_int(
+          "AID_FORKJOIN_SPIN", default_spin_budget(platform_.num_cores())))),
+      yield_budget_(static_cast<i32>(env::get_int(
+          "AID_FORKJOIN_YIELD",
+          default_yield_budget(platform_.num_cores())))) {
+  const double max_speed =
+      platform_.speed_of_type(platform_.num_core_types() - 1);
+  for (int core = 0; core < platform_.num_cores(); ++core)
+    slots_[static_cast<usize>(core)].throttle = rt::Throttle(
+        max_speed / platform_.speed_of_core(core), options_.emulate_amp);
+}
+
+WorkerPool::~WorkerPool() {
+  // Cold path, mirroring Team's shutdown: bump every spawned dock and
+  // broadcast on the shared epoch. Workers check shutting_down_ before
+  // touching job fields. The PoolManager guarantees no loop is in flight.
+  shutting_down_.store(true, std::memory_order_seq_cst);
+  for (auto& slot : slots_) {
+    if (!slot.spawned) continue;
+    Dock& dock = *slot.dock;
+    dock.gen.store(dock.gen.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_seq_cst);
+  }
+  epoch_->fetch_add(1, std::memory_order_seq_cst);
+  epoch_->notify_all();
+  for (auto& slot : slots_)
+    if (slot.worker.joinable()) slot.worker.join();
+}
+
+void WorkerPool::spawn(CoreSlot& slot, int core_id) {
+  slot.spawned = true;
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  const bool bind = options_.bind_threads;
+  slot.worker = std::thread([this, &slot, core_id, bind] {
+    if (bind) try_bind_to_core(core_id);
+    worker_main(slot);
+  });
+}
+
+u64 WorkerPool::wait_for_dispatch(Dock& dock, u64 seen) {
+  u64 g = dock.gen.load(std::memory_order_acquire);
+  if (g != seen) return g;
+
+  if (spin_then_yield(
+          [&] {
+            g = dock.gen.load(std::memory_order_acquire);
+            return g != seen;
+          },
+          spin_budget_, yield_budget_))
+    return g;
+
+  // Same Dekker pairing as Team::wait_for_dispatch — register as sleeper,
+  // re-check the dock, then sleep on the shared epoch. With several
+  // masters the epoch advances on every dispatch by anybody, so a worker
+  // may wake for a job that is not its own; it simply re-checks its dock
+  // and sleeps again (spurious wakes are correctness-neutral).
+  for (;;) {
+    const u64 e = epoch_->load(std::memory_order_seq_cst);
+    sleepers_->fetch_add(1, std::memory_order_seq_cst);
+    g = dock.gen.load(std::memory_order_seq_cst);
+    if (g != seen) {
+      sleepers_->fetch_sub(1, std::memory_order_relaxed);
+      return g;
+    }
+    epoch_->wait(e, std::memory_order_seq_cst);
+    sleepers_->fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void WorkerPool::worker_main(CoreSlot& slot) {
+  Dock& dock = *slot.dock;
+  u64 seen = 0;
+  for (;;) {
+    seen = wait_for_dispatch(dock, seen);
+    if (shutting_down_.load(std::memory_order_acquire)) return;
+    // job/tid were written before the generation's release-store; the
+    // acquire read in wait_for_dispatch makes them visible.
+    PoolJob& job = *dock.job;
+    participate(job, dock.tid, slot.throttle);
+    if (job.unfinished->fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        job.master_parked->load(std::memory_order_seq_cst))
+      job.unfinished->notify_one();
+  }
+}
+
+void WorkerPool::participate(PoolJob& job, int tid,
+                             const rt::Throttle& throttle) {
+  const platform::TeamLayout& layout = *job.layout;
+  sched::ThreadContext tc{
+      .tid = tid,
+      .core_type = layout.core_type_of(tid),
+      .speed = layout.speed_of(tid),
+      .time = sf_clock_,
+  };
+  const rt::WorkerInfo info{tid, tc.core_type, tc.speed};
+
+  sched::IterRange r;
+  while (job.sched->next(tc, r)) {
+    const Nanos t0 = clock_.now();
+    (*job.body)(r.begin, r.end, info);
+    throttle.pay(clock_.now() - t0);
+  }
+}
+
+void WorkerPool::join(PoolJob& job) {
+  std::atomic<int>& unfinished = *job.unfinished;
+  int n = unfinished.load(std::memory_order_acquire);
+  if (n == 0) return;
+
+  if (spin_then_yield(
+          [&] { return unfinished.load(std::memory_order_acquire) == 0; },
+          spin_budget_, yield_budget_))
+    return;
+
+  job.master_parked->store(true, std::memory_order_seq_cst);
+  for (;;) {
+    n = unfinished.load(std::memory_order_seq_cst);
+    if (n == 0) break;
+    unfinished.wait(n, std::memory_order_seq_cst);
+  }
+  job.master_parked->store(false, std::memory_order_relaxed);
+}
+
+void WorkerPool::run_loop(const platform::TeamLayout& layout, i64 count,
+                          sched::LoopScheduler& sched,
+                          const rt::RangeBody& body, PoolJob& job) {
+  AID_CHECK(count >= 0);
+  const int n = layout.nthreads();
+  AID_CHECK_MSG(n >= 1, "empty partition");
+
+  job.sched = &sched;
+  job.body = &body;
+  job.layout = &layout;
+
+  CoreSlot& master_slot = slots_[static_cast<usize>(layout.core_of(0))];
+  if (options_.bind_threads) try_bind_to_core(layout.core_of(0));
+
+  if (n == 1 || count == 0) {
+    // Serial fast path: a single-core partition (or an empty loop) has
+    // nothing to dispatch — the master participates alone.
+    participate(job, /*tid=*/0, master_slot.throttle);
+  } else {
+    job.unfinished->store(n - 1, std::memory_order_relaxed);
+    for (int tid = 1; tid < n; ++tid) {
+      CoreSlot& slot = slots_[static_cast<usize>(layout.core_of(tid))];
+      Dock& dock = *slot.dock;
+      dock.job = &job;
+      dock.tid = tid;
+      dock.gen.store(dock.gen.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_seq_cst);
+      // Lazy spawn: the thread starts after the dock is published, so its
+      // first acquire read already sees the job (thread creation orders
+      // the prior stores).
+      if (!slot.spawned) spawn(slot, layout.core_of(tid));
+    }
+    epoch_->fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_->load(std::memory_order_seq_cst) != 0) epoch_->notify_all();
+
+    participate(job, /*tid=*/0, master_slot.throttle);
+    join(job);
+  }
+
+  job.sched = nullptr;
+  job.body = nullptr;
+  job.layout = nullptr;
+}
+
+}  // namespace aid::pool

@@ -1,0 +1,124 @@
+// Process-wide worker pool: one lazily-spawned persistent worker per
+// platform core, dispatchable per *partition*.
+//
+// Team (rt/team.h) owns a private set of workers sized to one app; the
+// WorkerPool instead owns at most one worker per platform core and lets a
+// caller run a loop on any subset of cores (a TeamLayout built over an
+// explicit core list). Two apps holding disjoint partitions dispatch
+// concurrently without sharing any synchronization beyond the sleep epoch.
+//
+// The dispatch mechanism is PR 1's generation dock, per core instead of per
+// team thread: each core slot has a cache-line-padded {generation, job,
+// local tid} mailbox. Publishing a job to a partition writes the job
+// pointer and the worker's partition-local tid into each member dock, then
+// release-stores the bumped generation. Repartitioning therefore needs no
+// thread teardown — a revoked core simply stops having jobs published to
+// its dock and its worker parks on the shared epoch futex.
+//
+// The calling thread (the app's master) participates as partition tid 0 on
+// layout.core_of(0), exactly like Team's master: single-core partitions
+// run fully serial with zero dispatches, and serial phases run inside the
+// partition's core budget.
+//
+// Ownership contract (enforced by PoolManager, assumed here): at any
+// moment each core is published to by at most one master, and ownership of
+// a core moves between masters only while no job is in flight on it. The
+// pool itself is mechanism, not policy.
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/padded.h"
+#include "common/time_source.h"
+#include "platform/platform.h"
+#include "platform/team_layout.h"
+#include "rt/team.h"
+#include "rt/throttle.h"
+#include "sched/loop_scheduler.h"
+
+namespace aid::pool {
+
+/// One in-flight loop of one app. The caller owns the object and must keep
+/// it alive until the pool shuts down (workers touch `unfinished` /
+/// `master_parked` briefly after the master's run_loop returns; the
+/// PoolManager parks retired jobs instead of freeing them).
+struct PoolJob {
+  sched::LoopScheduler* sched = nullptr;
+  const rt::RangeBody* body = nullptr;
+  const platform::TeamLayout* layout = nullptr;
+  Padded<std::atomic<int>> unfinished;
+  Padded<std::atomic<bool>> master_parked;
+};
+
+class WorkerPool {
+ public:
+  struct Options {
+    bool emulate_amp = true;   ///< throttle small cores on symmetric hosts
+    bool bind_threads = false; ///< best-effort per-core affinity
+    bool sf_cpu_time = false;  ///< schedulers sample per-thread CPU time
+  };
+
+  WorkerPool(const platform::Platform& platform, Options options);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Execute `count` canonical iterations of `sched`/`body` on the
+  /// partition described by `layout` (core ids are platform core ids).
+  /// The calling thread participates as tid 0; tids 1.. are dispatched to
+  /// the workers owning those cores (spawned on first use). Blocks until
+  /// the partition's implicit barrier completes.
+  void run_loop(const platform::TeamLayout& layout, i64 count,
+                sched::LoopScheduler& sched, const rt::RangeBody& body,
+                PoolJob& job);
+
+  [[nodiscard]] const platform::Platform& platform() const {
+    return platform_;
+  }
+
+  /// Worker threads spawned so far (monotonic; never exceeds num_cores).
+  [[nodiscard]] int spawned_workers() const {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-core dispatch mailbox. `job`/`tid` are plain fields ordered by the
+  /// release-store of `gen` (single publisher per dock — the owning
+  /// master).
+  struct Dock {
+    std::atomic<u64> gen{0};
+    PoolJob* job = nullptr;
+    int tid = 0;
+  };
+
+  struct CoreSlot {
+    Padded<Dock> dock;
+    rt::Throttle throttle;   // fixed per core, set at pool construction
+    bool spawned = false;    // written only by the core's current owner
+    std::thread worker;
+  };
+
+  void spawn(CoreSlot& slot, int core_id);
+  void worker_main(CoreSlot& slot);
+  void participate(PoolJob& job, int tid, const rt::Throttle& throttle);
+  u64 wait_for_dispatch(Dock& dock, u64 seen);
+  void join(PoolJob& job);
+
+  platform::Platform platform_;
+  Options options_;
+  SteadyTimeSource clock_;
+  ThreadCpuTimeSource cpu_clock_;
+  const TimeSource* sf_clock_;
+  std::vector<CoreSlot> slots_;  // index = platform core id
+  std::atomic<bool> shutting_down_{false};
+  Padded<std::atomic<u64>> epoch_;     // shared sleep channel (all workers)
+  Padded<std::atomic<int>> sleepers_;  // workers blocked in epoch_.wait
+  std::atomic<int> spawned_{0};
+  i32 spin_budget_ = 0;
+  i32 yield_budget_ = 0;
+};
+
+}  // namespace aid::pool

@@ -32,6 +32,10 @@ struct GompTeamState {
   std::map<u64, WorkShareInstance> shares;
   std::barrier<> barrier;
   int team_size;
+  // The layout pinned for this parallel region (Runtime::enter_region):
+  // under AID_POOL the lease may repartition between regions, but within a
+  // region every work share must see one consistent thread-to-core view.
+  const platform::TeamLayout* layout = nullptr;
 };
 
 struct GompTls {
@@ -46,7 +50,7 @@ thread_local GompTls tls;
 SteadyTimeSource g_clock;
 
 sched::ThreadContext context_for(int tid) {
-  const auto& layout = Runtime::instance().team().layout();
+  const auto& layout = *tls.state->layout;
   return {tid, layout.core_type_of(tid), layout.speed_of(tid), &g_clock};
 }
 
@@ -56,21 +60,26 @@ void aid_gomp_parallel(void (*fn)(void*), void* data, unsigned num_threads) {
   AID_CHECK_MSG(fn != nullptr, "aid_gomp_parallel: null function");
   AID_CHECK_MSG(tls.state == nullptr,
                 "nested aid_gomp_parallel is not supported");
-  Team& team = Runtime::instance().team();
+  Runtime& rt = Runtime::instance();
+  // Pin the layout for the region: under AID_POOL this holds the leased
+  // partition stable across every work share inside fn.
+  const platform::TeamLayout& layout = rt.enter_region();
   AID_CHECK_MSG(num_threads == 0 ||
-                    num_threads == static_cast<unsigned>(team.nthreads()),
+                    num_threads == static_cast<unsigned>(layout.nthreads()),
                 "libaid teams are fixed at startup; pass 0 threads");
 
-  GompTeamState state(team.nthreads());
+  GompTeamState state(layout.nthreads());
+  state.layout = &layout;
   // Every team member executes fn exactly once: one canonical iteration per
   // thread via round-robin static chunks of size 1.
-  team.run_loop(team.nthreads(), sched::ScheduleSpec::static_chunked(1),
-                [&](i64 b, i64 e, const WorkerInfo& w) {
-                  AID_CHECK(e == b + 1 && b == w.tid);
-                  tls = GompTls{&state, w.tid, 0, nullptr};
-                  fn(data);
-                  tls = GompTls{};
-                });
+  rt.run_loop(layout.nthreads(), sched::ScheduleSpec::static_chunked(1),
+              [&](i64 b, i64 e, const WorkerInfo& w) {
+                AID_CHECK(e == b + 1 && b == w.tid);
+                tls = GompTls{&state, w.tid, 0, nullptr};
+                fn(data);
+                tls = GompTls{};
+              });
+  rt.exit_region();
 }
 
 bool aid_gomp_loop_runtime_start(long start, long end, long incr,
@@ -88,7 +97,7 @@ bool aid_gomp_loop_runtime_start(long start, long end, long incr,
       ws.space = std::make_unique<sched::IterationSpace>(start, end, incr);
       ws.sched = sched::make_scheduler(
           Runtime::instance().default_schedule(), ws.space->count(),
-          Runtime::instance().team().layout());
+          *state.layout);
       ws.user_start = start;
       ws.user_incr = incr;
     }

@@ -1,6 +1,8 @@
 #include "rt/runtime.h"
 
+#include "common/check.h"
 #include "common/env.h"
+#include "pool/pool_manager.h"
 
 namespace aid::rt {
 
@@ -12,24 +14,87 @@ platform::Platform platform_from_env() {
 }
 
 Runtime::Runtime(platform::Platform platform, RuntimeConfig config)
-    : platform_(std::move(platform)),
-      config_(config),
-      team_(platform_, config_.num_threads, config_.mapping,
-            config_.emulate_amp, config_.bind_threads, config_.sf_cpu_time) {}
+    : platform_(std::move(platform)), config_(config) {
+  if (config_.use_pool) {
+    // The lease always comes from the process-wide manager (one pool per
+    // process is the point), so the manager's platform — not the
+    // constructor argument — is what layouts refer to; adopt it so
+    // platform() and layout() stay consistent. Partition sizing is the
+    // arbiter's job: num_threads/mapping from the config do not apply.
+    // The name AID_POOL_APP labels co-scheduled runtimes.
+    pool::PoolManager& mgr = pool::PoolManager::instance();
+    AID_CHECK_MSG(
+        platform_.num_cores() == mgr.platform().num_cores() &&
+            platform_.num_core_types() == mgr.platform().num_core_types(),
+        "AID_POOL leases come from the process-wide PoolManager (one pool "
+        "per process); isolated pool runtimes on a different platform are "
+        "unsupported — construct with platform_from_env() or use "
+        "pool::PoolManager directly");
+    lease_ = std::make_unique<pool::AppHandle>(mgr.register_app(
+        env::get_string("AID_POOL_APP", "runtime"),
+        env::get_double("AID_POOL_WEIGHT", 1.0)));
+    platform_ = mgr.platform();
+  } else {
+    team_ = std::make_unique<Team>(platform_, config_.num_threads,
+                                   config_.mapping, config_.emulate_amp,
+                                   config_.bind_threads, config_.sf_cpu_time);
+  }
+}
+
+Runtime::~Runtime() = default;
 
 Runtime& Runtime::instance() {
   static Runtime runtime(platform_from_env(), RuntimeConfig::from_env());
   return runtime;
 }
 
+void Runtime::run_loop(i64 count, const sched::ScheduleSpec& spec,
+                       const RangeBody& body) {
+  if (lease_ != nullptr)
+    lease_->run_loop(count, spec, body);
+  else
+    team_->run_loop(count, spec, body);
+}
+
+platform::TeamLayout Runtime::layout() const {
+  if (lease_ != nullptr) return lease_->layout();
+  return team_->layout();
+}
+
+int Runtime::nthreads() const {
+  if (lease_ != nullptr) return lease_->nthreads();
+  return team_->nthreads();
+}
+
+sched::SchedulerStats Runtime::last_loop_stats() const {
+  if (lease_ != nullptr) return lease_->last_loop_stats();
+  return team_->last_loop_stats();
+}
+
+const platform::TeamLayout& Runtime::enter_region() {
+  if (lease_ != nullptr) return lease_->begin_region();
+  return team_->layout();
+}
+
+void Runtime::exit_region() {
+  if (lease_ != nullptr) lease_->end_region();
+}
+
+Team& Runtime::team() {
+  AID_CHECK_MSG(team_ != nullptr,
+                "AID_POOL=1 routes loops through the shared pool manager; "
+                "use Runtime::run_loop/layout/nthreads");
+  return *team_;
+}
+
 void run_loop(i64 count, const RangeBody& body) {
   Runtime& r = Runtime::instance();
-  r.team().run_loop(count, r.default_schedule(), body);
+  r.run_loop(count, r.default_schedule(), body);
 }
 
 void run_loop(i64 count, const sched::ScheduleSpec& spec,
               const RangeBody& body) {
-  Runtime::instance().team().run_loop(count, spec, body);
+  Runtime::instance().run_loop(count, spec, body);
 }
 
 }  // namespace aid::rt

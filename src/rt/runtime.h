@@ -7,6 +7,14 @@
 // the environment's schedule — the observable behavior of the paper's GCC
 // change (default schedule static → runtime, Sec. 4.1).
 //
+// With AID_POOL=1 the runtime owns no private worker team: it leases a
+// core partition from the process-wide PoolManager (src/pool/), so
+// several applications in one process share a single worker pool and the
+// same unmodified code adapts to whatever partition the arbiter grants —
+// the paper's Sec. 4.3 portability story. Loop execution is identical
+// either way; use Runtime::run_loop / rt::run_loop / rt::parallel_for,
+// which route to the team or the lease transparently.
+//
 // Quickstart:
 //   #include "rt/runtime.h"
 //   aid::rt::parallel_for(0, n, 1, [&](aid::i64 i, const aid::rt::WorkerInfo&) {
@@ -14,9 +22,15 @@
 //   });
 #pragma once
 
+#include <memory>
+
 #include "platform/platform.h"
 #include "rt/runtime_config.h"
 #include "rt/team.h"
+
+namespace aid::pool {
+class AppHandle;
+}  // namespace aid::pool
 
 namespace aid::rt {
 
@@ -26,9 +40,47 @@ class Runtime {
   static Runtime& instance();
 
   /// Construct an isolated runtime (tests, multi-platform experiments).
+  /// With config.use_pool, the runtime leases its partition from the
+  /// process-wide PoolManager::instance() instead of building a team.
   Runtime(platform::Platform platform, RuntimeConfig config);
+  ~Runtime();
 
-  [[nodiscard]] Team& team() { return team_; }
+  /// Execute `count` canonical iterations on the team or the leased pool
+  /// partition. This is the construct every public loop entry routes to.
+  void run_loop(i64 count, const sched::ScheduleSpec& spec,
+                const RangeBody& body);
+
+  template <typename F>
+  void parallel_for(i64 start, i64 end, i64 step,
+                    const sched::ScheduleSpec& spec, F&& f) {
+    const sched::IterationSpace space(start, end, step);
+    run_loop(space.count(), spec,
+             [&space, &f](i64 b, i64 e, const WorkerInfo& w) {
+               for (i64 c = b; c < e; ++c) f(space.value_of(c), w);
+             });
+  }
+
+  /// Current thread-to-core layout: the team's (stable), or a snapshot of
+  /// the leased partition (may change at loop boundaries as the pool
+  /// repartitions).
+  [[nodiscard]] platform::TeamLayout layout() const;
+  [[nodiscard]] int nthreads() const;
+
+  /// Pin the layout across several loops (a parallel region): in pool
+  /// mode this defers repartitioning until exit_region(); in team mode it
+  /// is a no-op. The returned reference is valid until exit_region().
+  const platform::TeamLayout& enter_region();
+  void exit_region();
+
+  /// Stats of the most recent loop (SF estimate, pool removals, ...).
+  [[nodiscard]] sched::SchedulerStats last_loop_stats() const;
+
+  [[nodiscard]] bool uses_pool() const { return lease_ != nullptr; }
+
+  /// The private team (non-pool mode only; CHECK-fails under AID_POOL=1 —
+  /// use run_loop()/layout()/nthreads(), which work in both modes).
+  [[nodiscard]] Team& team();
+
   [[nodiscard]] const RuntimeConfig& config() const { return config_; }
   [[nodiscard]] const platform::Platform& platform() const {
     return platform_;
@@ -42,7 +94,8 @@ class Runtime {
  private:
   platform::Platform platform_;
   RuntimeConfig config_;
-  Team team_;
+  std::unique_ptr<Team> team_;             // private-team mode
+  std::unique_ptr<pool::AppHandle> lease_; // shared-pool mode
 };
 
 /// Platform for the current process: AID_PLATFORM when set and valid,
@@ -60,15 +113,14 @@ void run_loop(i64 count, const sched::ScheduleSpec& spec,
 template <typename F>
 void parallel_for(i64 start, i64 end, i64 step, F&& f) {
   Runtime& r = Runtime::instance();
-  r.team().parallel_for(start, end, step, r.default_schedule(),
-                        std::forward<F>(f));
+  r.parallel_for(start, end, step, r.default_schedule(), std::forward<F>(f));
 }
 
 template <typename F>
 void parallel_for(i64 start, i64 end, i64 step,
                   const sched::ScheduleSpec& spec, F&& f) {
-  Runtime::instance().team().parallel_for(start, end, step, spec,
-                                          std::forward<F>(f));
+  Runtime::instance().parallel_for(start, end, step, spec,
+                                   std::forward<F>(f));
 }
 
 }  // namespace aid::rt

@@ -20,6 +20,16 @@
 //   AID_BIND_THREADS  — pin worker threads to core ids (best-effort).
 //   AID_SF_CPU_TIME   — sample SF with per-thread CPU time instead of wall
 //                       time (the paper's footnote-3 oversubscription fix).
+//   AID_POOL          — when truthy, the global runtime does not build a
+//                       private worker team; it leases a partition from the
+//                       process-wide PoolManager (src/pool/), so several
+//                       runtimes/apps in one process share a single worker
+//                       pool with per-app core partitions (Sec. 4.3 / 5C).
+//                       Partition sizing then belongs to the arbiter:
+//                       AID_NUM_THREADS and AID_MAPPING do not apply, and
+//                       the runtime reports the pool's platform.
+//   AID_POOL_POLICY   — pool arbitration policy: "equal" (default),
+//                       "big-priority", or "proportional".
 #pragma once
 
 #include <string>
@@ -36,6 +46,11 @@ struct RuntimeConfig {
   bool emulate_amp = true;
   bool bind_threads = false;
   bool sf_cpu_time = false;
+  bool use_pool = false;  ///< route loops through the shared pool manager
+  /// Arbitration policy name, parsed by the pool layer (pool/policy.h);
+  /// kept as an opaque string here so rt/ headers stay independent of
+  /// pool/ (the pool depends on rt, not the other way around).
+  std::string pool_policy = "equal-share";
 
   /// Read the AID_* variables; unparsable values fall back to defaults
   /// (libgomp-style forgiveness), reported through `warnings`.

@@ -1,32 +1,11 @@
 #include "rt/team.h"
 
+#include "common/affinity.h"
 #include "common/check.h"
 #include "common/env.h"
 #include "common/spin_wait.h"
 
-#if defined(__linux__)
-#include <pthread.h>
-#include <sched.h>
-#endif
-
 namespace aid::rt {
-namespace {
-
-// Best-effort pinning: on the development host the platform's core ids may
-// exceed the real CPU count; failures are silently ignored (the throttle
-// provides the asymmetry in that case).
-void try_bind_to_core(int core_id) {
-#if defined(__linux__)
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  CPU_SET(static_cast<unsigned>(core_id), &set);
-  (void)pthread_setaffinity_np(pthread_self(), sizeof set, &set);
-#else
-  (void)core_id;
-#endif
-}
-
-}  // namespace
 
 Team::Team(const platform::Platform& platform, int nthreads,
            platform::Mapping mapping, bool emulate_amp, bool bind_threads,

@@ -123,7 +123,7 @@ void team_query_body(void* data) {
 }
 
 TEST(GompCompat, ThreadAndTeamQueries) {
-  const int team_size = Runtime::instance().team().nthreads();
+  const int team_size = Runtime::instance().nthreads();
   LoopCtx ctx(static_cast<usize>(team_size));
   aid_gomp_parallel(team_query_body, &ctx);
   EXPECT_EQ(ctx.sum.load(), team_size);

@@ -1,0 +1,150 @@
+// Repartitioning stress: co-running apps on one shared pool, with the
+// arbiter reshaping partitions between their loops (rt_forkjoin_stress_test
+// style, lifted to the pool layer).
+//
+// Properties under stress:
+//  * exactly-once execution — every canonical iteration of every loop of
+//    every app runs exactly once, while partitions grow and shrink
+//    underneath the apps (generation docks are reused across owners);
+//  * partition isolation — tids observed by a body always fit inside the
+//    machine, and concurrent apps never lose or duplicate iterations;
+//  * arbitration convergence — once the churn stops and apps go idle, the
+//    final policy's allotment is exactly what every app observes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "platform/platform.h"
+#include "pool/pool_manager.h"
+
+namespace aid::pool {
+namespace {
+
+using sched::ScheduleSpec;
+
+PoolManager::Config test_config() {
+  PoolManager::Config c;
+  c.emulate_amp = false;
+  return c;
+}
+
+std::vector<ScheduleSpec> stress_specs() {
+  return {
+      ScheduleSpec::static_even(),
+      ScheduleSpec::dynamic(1),
+      ScheduleSpec::dynamic(7),
+      ScheduleSpec::guided(2),
+      ScheduleSpec::aid_static(2),
+      ScheduleSpec::aid_dynamic(1, 5),
+  };
+}
+
+/// One app's workload: `loops` back-to-back loops, each verified
+/// exactly-once, cycling through the schedulers. `max_threads` bounds the
+/// tids any body may observe (the machine size). Returns the sequence of
+/// distinct partition sizes observed at loop boundaries.
+std::vector<int> app_main(AppHandle& app, int loops, i64 count,
+                          int max_threads) {
+  const auto specs = stress_specs();
+  std::vector<int> sizes;
+  std::vector<std::atomic<u16>> hits(static_cast<usize>(count));
+  for (int l = 0; l < loops; ++l) {
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    std::atomic<int> max_tid{0};
+    const auto& spec = specs[static_cast<usize>(l) % specs.size()];
+    app.run_loop(count, spec, [&](i64 b, i64 e, const rt::WorkerInfo& w) {
+      int prev = max_tid.load(std::memory_order_relaxed);
+      while (prev < w.tid && !max_tid.compare_exchange_weak(
+                                 prev, w.tid, std::memory_order_relaxed)) {
+      }
+      for (i64 i = b; i < e; ++i)
+        hits[static_cast<usize>(i)].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (i64 i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[static_cast<usize>(i)].load(), 1)
+          << spec.display() << " loop=" << l << " iteration=" << i;
+    }
+    EXPECT_LT(max_tid.load(), max_threads) << "tid outside machine, loop " << l;
+    const int nthreads = app.nthreads();
+    if (sizes.empty() || sizes.back() != nthreads) sizes.push_back(nthreads);
+  }
+  return sizes;
+}
+
+TEST(PoolRepartitionStress, TwoAppsUnderPolicyChurn) {
+  constexpr int kLoops = 48;
+  constexpr i64 kCount = 301;  // odd: uneven splits
+  PoolManager mgr(platform::generic_amp(4, 4, 3.0), test_config());
+  const int ncores = mgr.platform().num_cores();
+
+  AppHandle a = mgr.register_app("a", /*weight=*/1.0);
+  AppHandle b = mgr.register_app("b", /*weight=*/3.0);
+
+  std::thread ta([&] { app_main(a, kLoops, kCount, ncores); });
+  std::thread tb([&] { app_main(b, kLoops, kCount, ncores); });
+
+  // The arbiter: cycle policies while both apps run, forcing grant/revoke
+  // traffic at their loop boundaries.
+  const Policy policies[] = {Policy::kProportional, Policy::kBigCorePriority,
+                             Policy::kEqualShare};
+  for (int round = 0; round < 30; ++round) {
+    mgr.set_policy(policies[round % 3]);
+    std::this_thread::yield();
+    mgr.repartition();
+  }
+
+  ta.join();
+  tb.join();
+
+  // Both apps idle now: the final policy must commit immediately and be
+  // exactly visible. Proportional 1:3 on 4S+4B -> a = 1S+1B, b = 3S+3B.
+  mgr.set_policy(Policy::kProportional);
+  EXPECT_EQ(a.nthreads(), 2);
+  EXPECT_EQ(b.nthreads(), 6);
+  EXPECT_EQ(a.allotment().threads_on_big, 1);
+  EXPECT_EQ(b.allotment().threads_on_big, 3);
+
+  // And loops after the churn still cover exactly once on the new shapes.
+  app_main(a, 3, kCount, ncores);
+  app_main(b, 3, kCount, ncores);
+}
+
+TEST(PoolRepartitionStress, AppChurnWhileNeighborLoops) {
+  // One long-lived app loops continuously while guests register, run a
+  // loop on their slice, and release: the main partition shrinks and
+  // grows, every loop stays exactly-once, and the pool never spawns more
+  // worker threads than the machine has cores.
+  constexpr int kLoops = 60;
+  constexpr i64 kCount = 257;
+  PoolManager mgr(platform::generic_amp(4, 4, 3.0), test_config());
+  const int ncores = mgr.platform().num_cores();
+  AppHandle main_app = mgr.register_app("main");
+
+  std::thread runner([&] { app_main(main_app, kLoops, kCount, ncores); });
+
+  for (int round = 0; round < 12; ++round) {
+    AppHandle guest = mgr.register_app("guest", 1.0 + round % 3);
+    std::vector<std::atomic<u16>> hits(64);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    guest.run_loop(64, ScheduleSpec::dynamic(2),
+                   [&](i64 gb, i64 ge, const rt::WorkerInfo&) {
+                     for (i64 i = gb; i < ge; ++i)
+                       hits[static_cast<usize>(i)].fetch_add(
+                           1, std::memory_order_relaxed);
+                   });
+    for (usize i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "guest iteration " << i;
+    guest.release();
+  }
+
+  runner.join();
+  EXPECT_LE(mgr.spawned_workers(), ncores);
+  EXPECT_LE(mgr.total_threads(), ncores + 1);  // workers + the main lease
+  // All guests gone and the runner idle: the whole machine is main's again.
+  EXPECT_EQ(main_app.nthreads(), 8);
+}
+
+}  // namespace
+}  // namespace aid::pool
