@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/env.cc" "CMakeFiles/aid.dir/src/common/env.cc.o" "gcc" "CMakeFiles/aid.dir/src/common/env.cc.o.d"
+  "/root/repo/src/common/spin_work.cc" "CMakeFiles/aid.dir/src/common/spin_work.cc.o" "gcc" "CMakeFiles/aid.dir/src/common/spin_work.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/aid.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/aid.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/aid.dir/src/common/table.cc.o" "gcc" "CMakeFiles/aid.dir/src/common/table.cc.o.d"
+  "/root/repo/src/common/time_source.cc" "CMakeFiles/aid.dir/src/common/time_source.cc.o" "gcc" "CMakeFiles/aid.dir/src/common/time_source.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "CMakeFiles/aid.dir/src/harness/experiment.cc.o" "gcc" "CMakeFiles/aid.dir/src/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/figure_printer.cc" "CMakeFiles/aid.dir/src/harness/figure_printer.cc.o" "gcc" "CMakeFiles/aid.dir/src/harness/figure_printer.cc.o.d"
+  "/root/repo/src/platform/platform.cc" "CMakeFiles/aid.dir/src/platform/platform.cc.o" "gcc" "CMakeFiles/aid.dir/src/platform/platform.cc.o.d"
+  "/root/repo/src/platform/team_layout.cc" "CMakeFiles/aid.dir/src/platform/team_layout.cc.o" "gcc" "CMakeFiles/aid.dir/src/platform/team_layout.cc.o.d"
+  "/root/repo/src/pool/policy.cc" "CMakeFiles/aid.dir/src/pool/policy.cc.o" "gcc" "CMakeFiles/aid.dir/src/pool/policy.cc.o.d"
+  "/root/repo/src/pool/pool_manager.cc" "CMakeFiles/aid.dir/src/pool/pool_manager.cc.o" "gcc" "CMakeFiles/aid.dir/src/pool/pool_manager.cc.o.d"
+  "/root/repo/src/pool/worker_pool.cc" "CMakeFiles/aid.dir/src/pool/worker_pool.cc.o" "gcc" "CMakeFiles/aid.dir/src/pool/worker_pool.cc.o.d"
+  "/root/repo/src/rt/gomp_compat.cc" "CMakeFiles/aid.dir/src/rt/gomp_compat.cc.o" "gcc" "CMakeFiles/aid.dir/src/rt/gomp_compat.cc.o.d"
+  "/root/repo/src/rt/os_bridge.cc" "CMakeFiles/aid.dir/src/rt/os_bridge.cc.o" "gcc" "CMakeFiles/aid.dir/src/rt/os_bridge.cc.o.d"
+  "/root/repo/src/rt/runtime.cc" "CMakeFiles/aid.dir/src/rt/runtime.cc.o" "gcc" "CMakeFiles/aid.dir/src/rt/runtime.cc.o.d"
+  "/root/repo/src/rt/runtime_config.cc" "CMakeFiles/aid.dir/src/rt/runtime_config.cc.o" "gcc" "CMakeFiles/aid.dir/src/rt/runtime_config.cc.o.d"
+  "/root/repo/src/rt/team.cc" "CMakeFiles/aid.dir/src/rt/team.cc.o" "gcc" "CMakeFiles/aid.dir/src/rt/team.cc.o.d"
+  "/root/repo/src/sched/aid_block_sched.cc" "CMakeFiles/aid.dir/src/sched/aid_block_sched.cc.o" "gcc" "CMakeFiles/aid.dir/src/sched/aid_block_sched.cc.o.d"
+  "/root/repo/src/sched/aid_dynamic_sched.cc" "CMakeFiles/aid.dir/src/sched/aid_dynamic_sched.cc.o" "gcc" "CMakeFiles/aid.dir/src/sched/aid_dynamic_sched.cc.o.d"
+  "/root/repo/src/sched/dynamic_sched.cc" "CMakeFiles/aid.dir/src/sched/dynamic_sched.cc.o" "gcc" "CMakeFiles/aid.dir/src/sched/dynamic_sched.cc.o.d"
+  "/root/repo/src/sched/factoring_sched.cc" "CMakeFiles/aid.dir/src/sched/factoring_sched.cc.o" "gcc" "CMakeFiles/aid.dir/src/sched/factoring_sched.cc.o.d"
+  "/root/repo/src/sched/factory.cc" "CMakeFiles/aid.dir/src/sched/factory.cc.o" "gcc" "CMakeFiles/aid.dir/src/sched/factory.cc.o.d"
+  "/root/repo/src/sched/guided_sched.cc" "CMakeFiles/aid.dir/src/sched/guided_sched.cc.o" "gcc" "CMakeFiles/aid.dir/src/sched/guided_sched.cc.o.d"
+  "/root/repo/src/sched/schedule_spec.cc" "CMakeFiles/aid.dir/src/sched/schedule_spec.cc.o" "gcc" "CMakeFiles/aid.dir/src/sched/schedule_spec.cc.o.d"
+  "/root/repo/src/sched/sf_estimator.cc" "CMakeFiles/aid.dir/src/sched/sf_estimator.cc.o" "gcc" "CMakeFiles/aid.dir/src/sched/sf_estimator.cc.o.d"
+  "/root/repo/src/sched/static_sched.cc" "CMakeFiles/aid.dir/src/sched/static_sched.cc.o" "gcc" "CMakeFiles/aid.dir/src/sched/static_sched.cc.o.d"
+  "/root/repo/src/sched/trapezoid_sched.cc" "CMakeFiles/aid.dir/src/sched/trapezoid_sched.cc.o" "gcc" "CMakeFiles/aid.dir/src/sched/trapezoid_sched.cc.o.d"
+  "/root/repo/src/sim/app_simulator.cc" "CMakeFiles/aid.dir/src/sim/app_simulator.cc.o" "gcc" "CMakeFiles/aid.dir/src/sim/app_simulator.cc.o.d"
+  "/root/repo/src/sim/loop_simulator.cc" "CMakeFiles/aid.dir/src/sim/loop_simulator.cc.o" "gcc" "CMakeFiles/aid.dir/src/sim/loop_simulator.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "CMakeFiles/aid.dir/src/trace/trace.cc.o" "gcc" "CMakeFiles/aid.dir/src/trace/trace.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "CMakeFiles/aid.dir/src/workloads/kernels.cc.o" "gcc" "CMakeFiles/aid.dir/src/workloads/kernels.cc.o.d"
+  "/root/repo/src/workloads/npb.cc" "CMakeFiles/aid.dir/src/workloads/npb.cc.o" "gcc" "CMakeFiles/aid.dir/src/workloads/npb.cc.o.d"
+  "/root/repo/src/workloads/parsec.cc" "CMakeFiles/aid.dir/src/workloads/parsec.cc.o" "gcc" "CMakeFiles/aid.dir/src/workloads/parsec.cc.o.d"
+  "/root/repo/src/workloads/profile.cc" "CMakeFiles/aid.dir/src/workloads/profile.cc.o" "gcc" "CMakeFiles/aid.dir/src/workloads/profile.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "CMakeFiles/aid.dir/src/workloads/registry.cc.o" "gcc" "CMakeFiles/aid.dir/src/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/rodinia.cc" "CMakeFiles/aid.dir/src/workloads/rodinia.cc.o" "gcc" "CMakeFiles/aid.dir/src/workloads/rodinia.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_schedulers.dir/bench/bench_ablation_schedulers.cc.o"
+  "CMakeFiles/bench_ablation_schedulers.dir/bench/bench_ablation_schedulers.cc.o.d"
+  "bench_ablation_schedulers"
+  "bench_ablation_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_speedup_factors.dir/bench/bench_fig02_speedup_factors.cc.o"
+  "CMakeFiles/bench_fig02_speedup_factors.dir/bench/bench_fig02_speedup_factors.cc.o.d"
+  "bench_fig02_speedup_factors"
+  "bench_fig02_speedup_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_speedup_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_platform_a.dir/bench/bench_fig06_platform_a.cc.o"
+  "CMakeFiles/bench_fig06_platform_a.dir/bench/bench_fig06_platform_a.cc.o.d"
+  "bench_fig06_platform_a"
+  "bench_fig06_platform_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_platform_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

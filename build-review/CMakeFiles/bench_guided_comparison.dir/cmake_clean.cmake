@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guided_comparison.dir/bench/bench_guided_comparison.cc.o"
+  "CMakeFiles/bench_guided_comparison.dir/bench/bench_guided_comparison.cc.o.d"
+  "bench_guided_comparison"
+  "bench_guided_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guided_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

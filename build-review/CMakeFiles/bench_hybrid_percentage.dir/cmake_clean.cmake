@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_percentage.dir/bench/bench_hybrid_percentage.cc.o"
+  "CMakeFiles/bench_hybrid_percentage.dir/bench/bench_hybrid_percentage.cc.o.d"
+  "bench_hybrid_percentage"
+  "bench_hybrid_percentage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_percentage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_forkjoin.dir/bench/bench_micro_forkjoin.cc.o"
+  "CMakeFiles/bench_micro_forkjoin.dir/bench/bench_micro_forkjoin.cc.o.d"
+  "bench_micro_forkjoin"
+  "bench_micro_forkjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_forkjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiapp_partitioning.dir/bench/bench_multiapp_partitioning.cc.o"
+  "CMakeFiles/bench_multiapp_partitioning.dir/bench/bench_multiapp_partitioning.cc.o.d"
+  "bench_multiapp_partitioning"
+  "bench_multiapp_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiapp_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

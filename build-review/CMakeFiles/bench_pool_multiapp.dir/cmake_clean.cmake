@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pool_multiapp.dir/bench/bench_pool_multiapp.cc.o"
+  "CMakeFiles/bench_pool_multiapp.dir/bench/bench_pool_multiapp.cc.o.d"
+  "bench_pool_multiapp"
+  "bench_pool_multiapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pool_multiapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table02_summary.dir/bench/bench_table02_summary.cc.o"
+  "CMakeFiles/bench_table02_summary.dir/bench/bench_table02_summary.cc.o.d"
+  "bench_table02_summary"
+  "bench_table02_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gomp_compat_test.dir/tests/gomp_compat_test.cc.o"
+  "CMakeFiles/gomp_compat_test.dir/tests/gomp_compat_test.cc.o.d"
+  "gomp_compat_test"
+  "gomp_compat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gomp_compat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

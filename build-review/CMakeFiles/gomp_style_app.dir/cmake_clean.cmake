@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gomp_style_app.dir/examples/gomp_style_app.cpp.o"
+  "CMakeFiles/gomp_style_app.dir/examples/gomp_style_app.cpp.o.d"
+  "gomp_style_app"
+  "gomp_style_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gomp_style_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

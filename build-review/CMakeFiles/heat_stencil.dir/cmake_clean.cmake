@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_stencil.dir/examples/heat_stencil.cpp.o"
+  "CMakeFiles/heat_stencil.dir/examples/heat_stencil.cpp.o.d"
+  "heat_stencil"
+  "heat_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

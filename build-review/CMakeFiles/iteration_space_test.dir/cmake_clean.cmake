@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iteration_space_test.dir/tests/iteration_space_test.cc.o"
+  "CMakeFiles/iteration_space_test.dir/tests/iteration_space_test.cc.o.d"
+  "iteration_space_test"
+  "iteration_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iteration_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_invariance_test.dir/tests/kernel_invariance_test.cc.o"
+  "CMakeFiles/kernel_invariance_test.dir/tests/kernel_invariance_test.cc.o.d"
+  "kernel_invariance_test"
+  "kernel_invariance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_sf_explorer.dir/examples/loop_sf_explorer.cpp.o"
+  "CMakeFiles/loop_sf_explorer.dir/examples/loop_sf_explorer.cpp.o.d"
+  "loop_sf_explorer"
+  "loop_sf_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_sf_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

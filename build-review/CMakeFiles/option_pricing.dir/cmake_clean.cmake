@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/option_pricing.dir/examples/option_pricing.cpp.o"
+  "CMakeFiles/option_pricing.dir/examples/option_pricing.cpp.o.d"
+  "option_pricing"
+  "option_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/option_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_bridge_test.dir/tests/os_bridge_test.cc.o"
+  "CMakeFiles/os_bridge_test.dir/tests/os_bridge_test.cc.o.d"
+  "os_bridge_test"
+  "os_bridge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_bridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_coscheduling.dir/examples/pool_coscheduling.cpp.o"
+  "CMakeFiles/pool_coscheduling.dir/examples/pool_coscheduling.cpp.o.d"
+  "pool_coscheduling"
+  "pool_coscheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_coscheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_manager_test.dir/tests/pool_manager_test.cc.o"
+  "CMakeFiles/pool_manager_test.dir/tests/pool_manager_test.cc.o.d"
+  "pool_manager_test"
+  "pool_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_repartition_stress_test.dir/tests/pool_repartition_stress_test.cc.o"
+  "CMakeFiles/pool_repartition_stress_test.dir/tests/pool_repartition_stress_test.cc.o.d"
+  "pool_repartition_stress_test"
+  "pool_repartition_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_repartition_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_sweep_test.dir/tests/profile_sweep_test.cc.o"
+  "CMakeFiles/profile_sweep_test.dir/tests/profile_sweep_test.cc.o.d"
+  "profile_sweep_test"
+  "profile_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

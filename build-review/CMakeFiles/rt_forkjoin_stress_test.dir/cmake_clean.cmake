@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_forkjoin_stress_test.dir/tests/rt_forkjoin_stress_test.cc.o"
+  "CMakeFiles/rt_forkjoin_stress_test.dir/tests/rt_forkjoin_stress_test.cc.o.d"
+  "rt_forkjoin_stress_test"
+  "rt_forkjoin_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_forkjoin_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

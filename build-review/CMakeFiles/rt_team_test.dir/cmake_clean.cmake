@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_team_test.dir/tests/rt_team_test.cc.o"
+  "CMakeFiles/rt_team_test.dir/tests/rt_team_test.cc.o.d"
+  "rt_team_test"
+  "rt_team_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_team_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_aid_dynamic_test.dir/tests/sched_aid_dynamic_test.cc.o"
+  "CMakeFiles/sched_aid_dynamic_test.dir/tests/sched_aid_dynamic_test.cc.o.d"
+  "sched_aid_dynamic_test"
+  "sched_aid_dynamic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_aid_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

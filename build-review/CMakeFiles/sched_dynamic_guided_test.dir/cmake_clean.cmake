@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_dynamic_guided_test.dir/tests/sched_dynamic_guided_test.cc.o"
+  "CMakeFiles/sched_dynamic_guided_test.dir/tests/sched_dynamic_guided_test.cc.o.d"
+  "sched_dynamic_guided_test"
+  "sched_dynamic_guided_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_dynamic_guided_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_related_work_test.dir/tests/sched_related_work_test.cc.o"
+  "CMakeFiles/sched_related_work_test.dir/tests/sched_related_work_test.cc.o.d"
+  "sched_related_work_test"
+  "sched_related_work_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_related_work_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_static_test.dir/tests/sched_static_test.cc.o"
+  "CMakeFiles/sched_static_test.dir/tests/sched_static_test.cc.o.d"
+  "sched_static_test"
+  "sched_static_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_static_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

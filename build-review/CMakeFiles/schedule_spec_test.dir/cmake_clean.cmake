@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_spec_test.dir/tests/schedule_spec_test.cc.o"
+  "CMakeFiles/schedule_spec_test.dir/tests/schedule_spec_test.cc.o.d"
+  "schedule_spec_test"
+  "schedule_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_estimator_test.dir/tests/sf_estimator_test.cc.o"
+  "CMakeFiles/sf_estimator_test.dir/tests/sf_estimator_test.cc.o.d"
+  "sf_estimator_test"
+  "sf_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
