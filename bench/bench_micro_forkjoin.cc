@@ -15,6 +15,15 @@
 // BENCH_micro_forkjoin.json (see bench_util.h) so the before/after effect
 // of runtime changes stays machine-trackable across PRs.
 //
+// The `chain=K` config family measures the loop-pipeline subsystem
+// (src/pipeline/): for K small dependent-free loops it reports
+//
+//   sync_total_ns  — K back-to-back Team::run_loop calls (a full implicit
+//                    barrier between every construct);
+//   chain_total_ns — one Team::run_chain over the same K loops (nowait
+//                    flow over the generation-dock ring; one join at the
+//                    chain-end flush).
+//
 // Tunables: AID_BENCH_FORKJOIN_RUNS (samples/config, default 300),
 // AID_BENCH_FORKJOIN_MAXTHREADS (default 16, capped sweep 1,2,4,8,16).
 #include <atomic>
@@ -22,6 +31,7 @@
 
 #include "bench_util.h"
 #include "common/time_source.h"
+#include "pipeline/loop_chain.h"
 #include "platform/platform.h"
 #include "rt/team.h"
 
@@ -84,6 +94,36 @@ void report(bench::BenchJsonWriter& json, const std::string& config,
   json.add(config, metric, s);
 }
 
+struct ChainSamples {
+  std::vector<double> sync_total;
+  std::vector<double> chain_total;
+};
+
+/// Total wall time of K loops executed synchronously (K run_loop calls,
+/// K implicit barriers) versus pipelined (one run_chain, one flush).
+ChainSamples measure_chain(rt::Team& team, int chain_len, i64 count,
+                           const sched::ScheduleSpec& spec, int runs) {
+  const SteadyTimeSource clock;
+  ChainSamples out;
+  const rt::RangeBody body = [](i64, i64, const rt::WorkerInfo&) {};
+
+  pipeline::LoopChain chain;
+  for (int k = 0; k < chain_len; ++k) chain.add(count, spec, body);
+
+  const int warmup = runs / 10 + 5;
+  for (int r = -warmup; r < runs; ++r) {
+    const Nanos t0 = clock.now();
+    for (int k = 0; k < chain_len; ++k) team.run_loop(count, spec, body);
+    const Nanos t1 = clock.now();
+    team.run_chain(chain);
+    const Nanos t2 = clock.now();
+    if (r < 0) continue;
+    out.sync_total.push_back(static_cast<double>(t1 - t0));
+    out.chain_total.push_back(static_cast<double>(t2 - t1));
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -125,6 +165,22 @@ int main() {
         report(json, config, "roundtrip_ns", s.roundtrip);
         report(json, config, "dispatch_first_ns", s.dispatch_first);
         report(json, config, "join_last_ns", s.join_last);
+      }
+    }
+
+    // Chained vs synchronous K-loop round trips (the loop-pipeline payoff:
+    // K-1 inter-construct barriers traded for nowait flow over the ring).
+    constexpr int kChainLen = 8;
+    for (const i64 count : {i64{256}, i64{1} << 12}) {
+      for (const auto& [label, spec] : specs) {
+        char config[96];
+        std::snprintf(config, sizeof config,
+                      "threads=%d/chain=%d/count=%lld/sched=%s", nthreads,
+                      kChainLen, static_cast<long long>(count), label);
+        const ChainSamples s =
+            measure_chain(team, kChainLen, count, spec, runs);
+        report(json, config, "sync_total_ns", s.sync_total);
+        report(json, config, "chain_total_ns", s.chain_total);
       }
     }
   }

@@ -1,0 +1,85 @@
+// Completion gate for one in-flight construct slot.
+//
+// The loop-pipeline ring (rt/team.h ChainSlot, pool/worker_pool.h
+// PoolJob::Entry) tracks per-construct completion with the same three-word
+// protocol in both runtimes; this header is its single home so the subtle
+// parts — the monotone watermark and the Dekker-paired wake — cannot
+// drift apart between copies.
+//
+//  * `unfinished` — countdown over all participants of the construct
+//    (master included). arm() loads it, check_in() decrements.
+//  * `completed`  — monotone watermark: the tag (dispatch generation /
+//    entry sequence) of the slot's last fully completed occupant, stored
+//    by the final check_in. Monotonicity is what makes a wait on an
+//    already-reused ring slot return immediately instead of latching
+//    onto the new occupant's countdown (the classic ring-ABA deadlock);
+//    callers must therefore hand out strictly increasing tags.
+//  * `waiters`    — Dekker registration: wait() registers, then
+//    re-checks, then sleeps; the finisher stores the watermark, then
+//    checks registration, so either the waiter sees the new watermark or
+//    the finisher sees the waiter and pays the notify_all.
+//
+// Each word is cache-line padded: check_in traffic (every participant,
+// every construct) must not false-share with the spin loops of waiters.
+#pragma once
+
+#include <atomic>
+
+#include "common/padded.h"
+#include "common/spin_wait.h"
+#include "common/types.h"
+
+namespace aid {
+
+class CompletionGate {
+ public:
+  /// Arm for a construct with `participants` members. Only valid while no
+  /// participant of the previous occupant is outstanding (ring reuse
+  /// guard — the caller checks `complete(previous tag)` first).
+  void arm(int participants) {
+    unfinished_->store(participants, std::memory_order_relaxed);
+  }
+
+  /// One participant's completion of the construct tagged `tag`. The last
+  /// arrival publishes the watermark and wakes registered waiters.
+  void check_in(u64 tag) {
+    if (unfinished_->fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      completed_->store(tag, std::memory_order_seq_cst);
+      if (waiters_->load(std::memory_order_seq_cst) != 0)
+        completed_->notify_all();
+    }
+  }
+
+  /// Has the construct tagged `tag` fully completed? (>= because the
+  /// watermark is monotone: a successor tag implies our completion.)
+  [[nodiscard]] bool complete(u64 tag) const {
+    return completed_->load(std::memory_order_acquire) >= tag;
+  }
+
+  /// Spin-then-yield-then-block until `complete(tag)` (budgets per
+  /// common/spin_wait.h).
+  void wait(u64 tag, i32 spin_budget, i32 yield_budget) {
+    std::atomic<u64>& completed = *completed_;
+    if (completed.load(std::memory_order_acquire) >= tag) return;
+
+    if (spin_then_yield(
+            [&] { return completed.load(std::memory_order_acquire) >= tag; },
+            spin_budget, yield_budget))
+      return;
+
+    waiters_->fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+      const u64 c = completed.load(std::memory_order_seq_cst);
+      if (c >= tag) break;
+      completed.wait(c, std::memory_order_seq_cst);
+    }
+    waiters_->fetch_sub(1, std::memory_order_relaxed);
+  }
+
+ private:
+  Padded<std::atomic<int>> unfinished_;
+  Padded<std::atomic<u64>> completed_;
+  Padded<std::atomic<int>> waiters_;
+};
+
+}  // namespace aid

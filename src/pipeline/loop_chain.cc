@@ -1,0 +1,23 @@
+#include "pipeline/loop_chain.h"
+
+#include "common/check.h"
+
+namespace aid::pipeline {
+
+int LoopChain::add(i64 count, const sched::ScheduleSpec& spec,
+                   rt::RangeBody body, int depends_on) {
+  AID_CHECK_MSG(count >= 0, "chained loop with negative trip count");
+  AID_CHECK_MSG(body != nullptr, "chained loop with null body");
+  AID_CHECK_MSG(
+      depends_on >= -1 && depends_on < static_cast<int>(loops_.size()),
+      "depends_on must name an earlier chain entry (or -1)");
+  ChainedLoop loop;
+  loop.count = count;
+  loop.spec = spec;
+  loop.body = std::move(body);
+  loop.depends_on = depends_on;
+  loops_.push_back(std::move(loop));
+  return static_cast<int>(loops_.size()) - 1;
+}
+
+}  // namespace aid::pipeline

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "pipeline/loop_chain.h"
 #include "rt/runtime.h"
 #include "sched/loop_scheduler.h"
 
@@ -49,6 +50,11 @@ void AppHandle::run_loop(i64 count, const sched::ScheduleSpec& spec,
                          const rt::RangeBody& body) {
   AID_CHECK_MSG(mgr_ != nullptr, "run_loop on a released app lease");
   mgr_->run_loop(id_, count, spec, body);
+}
+
+void AppHandle::run_chain(const pipeline::LoopChain& chain) {
+  AID_CHECK_MSG(mgr_ != nullptr, "run_chain on a released app lease");
+  mgr_->run_chain(id_, chain);
 }
 
 const platform::TeamLayout& AppHandle::begin_region() {
@@ -233,6 +239,7 @@ void PoolManager::compute_targets() {
     per_type[static_cast<usize>(t)] = platform_.cores_of_type(t);
 
   const auto counts = arbitrate(per_type, weights, config_.policy);
+  targets_epoch_.fetch_add(1, std::memory_order_release);
 
   // Counts -> concrete core ids, sticky: an app first keeps cores it
   // already holds of each type (fastest-held first, so partition masters
@@ -271,7 +278,7 @@ void PoolManager::compute_targets() {
   }
 }
 
-void PoolManager::adopt(App& app) {
+std::vector<int> PoolManager::achievable_of(const App& app) const {
   // Achievable now = pending minus cores other apps still hold (an in-loop
   // neighbour releases its revoked cores at its own loop boundary).
   std::vector<bool> held(static_cast<usize>(platform_.num_cores()), false);
@@ -282,6 +289,16 @@ void PoolManager::adopt(App& app) {
   std::vector<int> achievable;
   for (const int c : app.pending)
     if (!held[static_cast<usize>(c)]) achievable.push_back(c);
+  return achievable;
+}
+
+bool PoolManager::can_adopt_now(const App& app) const {
+  const std::vector<int> achievable = achievable_of(app);
+  return !achievable.empty() && achievable != app.current;
+}
+
+void PoolManager::adopt(App& app) {
+  std::vector<int> achievable = achievable_of(app);
   // Never adopt an empty partition while waiting for a neighbour to drain;
   // keep what we have until the grant materializes.
   if (achievable.empty()) return;
@@ -291,6 +308,7 @@ void PoolManager::adopt(App& app) {
   app.layout = std::make_unique<platform::TeamLayout>(
       platform_, app.current, platform::Mapping::kBigFirst);
   ++allotment_epoch_;
+  targets_epoch_.fetch_add(1, std::memory_order_release);
   app.shared->publish({app.layout->nb(), allotment_epoch_});
 }
 
@@ -306,6 +324,146 @@ void PoolManager::commit_idle() {
       adopt(*app);
       if (app->current != before) changed = true;
     }
+  }
+}
+
+void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
+  const auto& loops = chain.loops();
+  if (loops.empty()) return;
+  const usize total = loops.size();
+
+  // Acquire the partition exactly like run_loop: the chain's entry is a
+  // loop boundary, so pending grants/revokes are adopted first.
+  const platform::TeamLayout* layout = nullptr;
+  PoolJob* job = nullptr;
+  {
+    std::unique_lock lk(mutex_);
+    App& a = app_of(id);
+    AID_CHECK_MSG(!a.in_loop,
+                  "nested/concurrent run_loop/run_chain on one app lease");
+    if (a.region_depth == 0) {
+      granted_.wait(lk, [&] {
+        commit_idle();
+        return !a.current.empty();
+      });
+    }
+    AID_CHECK_MSG(!a.current.empty(), "app lease holds no cores");
+    a.in_loop = true;
+    layout = a.layout.get();
+    job = a.job.get();
+  }
+
+  // Schedulers live for the whole chain (stats are read at the end, and a
+  // published entry's scheduler must outlive its completion).
+  std::vector<std::unique_ptr<sched::LoopScheduler>> scheds(total);
+  std::vector<u64> seqs(total, 0);
+  usize pub = 0;      // chain entries published so far
+  usize run = 0;      // chain entries the master has participated in
+  usize flushed = 0;  // chain entries known complete (window boundary)
+  bool window_open = false;
+
+  const auto flush_published = [&] {
+    for (; flushed < pub; ++flushed) pool_.wait_entry(*job, seqs[flushed]);
+    window_open = false;
+  };
+
+  // Repartition probe, at ring-entry granularity: true when the arbiter
+  // has a new target for this app that is *adoptable right now* (and no
+  // region pins the layout). Publishing stops the moment it flips; the
+  // commit happens once the published work drains — a flowing boundary
+  // instead of a stop-the-world one between whole constructs. The
+  // adoptability check matters: a pending target whose cores a neighbour
+  // still holds must not stall the chain (the commit would be a no-op and
+  // the probe would spin), so the chain keeps flowing on its current
+  // partition until the grant materializes. The probe is lock-free in
+  // steady state: it takes the manager mutex only when the targets epoch
+  // moved since it last looked, so a chain publishing K entries does not
+  // contend K times with co-running apps' loop boundaries.
+  u64 probe_seen = targets_epoch_.load(std::memory_order_acquire) - 1;
+  bool probe_result = false;
+  const auto commit_pending = [&] {
+    if (targets_epoch_.load(std::memory_order_acquire) != probe_seen) {
+      std::scoped_lock lk(mutex_);
+      probe_seen = targets_epoch_.load(std::memory_order_relaxed);
+      App& a = app_of(id);
+      probe_result = a.region_depth == 0 && can_adopt_now(a);
+    }
+    return probe_result;
+  };
+
+  while (run < total) {
+    const bool want_commit = commit_pending();
+
+    if (!want_commit) {
+      while (pub < total) {
+        // Re-probe before every publish so a repartition posted mid-batch
+        // stops dispatch at the next entry, not after a ring-full batch.
+        if (pub != run && commit_pending()) break;
+        const u64 seq = job->next_seq;
+        // Ring reuse guard: the slot's previous occupant must be complete.
+        if (seq > PoolJob::kChainRing &&
+            !pool_.entry_complete(*job, seq - PoolJob::kChainRing))
+          break;
+        const pipeline::ChainedLoop& loop = loops[pub];
+        scheds[pub] = sched::make_scheduler(loop.spec, loop.count, *layout);
+        PoolJob::Entry& entry = job->entry_of(seq);
+        entry.sched = scheds[pub].get();
+        entry.body = &loop.body;
+        // Dependency edges point at earlier entries; `completed` is
+        // monotone, so an edge into an already-drained window is a no-op
+        // wait rather than a stale one.
+        entry.dep_seq =
+            loop.depends_on >= 0 ? seqs[static_cast<usize>(loop.depends_on)]
+                                 : 0;
+        entry.gate.arm(layout->nthreads());
+        if (!window_open) {
+          pool_.open_window(*layout, *job, seq);
+          window_open = true;
+        }
+        job->next_seq = seq + 1;
+        seqs[pub] = seq;
+        pool_.publish_entry(*layout);
+        ++pub;
+      }
+    }
+
+    if (run < pub) {
+      // The master works through its own shares in chain order; workers
+      // flow ahead through everything already published.
+      pool_.run_entry_master(*layout, *job, seqs[run]);
+      ++run;
+    } else if (want_commit) {
+      // Every published entry has the master's participation; drain them,
+      // then adopt the pending partition at this ring-entry boundary and
+      // continue the chain on the new cores.
+      flush_published();
+      std::unique_lock lk(mutex_);
+      App& a = app_of(id);
+      a.in_loop = false;
+      granted_.notify_all();
+      granted_.wait(lk, [&] {
+        commit_idle();
+        return !a.current.empty();
+      });
+      a.in_loop = true;
+      layout = a.layout.get();
+    } else {
+      // Ring full and nothing left for the master to run: wait for the
+      // oldest in-flight entry (the workers are draining it).
+      pool_.wait_entry(*job, job->next_seq - PoolJob::kChainRing);
+    }
+  }
+
+  // Chain-end flush: the only full join of the chain.
+  flush_published();
+
+  {
+    std::scoped_lock lk(mutex_);
+    App& a = app_of(id);
+    a.last_stats = scheds[total - 1]->stats();
+    a.in_loop = false;
+    if (a.region_depth == 0) commit_idle();
+    granted_.notify_all();
   }
 }
 

@@ -35,6 +35,10 @@
 #include "rt/team.h"
 #include "sched/schedule_spec.h"
 
+namespace aid::pipeline {
+class LoopChain;
+}  // namespace aid::pipeline
+
 namespace aid::pool {
 
 class PoolManager;
@@ -65,6 +69,14 @@ class AppHandle {
   /// until the partition's implicit barrier completes.
   void run_loop(i64 count, const sched::ScheduleSpec& spec,
                 const rt::RangeBody& body);
+
+  /// Execute a chain of loops with nowait semantics on the leased
+  /// partition (see rt::Team::run_chain): partition members flow from loop
+  /// k to loop k+1 without an inter-construct barrier, and pending
+  /// repartitions are committed *between ring entries* — the chain drains
+  /// its published loops, adopts the new partition, and continues — rather
+  /// than only between whole chains. Blocks until every loop completes.
+  void run_chain(const pipeline::LoopChain& chain);
 
   /// Per-iteration convenience over a user iteration space.
   template <typename F>
@@ -191,6 +203,11 @@ class PoolManager {
   const App& app_of(u64 id) const;
   /// Recompute `pending` for every app from the policy (mutex held).
   void compute_targets();
+  /// `pending` minus cores other apps still hold (mutex held).
+  [[nodiscard]] std::vector<int> achievable_of(const App& app) const;
+  /// Would adopt() change this app's partition right now? (mutex held;
+  /// the chain executor's mid-chain commit probe).
+  [[nodiscard]] bool can_adopt_now(const App& app) const;
   /// current := pending minus cores held by others; rebuild layout and
   /// publish the shared allotment when it changed (mutex held).
   void adopt(App& app);
@@ -200,6 +217,7 @@ class PoolManager {
 
   void run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
                 const rt::RangeBody& body);
+  void run_chain(u64 id, const pipeline::LoopChain& chain);
   void unregister(u64 id);
 
   platform::Platform platform_;
@@ -211,6 +229,11 @@ class PoolManager {
   std::vector<Retired> retired_;
   u64 next_id_ = 1;
   u64 allotment_epoch_ = 0;  ///< bumps on every adoption that changed cores
+  /// Bumps (under mutex_) whenever targets are recomputed or any app's
+  /// partition moves — everything that can change can_adopt_now() for
+  /// anybody. Lets run_chain's per-entry commit probe stay lock-free
+  /// until something actually happened.
+  std::atomic<u64> targets_epoch_{0};
 };
 
 }  // namespace aid::pool

@@ -29,7 +29,8 @@ WorkerPool::WorkerPool(const platform::Platform& platform, Options options)
 WorkerPool::~WorkerPool() {
   // Cold path, mirroring Team's shutdown: bump every spawned dock and
   // broadcast on the shared epoch. Workers check shutting_down_ before
-  // touching job fields. The PoolManager guarantees no loop is in flight.
+  // touching the window/entry fields. The PoolManager guarantees no loop
+  // is in flight.
   shutting_down_.store(true, std::memory_order_seq_cst);
   for (auto& slot : slots_) {
     if (!slot.spawned) continue;
@@ -87,21 +88,33 @@ void WorkerPool::worker_main(CoreSlot& slot) {
   Dock& dock = *slot.dock;
   u64 seen = 0;
   for (;;) {
-    seen = wait_for_dispatch(dock, seen);
+    const u64 g = wait_for_dispatch(dock, seen);
     if (shutting_down_.load(std::memory_order_acquire)) return;
-    // job/tid were written before the generation's release-store; the
-    // acquire read in wait_for_dispatch makes them visible.
+    // Window fields were written before the generation's release-store; the
+    // acquire read in wait_for_dispatch makes them visible. Every
+    // generation in (seen, g] belongs to the same window: a new window is
+    // opened only after the previous one fully completed, which requires
+    // this worker to have drained all of its generations first.
     PoolJob& job = *dock.job;
-    participate(job, dock.tid, slot.throttle);
-    if (job.unfinished->fetch_sub(1, std::memory_order_seq_cst) == 1 &&
-        job.master_parked->load(std::memory_order_seq_cst))
-      job.unfinished->notify_one();
+    const int tid = dock.tid;
+    const u64 base_gen = dock.base_gen;
+    const u64 base_seq = dock.base_seq;
+    for (u64 gen = seen + 1; gen <= g; ++gen) {
+      const u64 seq = base_seq + (gen - base_gen);
+      PoolJob::Entry& entry = job.entry_of(seq);
+      if (entry.dep_seq != 0) wait_entry(job, entry.dep_seq);
+      participate(*job.layout, *entry.sched, *entry.body, tid,
+                  slot.throttle);
+      entry.gate.check_in(seq);
+    }
+    seen = g;
   }
 }
 
-void WorkerPool::participate(PoolJob& job, int tid,
+void WorkerPool::participate(const platform::TeamLayout& layout,
+                             sched::LoopScheduler& sched,
+                             const rt::RangeBody& body, int tid,
                              const rt::Throttle& throttle) {
-  const platform::TeamLayout& layout = *job.layout;
   sched::ThreadContext tc{
       .tid = tid,
       .core_type = layout.core_type_of(tid),
@@ -111,30 +124,51 @@ void WorkerPool::participate(PoolJob& job, int tid,
   const rt::WorkerInfo info{tid, tc.core_type, tc.speed};
 
   sched::IterRange r;
-  while (job.sched->next(tc, r)) {
+  while (sched.next(tc, r)) {
     const Nanos t0 = clock_.now();
-    (*job.body)(r.begin, r.end, info);
+    body(r.begin, r.end, info);
     throttle.pay(clock_.now() - t0);
   }
 }
 
-void WorkerPool::join(PoolJob& job) {
-  std::atomic<int>& unfinished = *job.unfinished;
-  int n = unfinished.load(std::memory_order_acquire);
-  if (n == 0) return;
-
-  if (spin_then_yield(
-          [&] { return unfinished.load(std::memory_order_acquire) == 0; },
-          spin_budget_, yield_budget_))
-    return;
-
-  job.master_parked->store(true, std::memory_order_seq_cst);
-  for (;;) {
-    n = unfinished.load(std::memory_order_seq_cst);
-    if (n == 0) break;
-    unfinished.wait(n, std::memory_order_seq_cst);
+void WorkerPool::open_window(const platform::TeamLayout& layout, PoolJob& job,
+                             u64 seq0) {
+  if (options_.bind_threads) try_bind_to_core(layout.core_of(0));
+  job.layout = &layout;
+  for (int tid = 1; tid < layout.nthreads(); ++tid) {
+    CoreSlot& slot = slots_[static_cast<usize>(layout.core_of(tid))];
+    Dock& dock = *slot.dock;
+    dock.job = &job;
+    dock.tid = tid;
+    dock.base_gen = dock.gen.load(std::memory_order_relaxed) + 1;
+    dock.base_seq = seq0;
   }
-  job.master_parked->store(false, std::memory_order_relaxed);
+}
+
+void WorkerPool::publish_entry(const platform::TeamLayout& layout) {
+  const int n = layout.nthreads();
+  if (n <= 1) return;  // single-core partition: the master runs alone
+  for (int tid = 1; tid < n; ++tid) {
+    CoreSlot& slot = slots_[static_cast<usize>(layout.core_of(tid))];
+    Dock& dock = *slot.dock;
+    dock.gen.store(dock.gen.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_seq_cst);
+    // Lazy spawn: the thread starts after the dock is published, so its
+    // first acquire read already sees the window (thread creation orders
+    // the prior stores).
+    if (!slot.spawned) spawn(slot, layout.core_of(tid));
+  }
+  epoch_->fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_->load(std::memory_order_seq_cst) != 0) epoch_->notify_all();
+}
+
+void WorkerPool::run_entry_master(const platform::TeamLayout& layout,
+                                  PoolJob& job, u64 seq) {
+  PoolJob::Entry& entry = job.entry_of(seq);
+  if (entry.dep_seq != 0) wait_entry(job, entry.dep_seq);
+  participate(layout, *entry.sched, *entry.body, /*tid=*/0,
+              slots_[static_cast<usize>(layout.core_of(0))].throttle);
+  entry.gate.check_in(seq);
 }
 
 void WorkerPool::run_loop(const platform::TeamLayout& layout, i64 count,
@@ -144,41 +178,31 @@ void WorkerPool::run_loop(const platform::TeamLayout& layout, i64 count,
   const int n = layout.nthreads();
   AID_CHECK_MSG(n >= 1, "empty partition");
 
-  job.sched = &sched;
-  job.body = &body;
-  job.layout = &layout;
-
-  CoreSlot& master_slot = slots_[static_cast<usize>(layout.core_of(0))];
-  if (options_.bind_threads) try_bind_to_core(layout.core_of(0));
-
   if (n == 1 || count == 0) {
     // Serial fast path: a single-core partition (or an empty loop) has
-    // nothing to dispatch — the master participates alone.
-    participate(job, /*tid=*/0, master_slot.throttle);
-  } else {
-    job.unfinished->store(n - 1, std::memory_order_relaxed);
-    for (int tid = 1; tid < n; ++tid) {
-      CoreSlot& slot = slots_[static_cast<usize>(layout.core_of(tid))];
-      Dock& dock = *slot.dock;
-      dock.job = &job;
-      dock.tid = tid;
-      dock.gen.store(dock.gen.load(std::memory_order_relaxed) + 1,
-                     std::memory_order_seq_cst);
-      // Lazy spawn: the thread starts after the dock is published, so its
-      // first acquire read already sees the job (thread creation orders
-      // the prior stores).
-      if (!slot.spawned) spawn(slot, layout.core_of(tid));
-    }
-    epoch_->fetch_add(1, std::memory_order_seq_cst);
-    if (sleepers_->load(std::memory_order_seq_cst) != 0) epoch_->notify_all();
-
-    participate(job, /*tid=*/0, master_slot.throttle);
-    join(job);
+    // nothing to dispatch — the master participates alone, with no entry
+    // ring traffic at all. (The dispatching path binds the master in
+    // open_window instead.)
+    if (options_.bind_threads) try_bind_to_core(layout.core_of(0));
+    participate(layout, sched, body, /*tid=*/0,
+                slots_[static_cast<usize>(layout.core_of(0))].throttle);
+    return;
   }
 
-  job.sched = nullptr;
-  job.body = nullptr;
-  job.layout = nullptr;
+  // A one-entry window. The ring reuse guard holds because every previous
+  // construct on this job was flushed before its run returned.
+  const u64 seq = job.next_seq++;
+  PoolJob::Entry& entry = job.entry_of(seq);
+  AID_DCHECK(seq <= PoolJob::kChainRing ||
+             entry.gate.complete(seq - PoolJob::kChainRing));
+  entry.sched = &sched;
+  entry.body = &body;
+  entry.dep_seq = 0;
+  entry.gate.arm(n);
+  open_window(layout, job, seq);
+  publish_entry(layout);
+  run_entry_master(layout, job, seq);
+  wait_entry(job, seq);
 }
 
 }  // namespace aid::pool

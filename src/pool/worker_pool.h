@@ -8,12 +8,22 @@
 // concurrently without sharing any synchronization beyond the sleep epoch.
 //
 // The dispatch mechanism is PR 1's generation dock, per core instead of per
-// team thread: each core slot has a cache-line-padded {generation, job,
-// local tid} mailbox. Publishing a job to a partition writes the job
-// pointer and the worker's partition-local tid into each member dock, then
-// release-stores the bumped generation. Repartitioning therefore needs no
-// thread teardown — a revoked core simply stops having jobs published to
-// its dock and its worker parks on the shared epoch futex.
+// team thread, extended (PR 3) with a per-job ring of in-flight chain
+// entries: each PoolJob carries kChainRing entry slots `{scheduler, body,
+// dependency, completion countdown}` keyed by a monotone entry sequence
+// number, and each core dock maps its generations onto those sequences
+// through a *window* base pair {base_gen, base_seq}. Publishing entry seq
+// to a partition bumps every member dock by one generation; a worker that
+// observes its dock at generation g executes every entry in (last-seen, g]
+// in order. That is what lets a chain of loops flow with nowait semantics:
+// the app's master publishes loop k+1 while stragglers still drain loop k,
+// and only explicit dependency edges (entry.dep_seq) gate entry.
+//
+// Repartitioning therefore still needs no thread teardown — a revoked core
+// simply stops having windows opened on its dock and its worker parks on
+// the shared epoch futex. A window never spans a repartition: the owning
+// master flushes every published entry before it rewrites dock window
+// fields or changes the partition (see PoolManager::run_chain).
 //
 // The calling thread (the app's master) participates as partition tid 0 on
 // layout.core_of(0), exactly like Team's master: single-core partitions
@@ -26,10 +36,12 @@
 // pool itself is mechanism, not policy.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <thread>
 #include <vector>
 
+#include "common/completion_gate.h"
 #include "common/padded.h"
 #include "common/time_source.h"
 #include "platform/platform.h"
@@ -40,16 +52,41 @@
 
 namespace aid::pool {
 
-/// One in-flight loop of one app. The caller owns the object and must keep
-/// it alive until the pool shuts down (workers touch `unfinished` /
-/// `master_parked` briefly after the master's run_loop returns; the
-/// PoolManager parks retired jobs instead of freeing them).
+/// One app's in-flight dispatch state: a ring of chain entries keyed by a
+/// monotone sequence number (a plain run_loop is a chain of one). The
+/// caller owns the object and must keep it alive until the pool shuts down
+/// (workers touch an entry's completion words briefly after the master's
+/// final wait returns; the PoolManager parks retired jobs instead of
+/// freeing them).
 struct PoolJob {
-  sched::LoopScheduler* sched = nullptr;
-  const rt::RangeBody* body = nullptr;
+  /// In-flight constructs the entry ring can hold before the publisher
+  /// must wait for the oldest to drain. Matches rt::Team::kChainRing.
+  static constexpr u64 kChainRing = 8;
+
+  /// One in-flight construct. `sched`/`body`/`dep_seq` are plain fields,
+  /// ordered by the owning dock generations' release-stores; completion
+  /// is the shared gate protocol (common/completion_gate.h, same as
+  /// rt::Team::ChainSlot) keyed by the monotone entry sequence.
+  struct Entry {
+    sched::LoopScheduler* sched = nullptr;
+    const rt::RangeBody* body = nullptr;
+    u64 dep_seq = 0;  ///< entry sequence that must complete first (0 = none)
+    CompletionGate gate;
+  };
+
+  /// The partition the current window runs on. Stable for a window's whole
+  /// lifetime (the master flushes before changing it).
   const platform::TeamLayout* layout = nullptr;
-  Padded<std::atomic<int>> unfinished;
-  Padded<std::atomic<bool>> master_parked;
+  /// Next entry sequence to publish (master-only; monotone for the job's
+  /// lifetime, so `completed` never goes backwards across apps recycling
+  /// the job). Sequence 0 is reserved as "no dependency".
+  u64 next_seq = 1;
+  std::array<Entry, kChainRing> ring;
+
+  [[nodiscard]] Entry& entry_of(u64 seq) { return ring[seq % kChainRing]; }
+  [[nodiscard]] const Entry& entry_of(u64 seq) const {
+    return ring[seq % kChainRing];
+  }
 };
 
 class WorkerPool {
@@ -70,10 +107,46 @@ class WorkerPool {
   /// partition described by `layout` (core ids are platform core ids).
   /// The calling thread participates as tid 0; tids 1.. are dispatched to
   /// the workers owning those cores (spawned on first use). Blocks until
-  /// the partition's implicit barrier completes.
+  /// the partition's implicit barrier completes. Equivalent to a
+  /// one-entry window: open_window + publish_entry + run_entry_master +
+  /// wait_entry.
   void run_loop(const platform::TeamLayout& layout, i64 count,
                 sched::LoopScheduler& sched, const rt::RangeBody& body,
                 PoolJob& job);
+
+  // --- chain windows (the loop-pipeline dispatch path) ---------------------
+  //
+  // A *window* is a run of consecutively published entries executed on one
+  // fixed partition. PoolManager::run_chain drives these primitives so it
+  // can interleave repartition commits between ring entries: flush, close
+  // the window, adopt the new partition, open a new window.
+
+  /// Associate every worker core of `layout` with `job` and map the next
+  /// published generations onto entry sequences seq0, seq0+1, ... Workers
+  /// are spawned lazily; nothing is dispatched yet. The previous window on
+  /// these cores must be fully complete.
+  void open_window(const platform::TeamLayout& layout, PoolJob& job,
+                   u64 seq0);
+
+  /// Publish the next staged entry of the open window (the caller has
+  /// filled the ring entry's fields and countdown): bump every worker dock
+  /// of `layout` by one generation and wake sleepers.
+  void publish_entry(const platform::TeamLayout& layout);
+
+  /// The master's turn on entry `seq`: honor its dependency edge,
+  /// participate as partition tid 0, and check into the countdown.
+  void run_entry_master(const platform::TeamLayout& layout, PoolJob& job,
+                        u64 seq);
+
+  /// Spin-then-block until entry `seq` has fully completed.
+  void wait_entry(PoolJob& job, u64 seq) {
+    job.entry_of(seq).gate.wait(seq, spin_budget_, yield_budget_);
+  }
+
+  /// Non-blocking completion probe (ring reuse guard for publishers).
+  [[nodiscard]] bool entry_complete(const PoolJob& job, u64 seq) const {
+    return job.entry_of(seq).gate.complete(seq);
+  }
 
   [[nodiscard]] const platform::Platform& platform() const {
     return platform_;
@@ -85,13 +158,18 @@ class WorkerPool {
   }
 
  private:
-  /// Per-core dispatch mailbox. `job`/`tid` are plain fields ordered by the
-  /// release-store of `gen` (single publisher per dock — the owning
-  /// master).
+  /// Per-core dispatch mailbox. The non-atomic fields are the current
+  /// *window*: the owning job, this core's partition-local tid, and the
+  /// {generation, sequence} base pair mapping dock generations onto the
+  /// job's entry ring. All are plain fields ordered by the release-store
+  /// of `gen` (single publisher per dock — the owning master), and stable
+  /// until the window is flushed.
   struct Dock {
     std::atomic<u64> gen{0};
     PoolJob* job = nullptr;
     int tid = 0;
+    u64 base_gen = 0;  ///< dock generation of the window's first entry
+    u64 base_seq = 0;  ///< job entry sequence of the window's first entry
   };
 
   struct CoreSlot {
@@ -103,9 +181,10 @@ class WorkerPool {
 
   void spawn(CoreSlot& slot, int core_id);
   void worker_main(CoreSlot& slot);
-  void participate(PoolJob& job, int tid, const rt::Throttle& throttle);
+  void participate(const platform::TeamLayout& layout,
+                   sched::LoopScheduler& sched, const rt::RangeBody& body,
+                   int tid, const rt::Throttle& throttle);
   u64 wait_for_dispatch(Dock& dock, u64 seen);
-  void join(PoolJob& job);
 
   platform::Platform platform_;
   Options options_;

@@ -1,5 +1,6 @@
 #include "rt/gomp_compat.h"
 
+#include <atomic>
 #include <barrier>
 #include <map>
 #include <memory>
@@ -15,13 +16,16 @@ namespace {
 
 /// One work-sharing construct instance, shared by the team. Instances are
 /// keyed by their sequence number (how many constructs each thread has
-/// entered), reproducing libgomp's work-share chaining.
+/// entered), reproducing libgomp's work-share chaining. `exited` is atomic
+/// so the nowait exit path never touches the team mutex: a thread leaving
+/// loop k must be able to run ahead into loop k+1 (and beyond) while a
+/// straggler is still inside loop k.
 struct WorkShareInstance {
   std::unique_ptr<sched::IterationSpace> space;
   std::unique_ptr<sched::LoopScheduler> sched;
   long user_start = 0;
   long user_incr = 1;
-  int exited = 0;
+  std::atomic<int> exited{0};
 };
 
 struct GompTeamState {
@@ -29,6 +33,9 @@ struct GompTeamState {
       : barrier(nthreads), team_size(nthreads) {}
 
   std::mutex mutex;
+  // Node-based map: instance addresses stay stable while run-ahead
+  // threads insert new work shares and the sweep in loop_runtime_start
+  // erases fully-exited ones (a thread's tls.current survives both).
   std::map<u64, WorkShareInstance> shares;
   std::barrier<> barrier;
   int team_size;
@@ -90,6 +97,14 @@ bool aid_gomp_loop_runtime_start(long start, long end, long incr,
   GompTeamState& state = *tls.state;
   {
     const std::scoped_lock lock(state.mutex);
+    // Deferred cleanup for the lock-free nowait exit: an instance whose
+    // every team member has exited can never be touched again (the exited
+    // increment is each thread's final access), so sweep such instances
+    // here instead of in the exit path.
+    std::erase_if(state.shares, [&](const auto& kv) {
+      return kv.second.exited.load(std::memory_order_acquire) ==
+             state.team_size;
+    });
     WorkShareInstance& ws = state.shares[tls.sequence];
     if (ws.sched == nullptr) {
       // First thread to arrive initializes the work share; the schedule is
@@ -125,15 +140,17 @@ bool aid_gomp_loop_runtime_next(long* istart, long* iend) {
 
 namespace {
 
+/// Lock-free work-share exit (the `nowait` fast path): mark this thread
+/// out with one atomic increment and advance to the next construct. No
+/// team mutex, no map mutation — a thread leaving loop k can immediately
+/// enter loop k+1's start while a straggler still pulls chunks from loop
+/// k's scheduler. Fully-exited instances are swept by the next
+/// loop_runtime_start (the release-increment / acquire-sweep pairing makes
+/// the instance's final state visible to the sweeping thread).
 void finish_workshare() {
   AID_CHECK_MSG(tls.state != nullptr, "loop_end outside aid_gomp_parallel");
   AID_CHECK_MSG(tls.current != nullptr, "loop_end without a work share");
-  GompTeamState& state = *tls.state;
-  {
-    const std::scoped_lock lock(state.mutex);
-    WorkShareInstance& ws = state.shares[tls.sequence];
-    if (++ws.exited == state.team_size) state.shares.erase(tls.sequence);
-  }
+  tls.current->exited.fetch_add(1, std::memory_order_release);
   tls.current = nullptr;
   ++tls.sequence;
 }

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/env.h"
+#include "pipeline/loop_chain.h"
 #include "pool/pool_manager.h"
 
 namespace aid::rt {
@@ -54,6 +55,13 @@ void Runtime::run_loop(i64 count, const sched::ScheduleSpec& spec,
     lease_->run_loop(count, spec, body);
   else
     team_->run_loop(count, spec, body);
+}
+
+void Runtime::run_chain(const pipeline::LoopChain& chain) {
+  if (lease_ != nullptr)
+    lease_->run_chain(chain);
+  else
+    team_->run_chain(chain);
 }
 
 platform::TeamLayout Runtime::layout() const {

@@ -28,6 +28,10 @@
 #include "rt/runtime_config.h"
 #include "rt/team.h"
 
+namespace aid::pipeline {
+class LoopChain;
+}  // namespace aid::pipeline
+
 namespace aid::pool {
 class AppHandle;
 }  // namespace aid::pool
@@ -49,6 +53,12 @@ class Runtime {
   /// partition. This is the construct every public loop entry routes to.
   void run_loop(i64 count, const sched::ScheduleSpec& spec,
                 const RangeBody& body);
+
+  /// Execute a pipeline::LoopChain with nowait semantics on the team or
+  /// the leased pool partition (pipelined over the generation docks; in
+  /// pool mode, repartitions commit between ring entries). Blocks until
+  /// the whole chain completes. See src/pipeline/README.md.
+  void run_chain(const pipeline::LoopChain& chain);
 
   template <typename F>
   void parallel_for(i64 start, i64 end, i64 step,

@@ -4,6 +4,7 @@
 #include "common/check.h"
 #include "common/env.h"
 #include "common/spin_wait.h"
+#include "pipeline/loop_chain.h"
 
 namespace aid::rt {
 
@@ -40,7 +41,7 @@ Team::Team(const platform::Platform& platform, int nthreads,
 Team::~Team() {
   // Shutdown is the cold path: bump every dock and broadcast on the shared
   // epoch unconditionally. Workers check shutting_down_ before touching the
-  // job fields.
+  // ring.
   shutting_down_.store(true, std::memory_order_seq_cst);
   ++job_generation_;
   for (auto& dock : docks_)
@@ -83,46 +84,28 @@ u64 Team::wait_for_dispatch(Dock& dock, u64 seen) {
   }
 }
 
-void Team::join_workers() {
-  int n = unfinished_->load(std::memory_order_acquire);
-  if (n == 0) return;
-
-  if (spin_then_yield(
-          [&] {
-            return unfinished_->load(std::memory_order_acquire) == 0;
-          },
-          spin_budget_, yield_budget_))
-    return;
-
-  // Mirror of wait_for_dispatch: publish parked, then re-check, so the last
-  // worker's decrement-then-check-parked cannot slip between our check and
-  // our sleep without producing a wake.
-  master_parked_->store(true, std::memory_order_seq_cst);
-  for (;;) {
-    n = unfinished_->load(std::memory_order_seq_cst);
-    if (n == 0) break;
-    unfinished_->wait(n, std::memory_order_seq_cst);
-  }
-  master_parked_->store(false, std::memory_order_relaxed);
-}
-
 void Team::worker_main(int tid) {
   Dock& dock = *docks_[static_cast<usize>(tid - 1)];
   u64 seen = 0;
   for (;;) {
-    seen = wait_for_dispatch(dock, seen);
+    const u64 g = wait_for_dispatch(dock, seen);
     if (shutting_down_.load(std::memory_order_acquire)) return;
-    participate(tid);
-    // Completion barrier check-in. The release ordering (via seq_cst)
-    // publishes this worker's scheduler mutations to the master's stats()
-    // read; the parked check pairs with join_workers' Dekker sequence.
-    if (unfinished_->fetch_sub(1, std::memory_order_seq_cst) == 1 &&
-        master_parked_->load(std::memory_order_seq_cst))
-      unfinished_->notify_one();
+    // The dock may have advanced several generations while this worker was
+    // draining earlier ones (a chain in flight): process every published
+    // construct in order. The acquire read of `g` makes all slots staged up
+    // to generation g visible.
+    for (u64 gen = seen + 1; gen <= g; ++gen) {
+      ChainSlot& slot = slot_of(gen);
+      if (slot.dep_gen != 0) wait_generation(slot.dep_gen);
+      participate(tid, *slot.sched, *slot.body);
+      slot.gate.check_in(gen);
+    }
+    seen = g;
   }
 }
 
-void Team::participate(int tid) {
+void Team::participate(int tid, sched::LoopScheduler& sched,
+                       const RangeBody& body) {
   sched::ThreadContext tc{
       .tid = tid,
       .core_type = layout_.core_type_of(tid),
@@ -133,11 +116,36 @@ void Team::participate(int tid) {
   const WorkerInfo info{tid, tc.core_type, tc.speed};
 
   sched::IterRange r;
-  while (job_sched_->next(tc, r)) {
+  while (sched.next(tc, r)) {
     const Nanos t0 = clock_.now();
-    (*job_body_)(r.begin, r.end, info);
+    body(r.begin, r.end, info);
     throttle.pay(clock_.now() - t0);
   }
+}
+
+u64 Team::publish(sched::LoopScheduler* sched, const RangeBody* body,
+                  u64 dep_gen, std::unique_ptr<sched::LoopScheduler> owned) {
+  const u64 gen = job_generation_ + 1;
+  ChainSlot& slot = slot_of(gen);
+  // Ring reuse guard (callers enforce): the previous occupant, generation
+  // gen - kChainRing, has completed, so nobody reads the old fields and
+  // the old owned scheduler can be replaced.
+  AID_DCHECK(gen <= kChainRing || slot.gate.complete(gen - kChainRing));
+  slot.sched = sched;
+  slot.body = body;
+  slot.dep_gen = dep_gen;
+  slot.owned = std::move(owned);
+  slot.gate.arm(layout_.nthreads());
+  ++job_generation_;
+  // Publish per-dock generations first, then the shared epoch, then check
+  // for sleepers: pairs with wait_for_dispatch's register-then-re-check
+  // (Dekker), so the single notify_all syscall is paid only when some
+  // worker actually reached the futex.
+  for (auto& dock : docks_)
+    dock->gen.store(job_generation_, std::memory_order_seq_cst);
+  epoch_->store(job_generation_, std::memory_order_seq_cst);
+  if (sleepers_->load(std::memory_order_seq_cst) != 0) epoch_->notify_all();
+  return gen;
 }
 
 void Team::run_loop(i64 count, const sched::ScheduleSpec& spec,
@@ -147,34 +155,88 @@ void Team::run_loop(i64 count, const sched::ScheduleSpec& spec,
                 "nested/concurrent run_loop is not supported");
 
   auto sched = sched::make_scheduler(spec, count, layout_);
-  job_sched_ = sched.get();
-  job_body_ = &body;
 
   if (docks_.empty() || count == 0) {
     // Serial fast path: a one-thread team (or an empty loop) has nothing to
     // dispatch — run the master's participation with zero synchronization.
-    participate(/*tid=*/0);
+    participate(/*tid=*/0, *sched, body);
   } else {
-    unfinished_->store(static_cast<int>(docks_.size()),
-                       std::memory_order_relaxed);
-    ++job_generation_;
-    // Publish per-dock generations first, then the shared epoch, then check
-    // for sleepers: pairs with wait_for_dispatch's register-then-re-check
-    // (Dekker), so the single notify_all syscall is paid only when some
-    // worker actually reached the futex.
-    for (auto& dock : docks_)
-      dock->gen.store(job_generation_, std::memory_order_seq_cst);
-    epoch_->store(job_generation_, std::memory_order_seq_cst);
-    if (sleepers_->load(std::memory_order_seq_cst) != 0)
-      epoch_->notify_all();
-
-    participate(/*tid=*/0);  // the master is team member 0, as in libgomp
-    join_workers();
+    // A run_loop is a chain of one: publish, participate as team member 0
+    // (as in libgomp), check into the countdown, and flush immediately.
+    // The ring reuse guard holds because every previous construct was
+    // flushed before its run_loop/run_chain returned.
+    const u64 gen = publish(sched.get(), &body, /*dep_gen=*/0, nullptr);
+    participate(/*tid=*/0, *sched, body);
+    slot_of(gen).gate.check_in(gen);
+    wait_generation(gen);
   }
 
-  job_sched_ = nullptr;
-  job_body_ = nullptr;
   last_stats_ = sched->stats();
+  in_loop_.store(false, std::memory_order_release);
+}
+
+void Team::run_chain(const pipeline::LoopChain& chain) {
+  const auto& loops = chain.loops();
+  if (loops.empty()) return;
+  AID_CHECK_MSG(!in_loop_.exchange(true),
+                "nested/concurrent run_chain is not supported");
+
+  if (docks_.empty()) {
+    // One-thread team: the chain degenerates to running each loop in
+    // order; every dependency is trivially satisfied.
+    for (const auto& loop : loops) {
+      auto sched = sched::make_scheduler(loop.spec, loop.count, layout_);
+      participate(/*tid=*/0, *sched, loop.body);
+      last_stats_ = sched->stats();
+    }
+    in_loop_.store(false, std::memory_order_release);
+    return;
+  }
+
+  // Chain entry k runs as generation base + 1 + k. The master is both the
+  // publisher and team member 0: it stages loops into the ring as long as
+  // slots are free (so workers flow ahead without it), and otherwise works
+  // through its own shares in chain order. It blocks only when the ring is
+  // full with constructs it has already participated in — and at the
+  // chain-end flush.
+  const u64 base = job_generation_;
+  const usize total = loops.size();
+  usize pub = 0;  // loops published so far
+  usize run = 0;  // loops the master has participated in
+  while (run < total) {
+    while (pub < total) {
+      const u64 gen = base + 1 + pub;
+      // Ring reuse guard: the slot's previous occupant must be complete.
+      if (gen > kChainRing && !slot_of(gen).gate.complete(gen - kChainRing))
+        break;
+      const auto& loop = loops[pub];
+      auto sched = sched::make_scheduler(loop.spec, loop.count, layout_);
+      const u64 dep =
+          loop.depends_on >= 0
+              ? base + 1 + static_cast<u64>(loop.depends_on)
+              : 0;
+      sched::LoopScheduler* raw = sched.get();
+      publish(raw, &loop.body, dep, std::move(sched));
+      ++pub;
+    }
+    if (run < pub) {
+      const u64 gen = base + 1 + run;
+      ChainSlot& slot = slot_of(gen);
+      if (slot.dep_gen != 0) wait_generation(slot.dep_gen);
+      participate(/*tid=*/0, *slot.sched, loops[run].body);
+      slot.gate.check_in(gen);
+      ++run;
+    } else {
+      // Ring full, master has participated everywhere it can: wait for the
+      // occupant blocking the next publish (workers are draining it).
+      wait_generation(base + 1 + pub - kChainRing);
+    }
+  }
+
+  // The chain-end flush: the only full barrier in the chain.
+  for (usize k = 0; k < total; ++k) wait_generation(base + 1 + k);
+
+  last_stats_ = slot_of(base + total).owned->stats();
   in_loop_.store(false, std::memory_order_release);
 }
 

@@ -4,7 +4,10 @@
 // as tid 0, as in libgomp). run_loop() is the work-sharing construct: every
 // team member repeatedly pulls ranges from the loop's scheduler — the
 // GOMP_loop_*_start/next protocol — executes the body on them, and joins an
-// implicit barrier.
+// implicit barrier. run_chain() is the pipelined multi-construct form: a
+// whole pipeline::LoopChain is published as consecutive dispatch
+// generations and team members flow from loop k to loop k+1 with nowait
+// semantics (no inter-construct barrier; see below).
 //
 // The fork/join critical path is lock-free in steady state (see
 // src/rt/README.md for the design): dispatch is a per-worker cache-line-
@@ -14,24 +17,40 @@
 // hints before blocking in std::atomic::wait (futex). No mutex or
 // condition variable exists anywhere in the runtime.
 //
+// Generation ring: every published construct (a run_loop, or one entry of a
+// run_chain) occupies the chain-slot ring entry `generation % kChainRing`.
+// A worker that observes its dock at generation g processes every slot in
+// (last-seen, g] in order, so the master can keep publishing loop k+1
+// while stragglers drain loop k; per-slot completion is an atomic countdown
+// whose last decrementer publishes the slot's generation into a monotone
+// `completed` word (the wait channel for dependent loops and for the
+// master's flush). A slot is reused for generation g only once its previous
+// occupant g - kChainRing has fully completed.
+//
 // Thread-to-core semantics come from a TeamLayout (SB/BS mapping). On hosts
 // that are not real AMPs, per-worker Throttles emulate the asymmetry
 // (rt/throttle.h); on a real AMP, enable AID_BIND_THREADS and disable
 // AID_EMULATE_AMP to use hardware asymmetry via affinity.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/completion_gate.h"
 #include "common/padded.h"
 #include "common/time_source.h"
 #include "platform/team_layout.h"
 #include "rt/runtime_config.h"
 #include "rt/throttle.h"
 #include "sched/loop_scheduler.h"
+
+namespace aid::pipeline {
+class LoopChain;
+}  // namespace aid::pipeline
 
 namespace aid::rt {
 
@@ -49,6 +68,11 @@ using RangeBody = std::function<void(i64 begin, i64 end, const WorkerInfo&)>;
 
 class Team {
  public:
+  /// In-flight constructs the generation ring can hold: a run_chain keeps
+  /// up to this many loops outstanding before the publisher must wait for
+  /// the oldest to drain. Power of two (slot index is gen % kChainRing).
+  static constexpr u64 kChainRing = 8;
+
   /// The platform is copied; the layout binds nthreads (0 = all cores) to
   /// cores per `mapping`. `sf_cpu_time` makes the schedulers' sampling use
   /// per-thread CPU time (the paper's footnote-3 oversubscription fix)
@@ -66,6 +90,14 @@ class Team {
   void run_loop(i64 count, const sched::ScheduleSpec& spec,
                 const RangeBody& body);
 
+  /// Execute a chain of loops with nowait semantics: loop k+1 is dispatched
+  /// the moment it is published, each team member advances to it as soon as
+  /// its own share of loop k drains, and only `depends_on` edges (full
+  /// predecessor completion) gate entry. Blocks until every loop of the
+  /// chain has completed (the chain-end flush). Not reentrant, and not
+  /// concurrent with run_loop.
+  void run_chain(const pipeline::LoopChain& chain);
+
   /// Per-iteration convenience over a user iteration space.
   template <typename F>
   void parallel_for(i64 start, i64 end, i64 step,
@@ -80,7 +112,8 @@ class Team {
   [[nodiscard]] const platform::TeamLayout& layout() const { return layout_; }
   [[nodiscard]] int nthreads() const { return layout_.nthreads(); }
 
-  /// Stats of the most recent loop (SF estimate, pool removals, ...).
+  /// Stats of the most recent loop (SF estimate, pool removals, ...). For a
+  /// chain: the final entry's stats.
   [[nodiscard]] sched::SchedulerStats last_loop_stats() const {
     return last_stats_;
   }
@@ -95,16 +128,45 @@ class Team {
     std::atomic<u64> gen{0};
   };
 
+  /// One in-flight construct (ring entry `generation % kChainRing`).
+  /// `sched`/`body`/`dep_gen` are plain fields: the master writes them
+  /// before the release-store that publishes the generation to the docks,
+  /// and no worker touches a slot whose generation it has not observed.
+  /// The gate's monotone watermark makes a dependency wait on an
+  /// already-reused slot return immediately instead of deadlocking on the
+  /// new occupant's countdown (common/completion_gate.h).
+  struct ChainSlot {
+    sched::LoopScheduler* sched = nullptr;
+    const RangeBody* body = nullptr;
+    u64 dep_gen = 0;  ///< generation that must complete first (0 = none)
+    std::unique_ptr<sched::LoopScheduler> owned;  ///< master-only lifetime
+    CompletionGate gate;
+  };
+
   void worker_main(int tid);
-  void participate(int tid);
+  void participate(int tid, sched::LoopScheduler& sched,
+                   const RangeBody& body);
+
+  /// Spin-then-block until generation `gen` has fully completed.
+  void wait_generation(u64 gen) {
+    slot_of(gen).gate.wait(gen, spin_budget_, yield_budget_);
+  }
+
+  [[nodiscard]] ChainSlot& slot_of(u64 gen) {
+    return ring_[gen % kChainRing];
+  }
+
+  /// Master side: stage `sched`/`body` into the next generation's ring slot
+  /// and publish it to every dock (the slot's previous occupant must have
+  /// completed — callers enforce the ring reuse guard). Returns the new
+  /// generation. `owned` optionally transfers scheduler ownership to the
+  /// slot (kept alive until the slot is reused).
+  u64 publish(sched::LoopScheduler* sched, const RangeBody* body, u64 dep_gen,
+              std::unique_ptr<sched::LoopScheduler> owned);
 
   /// Worker side: spin-then-block until `dock.gen` leaves `seen`; returns
   /// the new generation.
   u64 wait_for_dispatch(Dock& dock, u64 seen);
-
-  /// Master side: spin-then-block until every worker has checked into the
-  /// completion barrier (unfinished_ == 0).
-  void join_workers();
 
   platform::Platform platform_;
   platform::TeamLayout layout_;
@@ -113,25 +175,25 @@ class Team {
   const TimeSource* sf_clock_;  // what the schedulers' sampling observes
   std::vector<Padded<Throttle>> throttles_;
 
-  // Job dispatch: the master writes {job_sched_, job_body_} (plain stores),
-  // then publishes the new generation into every dock and finally into
-  // epoch_ with release-or-stronger stores; a worker's acquire read of its
-  // dock's generation makes the job fields visible. Workers that exhaust
-  // their spin budget sleep in epoch_.wait() (futex) after bumping
-  // sleepers_ — the master pays one notify_all syscall only when
-  // sleepers_ != 0. Completion: each worker decrements unfinished_
-  // (release); the master's acquire read of zero makes all scheduler
-  // mutations visible before stats() is read. Steady state takes no lock.
+  // Job dispatch: the master stages the construct into its ring slot (plain
+  // stores), then publishes the new generation into every dock and finally
+  // into epoch_ with release-or-stronger stores; a worker's acquire read of
+  // its dock's generation makes every staged slot up to that generation
+  // visible. Workers that exhaust their spin budget sleep in epoch_.wait()
+  // (futex) after bumping sleepers_ — the master pays one notify_all
+  // syscall only when sleepers_ != 0. Completion: every team member
+  // (master included) decrements the slot's countdown; the last one
+  // publishes the generation into the slot's `completed` word, which
+  // dependency waits and the master's flush read with acquire ordering —
+  // making all scheduler mutations visible before stats() is read. Steady
+  // state takes no lock.
   u64 job_generation_ = 0;  // master-only
-  sched::LoopScheduler* job_sched_ = nullptr;
-  const RangeBody* job_body_ = nullptr;
+  std::array<ChainSlot, kChainRing> ring_;
   std::atomic<bool> shutting_down_{false};
   Padded<std::atomic<u64>> epoch_;        // workers' shared sleep channel
   Padded<std::atomic<int>> sleepers_;     // workers blocked in epoch_.wait
-  Padded<std::atomic<int>> unfinished_;   // completion countdown
-  Padded<std::atomic<bool>> master_parked_;
   std::vector<Padded<Dock>> docks_;  // worker tid t uses docks_[t - 1]
-  std::atomic<bool> in_loop_{false};  // reentrancy guard
+  std::atomic<bool> in_loop_{false};  // reentrancy guard (loop OR chain)
   i32 spin_budget_ = 0;   // cpu_relax budget before yielding/blocking
   i32 yield_budget_ = 0;  // sched_yield budget before blocking (see
                           // common/spin_wait.h: oversubscribed hosts only)

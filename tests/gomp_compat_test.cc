@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "common/env.h"
@@ -114,6 +116,67 @@ TEST(GompCompat, NowaitPlusExplicitBarrier) {
   LoopCtx ctx(512);
   aid_gomp_parallel(nowait_body, &ctx);
   for (const auto& h : ctx.hits) ASSERT_EQ(h.load(), 1);
+}
+
+// The nowait contract itself: a slow thread still inside work share k must
+// not block a finished thread from entering (and completing its part of)
+// work share k+1. Thread 0 finishes its chunks of loop k but then stalls
+// *before its aid_gomp_loop_end_nowait* until some other thread has
+// executed an iteration of loop k+1 — which is only possible if that
+// thread's exit from loop k did not wait for thread 0. A barrier-flavored
+// end_nowait would deadlock here; the bounded wait turns that into a
+// test failure instead of a hang.
+struct OverlapCtx {
+  std::atomic<int> hits0{0};
+  std::atomic<int> hits1{0};
+  std::atomic<bool> peer_reached_next{false};
+  std::atomic<bool> timed_out{false};
+};
+
+void nowait_overlap_body(void* data) {
+  auto* ctx = static_cast<OverlapCtx*>(data);
+  const int tid = aid_gomp_thread_num();
+  long start = 0;
+  long end = 0;
+  if (aid_gomp_loop_runtime_start(0, 64, 1, &start, &end)) {
+    do {
+      for (long i = start; i < end; ++i) ctx->hits0.fetch_add(1);
+    } while (aid_gomp_loop_runtime_next(&start, &end));
+  }
+  if (tid == 0) {
+    // Straggle in loop k (chunks done, exit not yet signalled) until a
+    // peer proves it ran loop k+1.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!ctx->peer_reached_next.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        ctx->timed_out.store(true);
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+  aid_gomp_loop_end_nowait();
+  if (aid_gomp_loop_runtime_start(0, 64, 1, &start, &end)) {
+    do {
+      for (long i = start; i < end; ++i) {
+        ctx->hits1.fetch_add(1);
+        if (tid != 0)
+          ctx->peer_reached_next.store(true, std::memory_order_release);
+      }
+    } while (aid_gomp_loop_runtime_next(&start, &end));
+  }
+  aid_gomp_loop_end();
+}
+
+TEST(GompCompat, NowaitDoesNotBlockRunAheadThreads) {
+  OverlapCtx ctx;
+  aid_gomp_parallel(nowait_overlap_body, &ctx);
+  EXPECT_FALSE(ctx.timed_out.load())
+      << "no peer entered loop k+1 while thread 0 straggled in loop k — "
+         "nowait is blocking";
+  EXPECT_EQ(ctx.hits0.load(), 64);
+  EXPECT_EQ(ctx.hits1.load(), 64);
 }
 
 void team_query_body(void* data) {

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json medians against a committed snapshot.
+
+The bench binaries emit BENCH_<name>.json (see bench/bench_util.h): an
+array of {bench, config, metric, median, p95, runs} records. The repo
+commits the previous PR's BENCH_micro_forkjoin.json at the root as the
+perf-trajectory baseline (ROADMAP "fork/join perf trajectory"); this tool
+compares a freshly produced file against it and prints a per-(config,
+metric) median delta report.
+
+By default the report is informational and always exits 0 — fork/join
+latencies on shared/oversubscribed CI hosts are too noisy to gate merges
+on (see src/rt/README.md for the measurement caveats). Pass --strict to
+exit 1 when any regression exceeds the threshold.
+
+Usage:
+  tools/bench_diff.py                      # baseline ./BENCH_micro_forkjoin.json
+                                           # current ./build/BENCH_micro_forkjoin.json
+  tools/bench_diff.py --baseline A.json --current B.json --threshold 25
+  tools/bench_diff.py --strict             # non-zero exit on regressions
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    """Return {(config, metric): record} for one BENCH_*.json file."""
+    with open(path, encoding="utf-8") as f:
+        records = json.load(f)
+    return {(r["config"], r["metric"]): r for r in records}
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(
+        description="Diff bench JSON medians against a committed snapshot.")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(repo_root, "BENCH_micro_forkjoin.json"),
+        help="committed snapshot (default: repo-root BENCH_micro_forkjoin.json)")
+    parser.add_argument(
+        "--current",
+        default=os.path.join(repo_root, "build", "BENCH_micro_forkjoin.json"),
+        help="freshly produced file (default: build/BENCH_micro_forkjoin.json)")
+    parser.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="flag |delta| beyond this percentage (default: 10)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 if any regression exceeds the threshold")
+    args = parser.parse_args()
+
+    for path, what in ((args.baseline, "baseline"), (args.current, "current")):
+        if not os.path.exists(path):
+            print(f"bench_diff: {what} file not found: {path}")
+            print("bench_diff: nothing to compare — skipping (exit 0)")
+            return 0
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    keys = sorted(set(baseline) | set(current))
+    regressions = improvements = 0
+    width = max((len(f"{c} {m}") for c, m in keys), default=20)
+
+    print(f"bench_diff: {os.path.relpath(args.current, repo_root)} vs "
+          f"{os.path.relpath(args.baseline, repo_root)} "
+          f"(threshold {args.threshold:.0f}%)\n")
+    print(f"{'config metric'.ljust(width)}  {'base med':>12}  "
+          f"{'cur med':>12}  {'delta':>8}")
+    for key in keys:
+        label = f"{key[0]} {key[1]}".ljust(width)
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None:
+            print(f"{label}  {'-':>12}  {cur['median']:>12.0f}      new")
+            continue
+        if cur is None:
+            print(f"{label}  {base['median']:>12.0f}  {'-':>12}  removed")
+            continue
+        if base["median"] <= 0:
+            continue
+        delta = 100.0 * (cur["median"] - base["median"]) / base["median"]
+        flag = ""
+        if delta >= args.threshold:
+            flag = "  << regression"  # all metrics are latencies: up is bad
+            regressions += 1
+        elif delta <= -args.threshold:
+            flag = "  improvement"
+            improvements += 1
+        print(f"{label}  {base['median']:>12.0f}  {cur['median']:>12.0f}  "
+              f"{delta:>+7.1f}%{flag}")
+
+    print(f"\nbench_diff: {regressions} regression(s), "
+          f"{improvements} improvement(s) beyond ±{args.threshold:.0f}% "
+          f"across {len(keys)} series")
+    if args.strict and regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
