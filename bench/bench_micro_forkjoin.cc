@@ -24,16 +24,37 @@
 //                    flow over the generation-dock ring; one join at the
 //                    chain-end flush).
 //
+// The `shard=` config family measures the work-share pool itself under a
+// steal-heavy arming (the big cluster's shard holds 1/8 of the space, so
+// its threads drain home fast and then steal / bulk-migrate):
+//
+//   take_ns          — one take/steal round-trip (per-op, all threads);
+//   local_share_pct  — removals served by the taker's home shard, in %
+//                      (single pool: 0 — every removal hits the one line
+//                      all clusters write);
+//   rebalances_per_run — contiguous blocks bulk-migrated per drain.
+//
+// shard=single is the classic one-line WorkShare, shard=sharded the
+// per-core-type ShardedWorkShare, shard=fallback1 the ShardedWorkShare
+// forced to one shard (the AID_SHARDS=1 regression guard: it must stay
+// within noise of single). NOTE on 1-CPU hosts: all threads share one
+// L1, so the cross-cluster coherence cost the sharding removes is
+// invisible in take_ns there — the locality story shows in
+// local_share_pct; take_ns separation needs a real multicore.
+//
 // Tunables: AID_BENCH_FORKJOIN_RUNS (samples/config, default 300),
 // AID_BENCH_FORKJOIN_MAXTHREADS (default 16, capped sweep 1,2,4,8,16).
 #include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "common/time_source.h"
 #include "pipeline/loop_chain.h"
 #include "platform/platform.h"
 #include "rt/team.h"
+#include "sched/sharded_work_share.h"
+#include "sched/work_share.h"
 
 namespace {
 
@@ -124,6 +145,137 @@ ChainSamples measure_chain(rt::Team& team, int chain_len, i64 count,
   return out;
 }
 
+// --- shard= family ---------------------------------------------------------
+
+struct ShardSamples {
+  std::vector<double> take_ns;         // per-op, all threads and runs
+  std::vector<double> local_pct;       // per-run home-shard removal share
+  std::vector<double> rebalances;      // per-run bulk migrations
+};
+
+/// Drain `count` iterations with `nthreads` real threads hammering
+/// `take(tid)` in chunks, timing every take/steal round-trip. `rearm`
+/// resets the pool before each run; `counters` reports that run's
+/// {local, remote, rebalances} afterwards.
+template <typename TakeFn, typename RearmFn, typename CounterFn>
+ShardSamples measure_pool(int nthreads, int runs, TakeFn&& take,
+                          RearmFn&& rearm, CounterFn&& counters) {
+  const SteadyTimeSource clock;
+  ShardSamples out;
+  std::vector<std::vector<double>> per_thread(
+      static_cast<usize>(nthreads));
+
+  const int warmup = runs / 10 + 2;
+  for (int r = -warmup; r < runs; ++r) {
+    rearm();
+    for (auto& v : per_thread) v.clear();
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    auto worker = [&](int tid) {
+      auto& samples = per_thread[static_cast<usize>(tid)];
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (;;) {
+        const Nanos t0 = clock.now();
+        const sched::IterRange got = take(tid);
+        const Nanos t1 = clock.now();
+        if (got.empty()) break;
+        samples.push_back(static_cast<double>(t1 - t0));
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<usize>(nthreads - 1));
+    for (int t = 1; t < nthreads; ++t) threads.emplace_back(worker, t);
+    while (ready.load(std::memory_order_acquire) < nthreads - 1)
+      std::this_thread::yield();
+    go.store(true, std::memory_order_release);
+    worker(0);
+    for (auto& t : threads) t.join();
+    if (r < 0) continue;
+    i64 local = 0, remote = 0, rebalances = 0;
+    counters(local, remote, rebalances);
+    for (const auto& v : per_thread)
+      out.take_ns.insert(out.take_ns.end(), v.begin(), v.end());
+    out.local_pct.push_back(local + remote > 0
+                                ? 100.0 * static_cast<double>(local) /
+                                      static_cast<double>(local + remote)
+                                : 0.0);
+    out.rebalances.push_back(static_cast<double>(rebalances));
+  }
+  return out;
+}
+
+void report_shard_family(bench::BenchJsonWriter& json, int nthreads,
+                         i64 count, i64 chunk, int runs) {
+  const auto platform = platform::generic_amp(
+      nthreads - nthreads / 2 > 0 ? nthreads - nthreads / 2 : 1,
+      nthreads / 2 > 0 ? nthreads / 2 : 1, 2.0);
+  const platform::TeamLayout layout(platform, nthreads,
+                                    platform::Mapping::kBigFirst);
+  const sched::ShardTopology topo = sched::ShardTopology::from_layout(
+      layout, /*requested_shards=*/0);
+  // Steal-heavy arming: invert the capacity split so the faster cluster's
+  // threads drain home early and must steal or bulk-migrate.
+  std::vector<double> skew(static_cast<usize>(topo.nshards()), 7.0);
+  if (topo.nshards() > 1) skew.back() = 1.0;
+
+  const auto label = [&](const char* kind) {
+    char config[96];
+    std::snprintf(config, sizeof config,
+                  "threads=%d/iters=%lld/shard=%s", nthreads,
+                  static_cast<long long>(count), kind);
+    return std::string(config);
+  };
+  const auto emit = [&](const std::string& config, const ShardSamples& s) {
+    report(json, config, "take_ns", s.take_ns);
+    report(json, config, "local_share_pct", s.local_pct);
+    report(json, config, "rebalances_per_run", s.rebalances);
+  };
+
+  {
+    // The committed single-pool baseline: one WorkShare line shared by
+    // every thread of every cluster.
+    sched::WorkShare pool(nthreads);
+    emit(label("single"),
+         measure_pool(
+             nthreads, runs,
+             [&](int tid) { return pool.take(chunk, tid); },
+             [&] { pool.reset(count); },
+             [&](i64& local, i64& remote, i64&) {
+               local = 0;
+               remote = pool.removals();
+             }));
+  }
+  {
+    sched::ShardedWorkShare pool(topo, nthreads);
+    emit(label("sharded"),
+         measure_pool(
+             nthreads, runs,
+             [&](int tid) { return pool.take(chunk, tid, topo.home_of(tid)); },
+             [&] { pool.reset(count, skew); },
+             [&](i64& local, i64& remote, i64& rebalances) {
+               local = pool.local_removals();
+               remote = pool.remote_removals();
+               rebalances = pool.rebalances();
+             }));
+  }
+  {
+    // AID_SHARDS=1 fallback: must stay within noise of shard=single.
+    sched::ShardedWorkShare pool(sched::ShardTopology::single(nthreads),
+                                 nthreads);
+    emit(label("fallback1"),
+         measure_pool(
+             nthreads, runs,
+             [&](int tid) { return pool.take(chunk, tid, 0); },
+             [&] { pool.reset(count); },
+             [&](i64& local, i64& remote, i64& rebalances) {
+               local = pool.local_removals();
+               remote = pool.remote_removals();
+               rebalances = pool.rebalances();
+             }));
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -183,6 +335,11 @@ int main() {
         report(json, config, "chain_total_ns", s.chain_total);
       }
     }
+
+    // Steal-heavy pool-level take/steal round-trips (single vs sharded vs
+    // the AID_SHARDS=1 fallback) plus the local-vs-remote removal ratio.
+    report_shard_family(json, nthreads, /*count=*/i64{1} << 12, /*chunk=*/4,
+                        runs);
   }
   return 0;
 }

@@ -65,7 +65,7 @@ void BM_SchedulerNext(benchmark::State& state, const sched::ScheduleSpec spec) {
   const auto platform = platform::generic_amp(2, 2, 3.0);
   const platform::TeamLayout layout(platform, 4, platform::Mapping::kBigFirst);
   SteadyTimeSource clock;
-  sched::ThreadContext tc{0, 1, 3.0, &clock};
+  sched::ThreadContext tc{.tid = 0, .core_type = 1, .speed = 3.0, .time = &clock};
   auto sched = sched::make_scheduler(spec, 1LL << 40, layout);
   sched::IterRange r;
   for (auto _ : state) {

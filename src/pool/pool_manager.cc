@@ -405,7 +405,9 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
             !pool_.entry_complete(*job, seq - PoolJob::kChainRing))
           break;
         const pipeline::ChainedLoop& loop = loops[pub];
-        scheds[pub] = sched::make_scheduler(loop.spec, loop.count, *layout);
+        scheds[pub] = sched::make_scheduler(
+            loop.spec, loop.count, *layout,
+            sched::ShardTopology::from_layout(*layout));
         PoolJob::Entry& entry = job->entry_of(seq);
         entry.sched = scheds[pub].get();
         entry.body = &loop.body;
@@ -492,7 +494,11 @@ void PoolManager::run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
     job = a.job.get();
   }
 
-  auto scheduler = sched::make_scheduler(spec, count, *layout);
+  // Shard membership follows the partition: the topology is derived from
+  // the layout current at construction, so a repartition committed at a
+  // loop boundary (or between chain ring entries) remaps shards with it.
+  auto scheduler = sched::make_scheduler(
+      spec, count, *layout, sched::ShardTopology::from_layout(*layout));
   pool_.run_loop(*layout, count, *scheduler, body, *job);
 
   {

@@ -119,6 +119,7 @@ void WorkerPool::participate(const platform::TeamLayout& layout,
       .tid = tid,
       .core_type = layout.core_type_of(tid),
       .speed = layout.speed_of(tid),
+      .shard = sched.home_shard_of(tid),
       .time = sf_clock_,
   };
   const rt::WorkerInfo info{tid, tc.core_type, tc.speed};

@@ -50,6 +50,8 @@ struct GompTls {
   int tid = 0;
   u64 sequence = 0;  ///< work-share constructs entered so far
   WorkShareInstance* current = nullptr;
+  int shard = 0;  ///< home shard in current's pool (cached at loop start:
+                  ///< loop_runtime_next runs once per chunk)
 };
 
 thread_local GompTls tls;
@@ -58,7 +60,10 @@ SteadyTimeSource g_clock;
 
 sched::ThreadContext context_for(int tid) {
   const auto& layout = *tls.state->layout;
-  return {tid, layout.core_type_of(tid), layout.speed_of(tid), &g_clock};
+  return {.tid = tid,
+          .core_type = layout.core_type_of(tid),
+          .speed = layout.speed_of(tid),
+          .time = &g_clock};
 }
 
 }  // namespace
@@ -112,11 +117,13 @@ bool aid_gomp_loop_runtime_start(long start, long end, long incr,
       ws.space = std::make_unique<sched::IterationSpace>(start, end, incr);
       ws.sched = sched::make_scheduler(
           Runtime::instance().default_schedule(), ws.space->count(),
-          *state.layout);
+          *state.layout,
+          sched::ShardTopology::from_layout(*state.layout));
       ws.user_start = start;
       ws.user_incr = incr;
     }
     tls.current = &ws;
+    tls.shard = ws.sched->home_shard_of(tls.tid);
   }
   return aid_gomp_loop_runtime_next(istart, iend);
 }
@@ -125,6 +132,7 @@ bool aid_gomp_loop_runtime_next(long* istart, long* iend) {
   AID_CHECK_MSG(tls.current != nullptr,
                 "loop_runtime_next without loop_runtime_start");
   sched::ThreadContext tc = context_for(tls.tid);
+  tc.shard = tls.shard;
   sched::IterRange r;
   if (!tls.current->sched->next(tc, r)) return false;
   // Map canonical [begin, end) back to user coordinates. The returned

@@ -31,6 +31,8 @@ RuntimeConfig RuntimeConfig::from_env() {
 
   cfg.use_pool = env::get_bool("AID_POOL", false);
   if (const auto text = env::get("AID_POOL_POLICY")) cfg.pool_policy = *text;
+  const i64 shards = env::get_int("AID_SHARDS", 0);
+  cfg.shards = shards >= 0 ? static_cast<int>(shards) : 0;
   return cfg;
 }
 
@@ -45,6 +47,8 @@ std::string RuntimeConfig::describe() const {
      << " sf_cpu_time=" << (sf_cpu_time ? "on" : "off")
      << " pool=" << (use_pool ? "on" : "off");
   if (use_pool) os << " pool_policy=" << pool_policy;
+  os << " shards="
+     << (shards == 0 ? std::string("auto") : std::to_string(shards));
   return os.str();
 }
 

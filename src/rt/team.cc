@@ -14,6 +14,7 @@ Team::Team(const platform::Platform& platform, int nthreads,
     : platform_(platform),
       layout_(platform_, nthreads > 0 ? nthreads : platform_.num_cores(),
               mapping),
+      shard_topo_(sched::ShardTopology::from_layout(layout_)),
       sf_clock_(sf_cpu_time ? static_cast<const TimeSource*>(&cpu_clock_)
                             : static_cast<const TimeSource*>(&clock_)),
       docks_(static_cast<usize>(layout_.nthreads() - 1)),
@@ -110,6 +111,7 @@ void Team::participate(int tid, sched::LoopScheduler& sched,
       .tid = tid,
       .core_type = layout_.core_type_of(tid),
       .speed = layout_.speed_of(tid),
+      .shard = sched.home_shard_of(tid),
       .time = sf_clock_,
   };
   const Throttle& throttle = *throttles_[static_cast<usize>(tid)];
@@ -154,7 +156,7 @@ void Team::run_loop(i64 count, const sched::ScheduleSpec& spec,
   AID_CHECK_MSG(!in_loop_.exchange(true),
                 "nested/concurrent run_loop is not supported");
 
-  auto sched = sched::make_scheduler(spec, count, layout_);
+  auto sched = sched::make_scheduler(spec, count, layout_, shard_topo_);
 
   if (docks_.empty() || count == 0) {
     // Serial fast path: a one-thread team (or an empty loop) has nothing to
@@ -185,7 +187,8 @@ void Team::run_chain(const pipeline::LoopChain& chain) {
     // One-thread team: the chain degenerates to running each loop in
     // order; every dependency is trivially satisfied.
     for (const auto& loop : loops) {
-      auto sched = sched::make_scheduler(loop.spec, loop.count, layout_);
+      auto sched = sched::make_scheduler(loop.spec, loop.count, layout_,
+                                         shard_topo_);
       participate(/*tid=*/0, *sched, loop.body);
       last_stats_ = sched->stats();
     }
@@ -210,7 +213,8 @@ void Team::run_chain(const pipeline::LoopChain& chain) {
       if (gen > kChainRing && !slot_of(gen).gate.complete(gen - kChainRing))
         break;
       const auto& loop = loops[pub];
-      auto sched = sched::make_scheduler(loop.spec, loop.count, layout_);
+      auto sched = sched::make_scheduler(loop.spec, loop.count, layout_,
+                                         shard_topo_);
       const u64 dep =
           loop.depends_on >= 0
               ? base + 1 + static_cast<u64>(loop.depends_on)

@@ -47,6 +47,7 @@
 #include "rt/runtime_config.h"
 #include "rt/throttle.h"
 #include "sched/loop_scheduler.h"
+#include "sched/shard_topology.h"
 
 namespace aid::pipeline {
 class LoopChain;
@@ -170,6 +171,10 @@ class Team {
 
   platform::Platform platform_;
   platform::TeamLayout layout_;
+  /// Shard layout for every construct this team arms: one pool shard per
+  /// populated core type (AID_SHARDS overrides; =1 is the single-pool
+  /// fallback). Fixed for the team's lifetime because the layout is.
+  sched::ShardTopology shard_topo_;
   SteadyTimeSource clock_;
   ThreadCpuTimeSource cpu_clock_;
   const TimeSource* sf_clock_;  // what the schedulers' sampling observes

@@ -10,8 +10,8 @@ AidBlockScheduler::AidBlockScheduler(i64 count,
                                      const platform::TeamLayout& layout,
                                      i64 chunk, double aid_fraction,
                                      std::optional<double> offline_sf,
-                                     std::string name)
-    : pool_(layout.nthreads()),
+                                     std::string name, ShardTopology topo)
+    : pool_(std::move(topo), layout.nthreads()),
       estimator_(layout.num_core_types()),
       count_(count),
       chunk_(chunk > 0 ? chunk : 1),
@@ -29,9 +29,12 @@ AidBlockScheduler::AidBlockScheduler(i64 count,
   // Nominal speeds (sampling fallback) come from the platform via the
   // layout's per-thread view; unpopulated types default to 1.0.
   nominal_speed_.assign(static_cast<usize>(layout.num_core_types()), 1.0);
-  for (int tid = 0; tid < layout.nthreads(); ++tid)
+  type_of_tid_.resize(static_cast<usize>(layout.nthreads()));
+  for (int tid = 0; tid < layout.nthreads(); ++tid) {
     nominal_speed_[static_cast<usize>(layout.core_type_of(tid))] =
         layout.speed_of(tid);
+    type_of_tid_[static_cast<usize>(tid)] = layout.core_type_of(tid);
+  }
 
   sf_.resize(static_cast<usize>(layout.num_core_types()), 1.0);
   reset(count);
@@ -40,7 +43,6 @@ AidBlockScheduler::AidBlockScheduler(i64 count,
 void AidBlockScheduler::reset(i64 count) {
   AID_CHECK(count >= 0);
   count_ = count;
-  pool_.reset(count);
   estimator_.reset(nthreads_);
   for (auto& pt : per_thread_) *pt = PerThread{};
   k_ = 0.0;
@@ -56,12 +58,31 @@ void AidBlockScheduler::reset(i64 count) {
     k_ = aid_k(aid_fraction_ * static_cast<double>(count_), threads_per_type_,
                sf_);
     reported_sf_ = sf_.back();
+    // No sampling phase will rebalance later: arm the shards directly
+    // proportional to the offline SF so the single AID block per thread is
+    // served by its home shard. One arm, with the right weights (reset is
+    // single-threaded, so computing them first is safe).
+    if (pool_.nshards() > 1) {
+      pool_.reset(count, shard_rates());
+    } else {
+      pool_.reset(count);
+    }
     for (auto& pt : per_thread_) pt->state = State::kAid;
     aid_ready_.store(true, std::memory_order_release);
+  } else {
+    pool_.reset(count);
   }
 }
 
-void AidBlockScheduler::finalize(ThreadContext&) {
+std::vector<double> AidBlockScheduler::shard_rates() const {
+  std::vector<double> rate(static_cast<usize>(pool_.nshards()), 0.0);
+  for (int t = 0; t < nthreads_; ++t)
+    rate[static_cast<usize>(pool_.home_of(t))] +=
+        sf_[static_cast<usize>(type_of_tid_[static_cast<usize>(t)])];
+  return rate;
+}
+
+void AidBlockScheduler::finalize(ThreadContext& tc) {
   // Called by exactly one thread (the last to record a sample) before any
   // other thread can observe aid_ready_ == true.
   sf_ = estimator_.speedup_factors(nominal_speed_);
@@ -74,6 +95,12 @@ void AidBlockScheduler::finalize(ThreadContext&) {
       reported_sf_ = sf_[t];
       break;
     }
+  }
+  if (pool_.nshards() > 1) {
+    // Pre-position the shards for the uneven AID blocks: one bulk
+    // migration toward the measured per-cluster rates, instead of every
+    // thread clamping short at home and draining the tail remotely.
+    pool_.rebalance(shard_rates(), /*min_block=*/chunk_, tc.tid);
   }
   aid_ready_.store(true, std::memory_order_release);
 }
@@ -89,7 +116,7 @@ bool AidBlockScheduler::take_aid_block(ThreadContext& tc, PerThread& pt,
   pt.state = State::kDrain;
   const i64 want = target_of_type(tc.core_type) - pt.delta;
   if (want >= 1) {
-    const IterRange r = pool_.take(want, tc.tid);
+    const IterRange r = pool_.take(want, tc.tid, tc.shard);
     if (!r.empty()) {
       out = r;
       return true;
@@ -97,11 +124,11 @@ bool AidBlockScheduler::take_aid_block(ThreadContext& tc, PerThread& pt,
     return false;  // pool exhausted: loop over for this thread
   }
   // Thread already covered its share while waiting; fall through to drain.
-  return drain(out, tc.tid);
+  return drain(out, tc.tid, tc.shard);
 }
 
-bool AidBlockScheduler::drain(IterRange& out, int tid) {
-  const IterRange r = pool_.take(chunk_, tid);
+bool AidBlockScheduler::drain(IterRange& out, int tid, int shard) {
+  const IterRange r = pool_.take(chunk_, tid, shard);
   if (r.empty()) return false;
   out = r;
   return true;
@@ -114,7 +141,7 @@ bool AidBlockScheduler::next(ThreadContext& tc, IterRange& out) {
   switch (pt.state) {
     case State::kSampling: {
       pt.sample_start = tc.now();
-      const IterRange r = pool_.take(chunk_, tc.tid);
+      const IterRange r = pool_.take(chunk_, tc.tid, tc.shard);
       if (r.empty()) {
         // Loop smaller than the team's sampling demand: this thread has
         // nothing to sample. Still contribute to the completion count so
@@ -140,7 +167,7 @@ bool AidBlockScheduler::next(ThreadContext& tc, IterRange& out) {
     case State::kWait: {
       if (!aid_ready_.load(std::memory_order_acquire)) {
         // SAMPLING_WAIT: keep the core busy with dynamic chunk steals.
-        const IterRange r = pool_.take(chunk_, tc.tid);
+        const IterRange r = pool_.take(chunk_, tc.tid, tc.shard);
         if (r.empty()) return false;
         pt.delta += r.size();
         out = r;
@@ -154,7 +181,7 @@ bool AidBlockScheduler::next(ThreadContext& tc, IterRange& out) {
       return take_aid_block(tc, pt, out);
 
     case State::kDrain:
-      return drain(out, tc.tid);
+      return drain(out, tc.tid, tc.shard);
   }
   AID_CHECK(false);
   return false;
@@ -163,7 +190,10 @@ bool AidBlockScheduler::next(ThreadContext& tc, IterRange& out) {
 SchedulerStats AidBlockScheduler::stats() const {
   return {.pool_removals = pool_.removals(),
           .estimated_sf = reported_sf_,
-          .aid_phases = aid_ready() ? 1 : 0};
+          .aid_phases = aid_ready() ? 1 : 0,
+          .local_removals = pool_.local_removals(),
+          .steal_removals = pool_.remote_removals(),
+          .shard_rebalances = pool_.rebalances()};
 }
 
 }  // namespace aid::sched

@@ -33,7 +33,7 @@
 #include "common/padded.h"
 #include "sched/loop_scheduler.h"
 #include "sched/sf_estimator.h"
-#include "sched/work_share.h"
+#include "sched/sharded_work_share.h"
 
 namespace aid::sched {
 
@@ -44,7 +44,7 @@ class AidBlockScheduler final : public LoopScheduler {
   /// this SF for the fastest core type (Fig. 9 variant).
   AidBlockScheduler(i64 count, const platform::TeamLayout& layout, i64 chunk,
                     double aid_fraction, std::optional<double> offline_sf,
-                    std::string name);
+                    std::string name, ShardTopology topo = {});
 
   bool next(ThreadContext& tc, IterRange& out) override;
   void reset(i64 count) override;
@@ -52,6 +52,9 @@ class AidBlockScheduler final : public LoopScheduler {
   [[nodiscard]] SchedulerStats stats() const override;
   [[nodiscard]] i64 pool_removals_of(int tid) const override {
     return pool_.removals_of(tid);
+  }
+  [[nodiscard]] int home_shard_of(int tid) const override {
+    return pool_.home_of(tid);
   }
 
   /// The per-thread AID target for a core type (SF_t·k, rounded), exposed
@@ -83,9 +86,12 @@ class AidBlockScheduler final : public LoopScheduler {
 
   void finalize(ThreadContext& tc);
   bool take_aid_block(ThreadContext& tc, PerThread& pt, IterRange& out);
-  bool drain(IterRange& out, int tid);
+  bool drain(IterRange& out, int tid, int shard);
+  /// Per-shard progress rates under the published SF vector (feeds the
+  /// bulk rebalance that pre-positions shards for the AID blocks).
+  [[nodiscard]] std::vector<double> shard_rates() const;
 
-  WorkShare pool_;
+  ShardedWorkShare pool_;
   SfEstimator estimator_;
   std::atomic<bool> aid_ready_{false};
 
@@ -104,6 +110,7 @@ class AidBlockScheduler final : public LoopScheduler {
   const int nthreads_;
   std::vector<int> threads_per_type_;
   std::vector<double> nominal_speed_;
+  std::vector<int> type_of_tid_;  ///< feeds per-shard rates into rebalance
   std::vector<Padded<PerThread>> per_thread_;
 };
 

@@ -9,8 +9,9 @@ namespace aid::sched {
 AidDynamicScheduler::AidDynamicScheduler(i64 count,
                                          const platform::TeamLayout& layout,
                                          i64 minor_chunk, i64 major_chunk,
-                                         bool endgame_enabled)
-    : pool_(layout.nthreads()),
+                                         bool endgame_enabled,
+                                         ShardTopology topo)
+    : pool_(std::move(topo), layout.nthreads()),
       estimator_(layout.num_core_types()),
       count_(count),
       minor_chunk_(minor_chunk > 0 ? minor_chunk : 1),
@@ -25,9 +26,12 @@ AidDynamicScheduler::AidDynamicScheduler(i64 count,
   for (int t = 0; t < layout.num_core_types(); ++t)
     threads_per_type_[static_cast<usize>(t)] = layout.threads_of_type(t);
   nominal_speed_.assign(static_cast<usize>(layout.num_core_types()), 1.0);
-  for (int tid = 0; tid < layout.nthreads(); ++tid)
+  type_of_tid_.resize(static_cast<usize>(layout.nthreads()));
+  for (int tid = 0; tid < layout.nthreads(); ++tid) {
     nominal_speed_[static_cast<usize>(layout.core_type_of(tid))] =
         layout.speed_of(tid);
+    type_of_tid_[static_cast<usize>(tid)] = layout.core_type_of(tid);
+  }
   ratio_.assign(static_cast<usize>(layout.num_core_types()), 1.0);
   reset(count);
 }
@@ -45,7 +49,7 @@ void AidDynamicScheduler::reset(i64 count) {
   endgame_.store(false, std::memory_order_release);
 }
 
-void AidDynamicScheduler::close_phase() {
+void AidDynamicScheduler::close_phase(int tid) {
   // Exactly one thread executes this per phase (the one whose record() call
   // returned true). All other threads are stealing m-chunks and cannot touch
   // the estimator until the next epoch is visible.
@@ -56,14 +60,25 @@ void AidDynamicScheduler::close_phase() {
       break;
     }
   }
+  if (pool_.nshards() > 1 && !endgame_.load(std::memory_order_relaxed)) {
+    // Imbalance estimator feeding the bulk-rebalance path: a shard's rate
+    // is the sum of its member threads' measured progress ratios, so the
+    // cluster the SF says will finish early receives a contiguous block
+    // now instead of chunk-stealing it remotely later.
+    std::vector<double> rate(static_cast<usize>(pool_.nshards()), 0.0);
+    for (int t = 0; t < nthreads_; ++t)
+      rate[static_cast<usize>(pool_.home_of(t))] +=
+          ratio_[static_cast<usize>(type_of_tid_[static_cast<usize>(t)])];
+    pool_.rebalance(rate, /*min_block=*/major_chunk_, tid);
+  }
   phases_completed_.fetch_add(1, std::memory_order_relaxed);
   estimator_.reset(nthreads_);
   epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
-bool AidDynamicScheduler::steal_minor(PerThread& pt, int tid, IterRange& out,
-                                      bool count_delta) {
-  const IterRange r = pool_.take(minor_chunk_, tid);
+bool AidDynamicScheduler::steal_minor(PerThread& pt, const ThreadContext& tc,
+                                      IterRange& out, bool count_delta) {
+  const IterRange r = pool_.take(minor_chunk_, tc.tid, tc.shard);
   if (r.empty()) return false;
   if (count_delta) pt.delta += r.size();
   out = r;
@@ -78,7 +93,7 @@ bool AidDynamicScheduler::enter_phase(ThreadContext& tc, PerThread& pt,
   if (should_endgame()) {
     endgame_.store(true, std::memory_order_release);
     pt.state = State::kWait;
-    return steal_minor(pt, tc.tid, out, /*count_delta=*/false);
+    return steal_minor(pt, tc, out, /*count_delta=*/false);
   }
 
   const double r_t = ratio_[static_cast<usize>(tc.core_type)];
@@ -90,16 +105,16 @@ bool AidDynamicScheduler::enter_phase(ThreadContext& tc, PerThread& pt,
     // immediate (zero-iteration) completion, carry the excess δᵢ into the
     // next phase and keep stealing.
     pt.delta = -want;
-    if (estimator_.record(tc.core_type, 0, 0)) close_phase();
+    if (estimator_.record(tc.core_type, 0, 0)) close_phase(tc.tid);
     pt.state = State::kWait;
-    return steal_minor(pt, tc.tid, out, /*count_delta=*/true);
+    return steal_minor(pt, tc, out, /*count_delta=*/true);
   }
   pt.delta = 0;
-  const IterRange r = pool_.take(want, tc.tid);
+  const IterRange r = pool_.take(want, tc.tid, tc.shard);
   if (r.empty()) {
     // Pool drained under us; still count the phase contribution so peers
     // are not stalled, then end this worker's loop.
-    if (estimator_.record(tc.core_type, 0, 0)) close_phase();
+    if (estimator_.record(tc.core_type, 0, 0)) close_phase(tc.tid);
     pt.state = State::kWait;
     return false;
   }
@@ -121,18 +136,18 @@ bool AidDynamicScheduler::next(ThreadContext& tc, IterRange& out) {
       // thread that slipped into the endgame mid-phase.
       if (estimator_.record(tc.core_type, tc.now() - pt.block_start,
                             pt.block_iters))
-        close_phase();
+        close_phase(tc.tid);
       pt.state = State::kWait;
     }
-    return steal_minor(pt, tc.tid, out, /*count_delta=*/false);
+    return steal_minor(pt, tc, out, /*count_delta=*/false);
   }
 
   switch (pt.state) {
     case State::kSampling: {
       pt.block_start = tc.now();
-      const IterRange r = pool_.take(minor_chunk_, tc.tid);
+      const IterRange r = pool_.take(minor_chunk_, tc.tid, tc.shard);
       if (r.empty()) {
-        if (estimator_.record(tc.core_type, 0, 0)) close_phase();
+        if (estimator_.record(tc.core_type, 0, 0)) close_phase(tc.tid);
         pt.state = State::kWait;
         return false;
       }
@@ -145,7 +160,7 @@ bool AidDynamicScheduler::next(ThreadContext& tc, IterRange& out) {
     case State::kHaveBlock: {
       const Nanos elapsed = tc.now() - pt.block_start;
       if (estimator_.record(tc.core_type, elapsed, pt.block_iters))
-        close_phase();
+        close_phase(tc.tid);
       pt.state = State::kWait;
       [[fallthrough]];
     }
@@ -157,7 +172,7 @@ bool AidDynamicScheduler::next(ThreadContext& tc, IterRange& out) {
         return enter_phase(tc, pt, out);
       }
       // Phase still in flight elsewhere: keep the core busy with m-steals.
-      return steal_minor(pt, tc.tid, out, /*count_delta=*/true);
+      return steal_minor(pt, tc, out, /*count_delta=*/true);
     }
   }
   AID_CHECK(false);
@@ -167,7 +182,10 @@ bool AidDynamicScheduler::next(ThreadContext& tc, IterRange& out) {
 SchedulerStats AidDynamicScheduler::stats() const {
   return {.pool_removals = pool_.removals(),
           .estimated_sf = reported_sf_,
-          .aid_phases = phases_completed_.load(std::memory_order_relaxed)};
+          .aid_phases = phases_completed_.load(std::memory_order_relaxed),
+          .local_removals = pool_.local_removals(),
+          .steal_removals = pool_.remote_removals(),
+          .shard_rebalances = pool_.rebalances()};
 }
 
 std::vector<double> AidDynamicScheduler::progress_ratios() const {

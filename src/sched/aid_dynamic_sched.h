@@ -28,7 +28,7 @@
 #include "common/padded.h"
 #include "sched/loop_scheduler.h"
 #include "sched/sf_estimator.h"
-#include "sched/work_share.h"
+#include "sched/sharded_work_share.h"
 
 namespace aid::sched {
 
@@ -38,7 +38,7 @@ class AidDynamicScheduler final : public LoopScheduler {
   /// exists only for the ablation study.
   AidDynamicScheduler(i64 count, const platform::TeamLayout& layout,
                       i64 minor_chunk, i64 major_chunk,
-                      bool endgame_enabled = true);
+                      bool endgame_enabled = true, ShardTopology topo = {});
 
   bool next(ThreadContext& tc, IterRange& out) override;
   void reset(i64 count) override;
@@ -48,6 +48,9 @@ class AidDynamicScheduler final : public LoopScheduler {
   [[nodiscard]] SchedulerStats stats() const override;
   [[nodiscard]] i64 pool_removals_of(int tid) const override {
     return pool_.removals_of(tid);
+  }
+  [[nodiscard]] int home_shard_of(int tid) const override {
+    return pool_.home_of(tid);
   }
 
   /// Current per-type progress ratios R_t (R of the slowest type == 1);
@@ -75,22 +78,25 @@ class AidDynamicScheduler final : public LoopScheduler {
     i64 epoch_seen = 0;  ///< last phase epoch this thread joined
   };
 
-  /// Last thread of a phase: recompute R from the estimator, re-arm it and
-  /// publish the next epoch.
-  void close_phase();
+  /// Last thread of a phase: recompute R from the estimator, bulk-rebalance
+  /// the shards toward the new per-cluster rates, re-arm the estimator and
+  /// publish the next epoch. `tid` is the closing thread (it owns the
+  /// migration and its rebalance counter).
+  void close_phase(int tid);
 
   /// Try to enter the current phase: take the uneven allotment (or record a
   /// no-op completion when δᵢ already covers the target). Returns true when
   /// `out` was filled.
   bool enter_phase(ThreadContext& tc, PerThread& pt, IterRange& out);
 
-  bool steal_minor(PerThread& pt, int tid, IterRange& out, bool count_delta);
+  bool steal_minor(PerThread& pt, const ThreadContext& tc, IterRange& out,
+                   bool count_delta);
 
   [[nodiscard]] bool should_endgame() const {
     return endgame_enabled_ && pool_.remaining() <= major_chunk_ * nthreads_;
   }
 
-  WorkShare pool_;
+  ShardedWorkShare pool_;
   SfEstimator estimator_;
   std::atomic<i64> epoch_{0};  // 0 = initial sampling; >=1: AID phases
   std::atomic<bool> endgame_{false};
@@ -107,6 +113,7 @@ class AidDynamicScheduler final : public LoopScheduler {
   const int nthreads_;
   std::vector<int> threads_per_type_;
   std::vector<double> nominal_speed_;
+  std::vector<int> type_of_tid_;  ///< feeds per-shard rates into rebalance
   std::vector<Padded<PerThread>> per_thread_;
 };
 

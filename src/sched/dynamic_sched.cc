@@ -4,14 +4,15 @@
 
 namespace aid::sched {
 
-DynamicScheduler::DynamicScheduler(i64 count, i64 chunk, int nthreads)
-    : pool_(nthreads), chunk_(chunk > 0 ? chunk : 1) {
+DynamicScheduler::DynamicScheduler(i64 count, i64 chunk, int nthreads,
+                                   ShardTopology topo)
+    : pool_(std::move(topo), nthreads), chunk_(chunk > 0 ? chunk : 1) {
   AID_CHECK(count >= 0);
   pool_.reset(count);
 }
 
 bool DynamicScheduler::next(ThreadContext& tc, IterRange& out) {
-  out = pool_.take(chunk_, tc.tid);
+  out = pool_.take(chunk_, tc.tid, tc.shard);
   return !out.empty();
 }
 
@@ -21,7 +22,10 @@ void DynamicScheduler::reset(i64 count) {
 }
 
 SchedulerStats DynamicScheduler::stats() const {
-  return {.pool_removals = pool_.removals()};
+  return {.pool_removals = pool_.removals(),
+          .local_removals = pool_.local_removals(),
+          .steal_removals = pool_.remote_removals(),
+          .shard_rebalances = pool_.rebalances()};
 }
 
 }  // namespace aid::sched

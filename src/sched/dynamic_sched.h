@@ -6,18 +6,22 @@
 // Adapts to asymmetry implicitly (big-core threads come back for work more
 // often) at the price of one pool removal per chunk — the overhead the paper
 // shows can negate the benefit (IS: 1.93x slowdown; CG on Platform B: 2.86x).
+// Under a sharded topology (sharded_work_share.h) that per-chunk removal is
+// a cluster-local RMW on the thread's home shard; with the default
+// single-shard topology it is the classic shared fetch-add.
 #pragma once
 
 #include "sched/loop_scheduler.h"
-#include "sched/work_share.h"
+#include "sched/sharded_work_share.h"
 
 namespace aid::sched {
 
 class DynamicScheduler final : public LoopScheduler {
  public:
   /// `nthreads` sizes the pool's per-thread removal counters (callers pass
-  /// layout.nthreads()).
-  DynamicScheduler(i64 count, i64 chunk, int nthreads);
+  /// layout.nthreads()). `topo` shards the pool; empty = single pool.
+  DynamicScheduler(i64 count, i64 chunk, int nthreads,
+                   ShardTopology topo = {});
 
   bool next(ThreadContext& tc, IterRange& out) override;
   void reset(i64 count) override;
@@ -26,9 +30,12 @@ class DynamicScheduler final : public LoopScheduler {
   [[nodiscard]] i64 pool_removals_of(int tid) const override {
     return pool_.removals_of(tid);
   }
+  [[nodiscard]] int home_shard_of(int tid) const override {
+    return pool_.home_of(tid);
+  }
 
  private:
-  WorkShare pool_;
+  ShardedWorkShare pool_;
   i64 chunk_;
 };
 

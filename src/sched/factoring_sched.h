@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "sched/loop_scheduler.h"
-#include "sched/work_share.h"
+#include "sched/sharded_work_share.h"
 
 namespace aid::sched {
 
@@ -31,7 +31,8 @@ class WeightedFactoringScheduler final : public LoopScheduler {
   /// Weights default to the layout's nominal per-thread speeds; a custom
   /// vector (one entry per thread) may be supplied for experimentation.
   WeightedFactoringScheduler(i64 count, const platform::TeamLayout& layout,
-                             std::vector<double> weights = {});
+                             std::vector<double> weights = {},
+                             ShardTopology topo = {});
 
   bool next(ThreadContext& tc, IterRange& out) override;
   void reset(i64 count) override;
@@ -42,11 +43,14 @@ class WeightedFactoringScheduler final : public LoopScheduler {
   [[nodiscard]] i64 pool_removals_of(int tid) const override {
     return pool_.removals_of(tid);
   }
+  [[nodiscard]] int home_shard_of(int tid) const override {
+    return pool_.home_of(tid);
+  }
 
   [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
 
  private:
-  WorkShare pool_;
+  ShardedWorkShare pool_;
   std::vector<double> weights_;
   double weight_sum_ = 0.0;
 };

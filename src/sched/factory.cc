@@ -13,35 +13,47 @@ namespace aid::sched {
 std::unique_ptr<LoopScheduler> make_scheduler(
     const ScheduleSpec& spec, i64 count,
     const platform::TeamLayout& layout) {
+  // Single-pool arm: the simulator (and any caller that does not opt into
+  // sharding) keeps modeling the paper's one libgomp work share. The
+  // empty topology IS the single-shard configuration — passing it avoids
+  // allocating a ShardTopology::single per loop construction.
+  return make_scheduler(spec, count, layout, ShardTopology{});
+}
+
+std::unique_ptr<LoopScheduler> make_scheduler(
+    const ScheduleSpec& spec, i64 count, const platform::TeamLayout& layout,
+    const ShardTopology& topo) {
   switch (spec.kind) {
     case ScheduleKind::kStatic:
       return std::make_unique<StaticScheduler>(count, layout, spec.chunk);
     case ScheduleKind::kDynamic:
       return std::make_unique<DynamicScheduler>(count, spec.effective_chunk(),
-                                                layout.nthreads());
+                                                layout.nthreads(), topo);
     case ScheduleKind::kGuided:
       return std::make_unique<GuidedScheduler>(count, layout,
-                                               spec.effective_chunk());
+                                               spec.effective_chunk(), topo);
     case ScheduleKind::kAidStatic:
       return std::make_unique<AidBlockScheduler>(
           count, layout, spec.effective_chunk(), /*aid_fraction=*/1.0,
           spec.offline_sf,
-          spec.offline_sf ? "aid-static(offline-SF)" : "aid-static");
+          spec.offline_sf ? "aid-static(offline-SF)" : "aid-static", topo);
     case ScheduleKind::kAidHybrid:
       AID_CHECK_MSG(spec.hybrid_percent > 0.0 && spec.hybrid_percent <= 100.0,
                     "AID-hybrid percentage must be in (0, 100]");
       return std::make_unique<AidBlockScheduler>(
           count, layout, spec.effective_chunk(), spec.hybrid_percent / 100.0,
-          spec.offline_sf, "aid-hybrid");
+          spec.offline_sf, "aid-hybrid", topo);
     case ScheduleKind::kAidDynamic:
       return std::make_unique<AidDynamicScheduler>(
           count, layout, spec.effective_chunk(), spec.major_chunk,
-          spec.aid_endgame);
+          spec.aid_endgame, topo);
     case ScheduleKind::kTrapezoid:
       return std::make_unique<TrapezoidScheduler>(count, layout, spec.chunk,
-                                                  spec.major_chunk);
+                                                  spec.major_chunk, topo);
     case ScheduleKind::kWeightedFactoring:
-      return std::make_unique<WeightedFactoringScheduler>(count, layout);
+      return std::make_unique<WeightedFactoringScheduler>(count, layout,
+                                                          std::vector<double>{},
+                                                          topo);
   }
   AID_CHECK(false);
   return nullptr;

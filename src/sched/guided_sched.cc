@@ -5,8 +5,9 @@
 namespace aid::sched {
 
 GuidedScheduler::GuidedScheduler(i64 count,
-                                 const platform::TeamLayout& layout, i64 chunk)
-    : pool_(layout.nthreads()),
+                                 const platform::TeamLayout& layout, i64 chunk,
+                                 ShardTopology topo)
+    : pool_(std::move(topo), layout.nthreads()),
       chunk_(chunk > 0 ? chunk : 1),
       nthreads_(layout.nthreads()) {
   AID_CHECK(count >= 0);
@@ -19,7 +20,7 @@ bool GuidedScheduler::next(ThreadContext& tc, IterRange& out) {
         const i64 q = remaining / nthreads_;
         return q > chunk_ ? q : chunk_;
       },
-      tc.tid);
+      tc.tid, tc.shard);
   return !out.empty();
 }
 
@@ -29,7 +30,10 @@ void GuidedScheduler::reset(i64 count) {
 }
 
 SchedulerStats GuidedScheduler::stats() const {
-  return {.pool_removals = pool_.removals()};
+  return {.pool_removals = pool_.removals(),
+          .local_removals = pool_.local_removals(),
+          .steal_removals = pool_.remote_removals(),
+          .shard_rebalances = pool_.rebalances()};
 }
 
 }  // namespace aid::sched

@@ -16,6 +16,7 @@
 #include "platform/team_layout.h"
 #include "sched/iteration_space.h"
 #include "sched/schedule_spec.h"
+#include "sched/shard_topology.h"
 #include "sched/thread_context.h"
 
 namespace aid::sched {
@@ -26,6 +27,11 @@ struct SchedulerStats {
   i64 pool_removals = 0;   ///< fetch-add / CAS removals from the shared pool
   double estimated_sf = 0.0;  ///< AID: SF from the sampling phase (0 if n/a)
   i64 aid_phases = 0;      ///< AID-dynamic: completed AID phases
+  // Sharded-pool breakdown (sharded_work_share.h). For a single-shard
+  // pool every removal is local and the other two stay 0.
+  i64 local_removals = 0;  ///< removals served by the taker's home shard
+  i64 steal_removals = 0;  ///< removals served by a foreign shard
+  i64 shard_rebalances = 0;  ///< contiguous blocks bulk-migrated
 };
 
 class LoopScheduler {
@@ -58,6 +64,17 @@ class LoopScheduler {
     return 0;
   }
 
+  /// Home shard of one thread in this construct's pool. The runtime copies
+  /// it into ThreadContext::shard before the next() loop so every take
+  /// lands cluster-local; shard membership therefore follows whatever
+  /// layout the scheduler was built from (coherent across repartitions —
+  /// a new partition means a new scheduler, hence a new topology).
+  /// Pool-backed schedulers override; the default covers pool-less ones.
+  [[nodiscard]] virtual int home_shard_of(int tid) const {
+    (void)tid;
+    return 0;
+  }
+
  protected:
   LoopScheduler() = default;
 };
@@ -65,7 +82,17 @@ class LoopScheduler {
 /// Create a scheduler for `count` iterations on the given team. The layout
 /// must outlive the scheduler. Any ScheduleKind is accepted; AID methods on a
 /// uniform team degenerate gracefully (documented per scheduler).
+/// This overload arms a classic single pool (the simulator's model of the
+/// paper's libgomp work share).
 [[nodiscard]] std::unique_ptr<LoopScheduler> make_scheduler(
     const ScheduleSpec& spec, i64 count, const platform::TeamLayout& layout);
+
+/// Shard-aware overload: the runtime (Team / WorkerPool / GOMP surface)
+/// passes a ShardTopology derived from the executing layout, giving every
+/// pool-backed scheduler a per-core-type sharded pool with cluster-local
+/// takes (sharded_work_share.h).
+[[nodiscard]] std::unique_ptr<LoopScheduler> make_scheduler(
+    const ScheduleSpec& spec, i64 count, const platform::TeamLayout& layout,
+    const ShardTopology& topo);
 
 }  // namespace aid::sched

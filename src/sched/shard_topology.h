@@ -1,0 +1,64 @@
+// Shard layout for per-core-type iteration pools.
+//
+// A ShardTopology maps every team thread to a *home shard* — the pool
+// partition whose hot {next, end} line only same-cluster threads write on
+// the fast path (see sched/sharded_work_share.h and src/sched/README.md).
+// Shards correspond to the populated core types of a TeamLayout: on a
+// big.LITTLE team there is one big-core shard and one small-core shard, so
+// the self-scheduling fetch-and-add traffic of each cluster stays
+// cluster-local (the Catalán et al. / Krishna & Balachandran partitioning
+// argument, PAPERS.md).
+//
+// The topology is *mechanism description*, not policy: it is computed once
+// per construct from the layout that will execute it, which is what keeps
+// shard membership coherent across pool repartitions — a partition change
+// commits between ring entries (pool/pool_manager.cc), and every entry's
+// scheduler is built from the layout current at publish time.
+//
+// AID_SHARDS environment override (read by from_layout()):
+//   unset / 0  — auto: one shard per populated core type;
+//   1          — single-shard fallback: bit-for-bit the classic WorkShare
+//                path (the symmetric-layout / regression-proof mode);
+//   N > 1      — at most N shards (excess core types merge into the last).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "platform/team_layout.h"
+
+namespace aid::sched {
+
+struct ShardTopology {
+  /// tid -> home shard id. Empty means "single shard" (the default for
+  /// every caller that does not opt into sharding, e.g. the simulator).
+  std::vector<int> home_of_tid;
+  /// shard -> nominal capacity (sum of member threads' nominal speeds);
+  /// the initial iteration split is proportional to this.
+  std::vector<double> capacity;
+
+  [[nodiscard]] int nshards() const {
+    return capacity.empty() ? 1 : static_cast<int>(capacity.size());
+  }
+
+  [[nodiscard]] int home_of(int tid) const {
+    if (home_of_tid.empty()) return 0;
+    return tid >= 0 && static_cast<usize>(tid) < home_of_tid.size()
+               ? home_of_tid[static_cast<usize>(tid)]
+               : 0;
+  }
+
+  /// One shard holding every thread — the classic single-pool behavior.
+  [[nodiscard]] static ShardTopology single(int nthreads);
+
+  /// One shard per populated core type of `layout`, honoring the
+  /// AID_SHARDS environment override (see file comment).
+  [[nodiscard]] static ShardTopology from_layout(
+      const platform::TeamLayout& layout);
+
+  /// Explicit shard count (<= populated core types; <=0 means auto).
+  [[nodiscard]] static ShardTopology from_layout(
+      const platform::TeamLayout& layout, int requested_shards);
+};
+
+}  // namespace aid::sched

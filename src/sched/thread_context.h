@@ -15,6 +15,11 @@ struct ThreadContext {
   int tid = 0;          ///< team-local thread id, 0..nthreads-1
   int core_type = 0;    ///< 0 = slowest core type on the platform
   double speed = 1.0;   ///< nominal relative speed of the bound core
+  /// Home shard in the construct's sharded pool (sched/shard_topology.h):
+  /// the runtime sets it from LoopScheduler::home_shard_of(tid) so a
+  /// scheduler's take path stays cluster-local without re-deriving the
+  /// mapping per call. 0 for single-pool constructs and the simulator.
+  int shard = 0;
   const TimeSource* time = nullptr;  ///< per-worker in the simulator
 
   [[nodiscard]] Nanos now() const { return time->now(); }

@@ -11,16 +11,20 @@
 #include <atomic>
 
 #include "sched/loop_scheduler.h"
-#include "sched/work_share.h"
+#include "sched/sharded_work_share.h"
 
 namespace aid::sched {
 
 class TrapezoidScheduler final : public LoopScheduler {
  public:
   /// first/last chunk sizes; 0 picks the classic defaults
-  /// first = ceil(NI / (2T)), last = 1.
+  /// first = ceil(NI / (2T)), last = 1. Under a sharded topology the chunk
+  /// *size* sequence stays global (one shared chunk index — TSS's linear
+  /// decrement is inherently a global schedule) while the iterations
+  /// themselves come from the taker's home shard.
   TrapezoidScheduler(i64 count, const platform::TeamLayout& layout,
-                     i64 first_chunk = 0, i64 last_chunk = 0);
+                     i64 first_chunk = 0, i64 last_chunk = 0,
+                     ShardTopology topo = {});
 
   bool next(ThreadContext& tc, IterRange& out) override;
   void reset(i64 count) override;
@@ -28,6 +32,9 @@ class TrapezoidScheduler final : public LoopScheduler {
   [[nodiscard]] SchedulerStats stats() const override;
   [[nodiscard]] i64 pool_removals_of(int tid) const override {
     return pool_.removals_of(tid);
+  }
+  [[nodiscard]] int home_shard_of(int tid) const override {
+    return pool_.home_of(tid);
   }
 
   /// Size of the k-th dispensed chunk (exposed for tests):
@@ -38,7 +45,7 @@ class TrapezoidScheduler final : public LoopScheduler {
  private:
   void configure(i64 count);
 
-  WorkShare pool_;
+  ShardedWorkShare pool_;
   std::atomic<i64> chunk_index_{0};
   i64 first_ = 1;
   i64 last_ = 1;

@@ -62,6 +62,11 @@ class alignas(kCacheLineBytes) WorkShare {
   template <typename WantFn>
   IterRange take_adaptive(WantFn&& want_of, int tid = 0) {
     AID_CHECK(tid >= 0 && static_cast<usize>(tid) < removals_.size());
+    // Same read-only drain probe as take(): under endgame stealing every
+    // wait window re-probes the pool until it drains, and a drained pool
+    // must answer with one acquire load — never by entering the CAS retry
+    // loop below (whose failure path re-loads per attempt).
+    if (next_.load(std::memory_order_acquire) >= end_) return {end_, end_};
     i64 cur = next_.load(std::memory_order_acquire);
     while (cur < end_) {
       const i64 want = want_of(end_ - cur);

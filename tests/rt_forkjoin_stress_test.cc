@@ -6,14 +6,18 @@
 //    exactly once, for every scheduler, across repeated dispatches on the
 //    same persistent worker team (generation-counter reuse, barrier reuse);
 //  * pool_removals counts only *successful* takes — for plain dynamic the
-//    count is exactly ceil(NI / chunk); for every pool-based scheduler it
-//    can never exceed NI (each success hands out >= 1 iteration), no
-//    matter how often drained-pool probes hammer the endgame.
+//    count is exactly ceil(NI / chunk) under the single-pool fallback
+//    (AID_SHARDS=1); under the default sharded pool each shard seam (and
+//    each bulk-rebalanced block) can add at most one extra clamped
+//    removal, and the count can never exceed NI (each success hands out
+//    >= 1 iteration), no matter how often drained probes hammer the
+//    endgame.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <vector>
 
+#include "common/env.h"
 #include "platform/platform.h"
 #include "rt/team.h"
 
@@ -68,9 +72,11 @@ TEST(ForkJoinStress, BackToBackLoopsCoverExactlyOnce) {
   }
 }
 
-TEST(ForkJoinStress, DynamicRemovalCountIsExact) {
-  // With removals counted only on success, dynamic(c) performs exactly
-  // ceil(NI / c) removals — drained-pool probes by late workers add zero.
+TEST(ForkJoinStress, DynamicRemovalCountIsExactWithSingleShard) {
+  // With removals counted only on success, dynamic(c) on the single-pool
+  // fallback performs exactly ceil(NI / c) removals — drained-pool probes
+  // by late workers add zero.
+  const env::ScopedSet shards("AID_SHARDS", "1");
   Team team(platform::generic_amp(4, 4, 3.0), 8, Mapping::kBigFirst,
             /*emulate_amp=*/false);
   for (const i64 chunk : {i64{1}, i64{4}, i64{13}}) {
@@ -80,6 +86,31 @@ TEST(ForkJoinStress, DynamicRemovalCountIsExact) {
                       [](i64, i64, const WorkerInfo&) {});
         EXPECT_EQ(team.last_loop_stats().pool_removals,
                   (count + chunk - 1) / chunk)
+            << "chunk=" << chunk << " count=" << count;
+      }
+    }
+  }
+}
+
+TEST(ForkJoinStress, DynamicRemovalCountIsTightUnderSharding) {
+  // The per-core-type sharded pool keeps the count near-exact: every shard
+  // seam and every bulk-migrated block can clamp at most one take short,
+  // so removals <= ceil(NI / c) + (shards - 1) + rebalances. All removals
+  // are accounted as either home-local or steals.
+  Team team(platform::generic_amp(4, 4, 3.0), 8, Mapping::kBigFirst,
+            /*emulate_amp=*/false);
+  for (const i64 chunk : {i64{1}, i64{4}, i64{13}}) {
+    for (const i64 count : {i64{1}, i64{13}, i64{500}, i64{5000}}) {
+      for (int l = 0; l < 10; ++l) {
+        team.run_loop(count, ScheduleSpec::dynamic(chunk),
+                      [](i64, i64, const WorkerInfo&) {});
+        const auto st = team.last_loop_stats();
+        const i64 exact = (count + chunk - 1) / chunk;
+        EXPECT_GE(st.pool_removals, exact)
+            << "chunk=" << chunk << " count=" << count;
+        EXPECT_LE(st.pool_removals, exact + 1 + st.shard_rebalances)
+            << "chunk=" << chunk << " count=" << count;
+        EXPECT_EQ(st.local_removals + st.steal_removals, st.pool_removals)
             << "chunk=" << chunk << " count=" << count;
       }
     }

@@ -8,9 +8,12 @@
 //  P4  determinism: the same configuration replays bit-identically.
 #include <gtest/gtest.h>
 
+#include <random>
+#include <thread>
 #include <tuple>
 #include <vector>
 
+#include "sched/sharded_work_share.h"
 #include "test_util.h"
 
 namespace aid::sched {
@@ -147,6 +150,194 @@ TEST(ScheduleProperty, LabelsAreUniqueAndParsable) {
         0, c.spec.display().find(" (")));
     ASSERT_TRUE(parsed.has_value()) << c.spec.display();
     EXPECT_EQ(parsed->kind, c.spec.kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedWorkShare properties: the per-core-type pool must deliver every
+// iteration exactly once no matter how takes, adaptive takes, endgame
+// steals and bulk rebalances interleave (src/sched/README.md documents the
+// migration protocol these tests hammer).
+
+ShardTopology two_shard_topo(int nthreads) {
+  // Low tids -> shard 1 (the "big" cluster under the BS mapping), high
+  // tids -> shard 0, mirroring ShardTopology::from_layout on a 2-type AMP.
+  ShardTopology topo;
+  topo.home_of_tid.resize(static_cast<usize>(nthreads));
+  topo.capacity.assign(2, 0.0);
+  for (int t = 0; t < nthreads; ++t) {
+    const int s = t < nthreads / 2 ? 1 : 0;
+    topo.home_of_tid[static_cast<usize>(t)] = s;
+    topo.capacity[static_cast<usize>(s)] += s == 1 ? 3.0 : 1.0;
+  }
+  return topo;
+}
+
+TEST(ShardedWorkShare, SingleShardFallbackMatchesWorkShare) {
+  // AID_SHARDS=1 (or any one-shard topology) must be bit-for-bit the
+  // classic pool: same ranges, same removal counts, same drain behavior.
+  WorkShare classic(4);
+  ShardedWorkShare sharded(ShardTopology::single(4), 4);
+  classic.reset(103);
+  sharded.reset(103);
+  for (int i = 0;; ++i) {
+    const int tid = i % 4;
+    const IterRange a = classic.take(7, tid);
+    const IterRange b = sharded.take(7, tid, 0);
+    ASSERT_EQ(a, b) << "take " << i;
+    if (a.empty()) break;
+  }
+  EXPECT_EQ(classic.removals(), sharded.removals());
+  EXPECT_EQ(sharded.removals(), sharded.local_removals());
+  EXPECT_EQ(sharded.remote_removals(), 0);
+  EXPECT_EQ(sharded.nshards(), 1);
+}
+
+TEST(ShardedWorkShare, SplitsProportionallyAndTakesStayHome) {
+  // 8 threads, shard 1 capacity 12 vs shard 0 capacity 4: shard 1 owns
+  // the top 3/4 of the space, and a home take never leaves it until the
+  // shard drains.
+  const ShardTopology topo = two_shard_topo(8);
+  ShardedWorkShare pool(topo, 8);
+  pool.reset(1600);
+  EXPECT_EQ(pool.nshards(), 2);
+  EXPECT_EQ(pool.remaining_of_shard(0), 400);
+  EXPECT_EQ(pool.remaining_of_shard(1), 1200);
+  const IterRange big = pool.take(16, /*tid=*/0, /*home=*/1);
+  EXPECT_EQ(big.begin, 400);  // shard 1 owns [400, 1600)
+  const IterRange small = pool.take(16, /*tid=*/7, /*home=*/0);
+  EXPECT_EQ(small.begin, 0);  // shard 0 owns [0, 400)
+  EXPECT_EQ(pool.local_removals(), 2);
+  EXPECT_EQ(pool.remote_removals(), 0);
+}
+
+TEST(ShardedWorkShare, DrainedHomeBulkMigratesThenStaysLocal) {
+  // Thread 7's home shard holds 40 iterations; once they are gone, the
+  // first foreign take must move a bulk block home (one migration) and
+  // every subsequent take stays home-local until that block drains too.
+  ShardTopology topo = two_shard_topo(8);
+  ShardedWorkShare pool(topo, 8);
+  pool.reset(400, {/*shard0=*/1.0, /*shard1=*/9.0});
+  ASSERT_EQ(pool.remaining_of_shard(0), 40);
+  IterRange r;
+  i64 got = 0;
+  while (!(r = pool.take(4, /*tid=*/7, /*home=*/0)).empty()) got += r.size();
+  EXPECT_EQ(got, 400);  // one thread drains everything
+  EXPECT_GE(pool.rebalances(), 1);
+  EXPECT_GT(pool.rebalanced_iters(), 0);
+  // Remote chunk removals happen only for thin victims; the bulk path
+  // keeps the overwhelming majority of removals home-local.
+  EXPECT_GT(pool.local_removals(), pool.remote_removals());
+}
+
+TEST(ShardedWorkShare, EstimatorDrivenRebalanceMovesTowardFastShard) {
+  const ShardTopology topo = two_shard_topo(4);
+  ShardedWorkShare pool(topo, 4);
+  pool.reset(1000, {1.0, 1.0});  // even start: 500 / 500
+  // The estimator says shard 1 progresses 4x as fast: a block must move
+  // from shard 0 to shard 1.
+  ASSERT_TRUE(pool.rebalance({1.0, 4.0}, /*min_block=*/8, /*tid=*/0));
+  EXPECT_LT(pool.remaining_of_shard(0), 500);
+  EXPECT_GT(pool.remaining_of_shard(1), 500);
+  EXPECT_EQ(pool.remaining(), 1000);  // migration never loses iterations
+  EXPECT_EQ(pool.rebalances(), 1);
+}
+
+TEST(ShardedWorkShare, OversizedLoopFallsBackToSinglePool) {
+  const ShardTopology topo = two_shard_topo(4);
+  ShardedWorkShare pool(topo, 4);
+  pool.reset(ShardedWorkShare::kPackedCountLimit);  // too big to pack
+  EXPECT_EQ(pool.nshards(), 1);
+  const IterRange r = pool.take(8, 0, 1);
+  EXPECT_EQ(r.begin, 0);
+  pool.reset(64);  // and back: small loops re-arm the shards
+  EXPECT_EQ(pool.nshards(), 2);
+}
+
+// The randomized concurrent harness (ISSUE 4 satellite): real threads mix
+// take / take_adaptive with endgame steals while rebalances race them,
+// across skewed splits and shard counts. Every iteration must be
+// delivered exactly once.
+TEST(ShardedWorkShareStress, ExactlyOnceUnderStealsAndRebalances) {
+  std::mt19937_64 rng(0xA1DC0FFEEULL);
+  for (int round = 0; round < 10; ++round) {
+    const int nthreads = 2 + static_cast<int>(rng() % 7);       // 2..8
+    const i64 count = 1 + static_cast<i64>(rng() % 6000);       // 1..6000
+    const int nshards = 2 + static_cast<int>(rng() % 2);        // 2..3
+
+    ShardTopology topo;
+    topo.home_of_tid.resize(static_cast<usize>(nthreads));
+    topo.capacity.assign(static_cast<usize>(nshards), 0.0);
+    for (int t = 0; t < nthreads; ++t) {
+      const int s = t % nshards;
+      topo.home_of_tid[static_cast<usize>(t)] = s;
+      topo.capacity[static_cast<usize>(s)] += 1.0;
+    }
+    ShardedWorkShare pool(topo, nthreads);
+    std::vector<double> split(static_cast<usize>(nshards));
+    for (auto& w : split) w = 1.0 + static_cast<double>(rng() % 8);
+    pool.reset(count, split);
+
+    std::vector<std::vector<IterRange>> taken(
+        static_cast<usize>(nthreads));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<usize>(nthreads));
+    for (int t = 0; t < nthreads; ++t) {
+      const u64 seed = rng();
+      threads.emplace_back([&, t, seed] {
+        std::mt19937_64 local(seed);
+        const int home = topo.home_of(t);
+        auto& log = taken[static_cast<usize>(t)];
+        for (;;) {
+          const u64 op = local();
+          if (op % 16 == 0) {
+            // Rebalances race the takes: random rates, small min block.
+            std::vector<double> rates(static_cast<usize>(nshards));
+            for (auto& w : rates)
+              w = 1.0 + static_cast<double>(local() % 8);
+            pool.rebalance(rates, 1 + static_cast<i64>(local() % 8), t);
+          }
+          IterRange r;
+          if (op % 2 == 0) {
+            r = pool.take(1 + static_cast<i64>(local() % 8), t, home);
+          } else {
+            r = pool.take_adaptive(
+                [&local](i64 remaining) {
+                  const i64 cap = 1 + static_cast<i64>(local() % 16);
+                  const i64 want = remaining / 7 + 1;
+                  return want < cap ? want : cap;
+                },
+                t, home);
+          }
+          if (r.empty()) return;  // every shard looked drained
+          log.push_back(r);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    std::vector<u8> seen(static_cast<usize>(count), 0);
+    i64 successes = 0;
+    for (const auto& log : taken) {
+      successes += static_cast<i64>(log.size());
+      for (const auto& r : log) {
+        ASSERT_FALSE(r.empty());
+        ASSERT_GE(r.begin, 0);
+        ASSERT_LE(r.end, count);
+        for (i64 i = r.begin; i < r.end; ++i) {
+          ASSERT_EQ(seen[static_cast<usize>(i)], 0)
+              << "round " << round << ": iteration " << i
+              << " delivered twice";
+          seen[static_cast<usize>(i)] = 1;
+        }
+      }
+    }
+    for (i64 i = 0; i < count; ++i)
+      ASSERT_EQ(seen[static_cast<usize>(i)], 1)
+          << "round " << round << ": iteration " << i << " never delivered";
+    // Counter sanity: every logged range was one accounted removal.
+    EXPECT_EQ(pool.removals(), successes);
+    EXPECT_EQ(pool.local_removals() + pool.remote_removals(), successes);
   }
 }
 

@@ -8,16 +8,28 @@ perf-trajectory baseline (ROADMAP "fork/join perf trajectory"); this tool
 compares a freshly produced file against it and prints a per-(config,
 metric) median delta report.
 
+Only latency metrics (ending in "_ns") participate in regression
+accounting — up is bad for those. The shard-counter metrics emitted by
+the `shard=` config family (local_share_pct, rebalances_per_run; see
+src/sched/README.md) are reported in their own section: they describe the
+local-vs-remote removal mix of the sharded work-share pool, where *up* in
+local share is good.
+
 By default the report is informational and always exits 0 — fork/join
 latencies on shared/oversubscribed CI hosts are too noisy to gate merges
-on (see src/rt/README.md for the measurement caveats). Pass --strict to
-exit 1 when any regression exceeds the threshold.
+on (see src/rt/README.md for the measurement caveats). Two gating modes
+exist for local runs:
+
+  --strict            exit 1 when any regression exceeds --threshold
+  --fail-above PCT    exit 1 when any regression exceeds PCT (implies
+                      gating without changing the report threshold)
 
 Usage:
   tools/bench_diff.py                      # baseline ./BENCH_micro_forkjoin.json
                                            # current ./build/BENCH_micro_forkjoin.json
   tools/bench_diff.py --baseline A.json --current B.json --threshold 25
   tools/bench_diff.py --strict             # non-zero exit on regressions
+  tools/bench_diff.py --fail-above 30      # gate only on >30% regressions
 """
 
 import argparse
@@ -25,12 +37,41 @@ import json
 import os
 import sys
 
+# Metrics that are not latencies: reported separately, never counted as
+# regressions/improvements.
+COUNTER_METRICS = ("local_share_pct", "rebalances_per_run")
+
 
 def load(path):
     """Return {(config, metric): record} for one BENCH_*.json file."""
     with open(path, encoding="utf-8") as f:
         records = json.load(f)
     return {(r["config"], r["metric"]): r for r in records}
+
+
+def is_latency(metric):
+    return metric.endswith("_ns")
+
+
+def print_counter_section(keys, baseline, current):
+    """The shard-counter columns: home-local removal share and bulk
+    rebalances per drain, per config (current vs committed baseline)."""
+    counters = sorted({c for c, m in keys if m in COUNTER_METRICS})
+    if not counters:
+        return
+    width = max(len(c) for c in counters)
+    print("\nshard counters (local removals %, bulk rebalances/run):")
+    print(f"{'config'.ljust(width)}  {'local% base':>11}  {'local% cur':>10}"
+          f"  {'rebal base':>10}  {'rebal cur':>9}")
+    for config in counters:
+        def med(table, metric):
+            rec = table.get((config, metric))
+            return f"{rec['median']:.0f}" if rec is not None else "-"
+        print(f"{config.ljust(width)}"
+              f"  {med(baseline, 'local_share_pct'):>11}"
+              f"  {med(current, 'local_share_pct'):>10}"
+              f"  {med(baseline, 'rebalances_per_run'):>10}"
+              f"  {med(current, 'rebalances_per_run'):>9}")
 
 
 def main():
@@ -51,6 +92,10 @@ def main():
     parser.add_argument(
         "--strict", action="store_true",
         help="exit 1 if any regression exceeds the threshold")
+    parser.add_argument(
+        "--fail-above", type=float, default=None, metavar="PCT",
+        help="exit 1 if any latency regression exceeds PCT percent "
+             "(local gating; CI keeps the non-fatal report)")
     args = parser.parse_args()
 
     for path, what in ((args.baseline, "baseline"), (args.current, "current")):
@@ -63,15 +108,17 @@ def main():
     current = load(args.current)
 
     keys = sorted(set(baseline) | set(current))
+    latency_keys = [k for k in keys if is_latency(k[1])]
     regressions = improvements = 0
-    width = max((len(f"{c} {m}") for c, m in keys), default=20)
+    worst_regression = 0.0
+    width = max((len(f"{c} {m}") for c, m in latency_keys), default=20)
 
     print(f"bench_diff: {os.path.relpath(args.current, repo_root)} vs "
           f"{os.path.relpath(args.baseline, repo_root)} "
           f"(threshold {args.threshold:.0f}%)\n")
     print(f"{'config metric'.ljust(width)}  {'base med':>12}  "
           f"{'cur med':>12}  {'delta':>8}")
-    for key in keys:
+    for key in latency_keys:
         label = f"{key[0]} {key[1]}".ljust(width)
         base = baseline.get(key)
         cur = current.get(key)
@@ -84,9 +131,10 @@ def main():
         if base["median"] <= 0:
             continue
         delta = 100.0 * (cur["median"] - base["median"]) / base["median"]
+        worst_regression = max(worst_regression, delta)
         flag = ""
         if delta >= args.threshold:
-            flag = "  << regression"  # all metrics are latencies: up is bad
+            flag = "  << regression"  # latency metrics: up is bad
             regressions += 1
         elif delta <= -args.threshold:
             flag = "  improvement"
@@ -94,9 +142,15 @@ def main():
         print(f"{label}  {base['median']:>12.0f}  {cur['median']:>12.0f}  "
               f"{delta:>+7.1f}%{flag}")
 
+    print_counter_section(keys, baseline, current)
+
     print(f"\nbench_diff: {regressions} regression(s), "
           f"{improvements} improvement(s) beyond ±{args.threshold:.0f}% "
-          f"across {len(keys)} series")
+          f"across {len(latency_keys)} latency series")
+    if args.fail_above is not None and worst_regression > args.fail_above:
+        print(f"bench_diff: FAIL — worst regression {worst_regression:+.1f}% "
+              f"exceeds --fail-above {args.fail_above:.0f}%")
+        return 1
     if args.strict and regressions:
         return 1
     return 0
