@@ -46,12 +46,15 @@
 // AID_BENCH_FORKJOIN_MAXTHREADS (default 16, capped sweep 1,2,4,8,16).
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "bench_util.h"
 #include "common/time_source.h"
 #include "pipeline/loop_chain.h"
 #include "platform/platform.h"
+#include "rt/gomp_compat.h"
+#include "rt/runtime.h"
 #include "rt/team.h"
 #include "sched/sharded_work_share.h"
 #include "sched/work_share.h"
@@ -143,6 +146,76 @@ ChainSamples measure_chain(rt::Team& team, int chain_len, i64 count,
     out.chain_total.push_back(static_cast<double>(t2 - t1));
   }
   return out;
+}
+
+// --- gomp_chain= family ----------------------------------------------------
+//
+// The same K-loop sync-vs-pipelined comparison as `chain=K`, but through
+// the GOMP compat surface (rt/gomp_compat.h): K consecutive work shares
+// inside one aid_gomp_parallel region, ended with aid_gomp_loop_end
+// (sync_total_ns — a construct barrier after every loop) or
+// aid_gomp_loop_end_nowait (chain_total_ns — nowait flow over the
+// work-share generation ring; the region end is the flush). This is the
+// unmodified-OpenMP-code path: the acceptance target is chain_total_ns
+// within ~1.3x of the native `chain=K` family at the same thread count.
+// Runs on the *global* runtime (the gomp surface has no per-Team form),
+// whose shape main() pins via the environment before first use.
+
+struct GompChainCtx {
+  int chain_len = 0;
+  long count = 0;
+  bool nowait = false;
+};
+
+void gomp_chain_bench_body(void* data) {
+  auto* ctx = static_cast<GompChainCtx*>(data);
+  for (int k = 0; k < ctx->chain_len; ++k) {
+    long start = 0;
+    long end = 0;
+    if (aid::rt::gomp::aid_gomp_loop_runtime_start(0, ctx->count, 1, &start,
+                                                   &end)) {
+      do {
+      } while (aid::rt::gomp::aid_gomp_loop_runtime_next(&start, &end));
+    }
+    if (ctx->nowait)
+      aid::rt::gomp::aid_gomp_loop_end_nowait();
+    else
+      aid::rt::gomp::aid_gomp_loop_end();
+  }
+}
+
+ChainSamples measure_gomp_chain(int chain_len, i64 count, int runs) {
+  const SteadyTimeSource clock;
+  ChainSamples out;
+  GompChainCtx sync{chain_len, static_cast<long>(count), /*nowait=*/false};
+  GompChainCtx chained{chain_len, static_cast<long>(count), /*nowait=*/true};
+
+  const int warmup = runs / 10 + 5;
+  for (int r = -warmup; r < runs; ++r) {
+    const Nanos t0 = clock.now();
+    aid::rt::gomp::aid_gomp_parallel(gomp_chain_bench_body, &sync);
+    const Nanos t1 = clock.now();
+    aid::rt::gomp::aid_gomp_parallel(gomp_chain_bench_body, &chained);
+    const Nanos t2 = clock.now();
+    if (r < 0) continue;
+    out.sync_total.push_back(static_cast<double>(t1 - t0));
+    out.chain_total.push_back(static_cast<double>(t2 - t1));
+  }
+  return out;
+}
+
+void report_gomp_chain_family(bench::BenchJsonWriter& json, int runs) {
+  constexpr int kChainLen = 8;
+  const int nthreads = rt::Runtime::instance().nthreads();
+  for (const i64 count : {i64{256}, i64{1} << 12}) {
+    char config[96];
+    std::snprintf(config, sizeof config,
+                  "threads=%d/gomp_chain=%d/count=%lld/sched=runtime",
+                  nthreads, kChainLen, static_cast<long long>(count));
+    const ChainSamples s = measure_gomp_chain(kChainLen, count, runs);
+    report(json, config, "sync_total_ns", s.sync_total);
+    report(json, config, "chain_total_ns", s.chain_total);
+  }
 }
 
 // --- shard= family ---------------------------------------------------------
@@ -284,6 +357,13 @@ int main() {
   const int max_threads =
       static_cast<int>(env::get_int("AID_BENCH_FORKJOIN_MAXTHREADS", 16));
 
+  // The gomp_chain= family drives the global runtime; pin its shape (4
+  // threads, no AMP throttling, a deterministic runtime schedule) before
+  // anything materializes it. Pre-set environment wins.
+  ::setenv("AID_NUM_THREADS", "4", 0);
+  ::setenv("AID_EMULATE_AMP", "0", 0);
+  ::setenv("AID_SCHEDULE", "dynamic,16", 0);
+
   bench::BenchJsonWriter json("micro_forkjoin");
   std::printf("fork/join fast-path latency (%d runs per config)\n\n", runs);
 
@@ -341,5 +421,9 @@ int main() {
     report_shard_family(json, nthreads, /*count=*/i64{1} << 12, /*chunk=*/4,
                         runs);
   }
+
+  // GOMP work shares through the generation ring, sync vs nowait (after
+  // the sweep so the global runtime's team coexists with no bench team).
+  report_gomp_chain_family(json, runs);
   return 0;
 }

@@ -43,11 +43,20 @@ class CompletionGate {
   /// One participant's completion of the construct tagged `tag`. The last
   /// arrival publishes the watermark and wakes registered waiters.
   void check_in(u64 tag) {
-    if (unfinished_->fetch_sub(1, std::memory_order_seq_cst) == 1) {
-      completed_->store(tag, std::memory_order_seq_cst);
-      if (waiters_->load(std::memory_order_seq_cst) != 0)
-        completed_->notify_all();
-    }
+    if (unfinished_->fetch_sub(1, std::memory_order_seq_cst) == 1)
+      publish(tag);
+  }
+
+  /// Single-producer form: store the watermark for `tag` directly, no
+  /// countdown. The GOMP work-share ring uses a gate this way as its
+  /// *publication* channel — the one staging thread publishes, every team
+  /// member waits — keeping the monotone-watermark + Dekker-wake protocol
+  /// in one place. The seq_cst store orders all plain staging stores
+  /// before it against a waiter's watermark read.
+  void publish(u64 tag) {
+    completed_->store(tag, std::memory_order_seq_cst);
+    if (waiters_->load(std::memory_order_seq_cst) != 0)
+      completed_->notify_all();
   }
 
   /// Has the construct tagged `tag` fully completed? (>= because the

@@ -113,6 +113,22 @@ sched::SchedulerStats AppHandle::last_loop_stats() const {
   return mgr_->app_of(id_).last_stats;
 }
 
+sched::SchedulerCache& AppHandle::scheduler_cache() {
+  AID_CHECK_MSG(mgr_ != nullptr, "scheduler_cache on a released app lease");
+  std::scoped_lock lk(mgr_->mutex_);
+  return *mgr_->app_of(id_).cache;
+}
+
+const sched::ShardTopology& AppHandle::shard_topology() const {
+  AID_CHECK_MSG(mgr_ != nullptr, "shard_topology on a released app lease");
+  std::scoped_lock lk(mgr_->mutex_);
+  const PoolManager::App& a = mgr_->app_of(id_);
+  AID_CHECK_MSG(a.topo != nullptr,
+                "shard_topology before the first partition adoption — pin "
+                "the partition (begin_region / a loop boundary) first");
+  return *a.topo;
+}
+
 // --- PoolManager -----------------------------------------------------------
 
 PoolManager& PoolManager::instance() {
@@ -165,6 +181,7 @@ AppHandle PoolManager::register_app(std::string name, double weight) {
   app->id = id;
   app->name = std::move(name);
   app->weight = weight;
+  app->cache = std::make_unique<sched::SchedulerCache>();
   if (retired_.empty()) {
     app->shared = std::make_unique<rt::SharedAllotment>();
     app->job = std::make_unique<PoolJob>();
@@ -307,6 +324,12 @@ void PoolManager::adopt(App& app) {
   app.current = std::move(achievable);
   app.layout = std::make_unique<platform::TeamLayout>(
       platform_, app.current, platform::Mapping::kBigFirst);
+  app.topo = std::make_unique<sched::ShardTopology>(
+      sched::ShardTopology::from_layout(*app.layout));
+  // The partition moved: every cached scheduler bakes in the old layout's
+  // thread count and shard topology. Idle instances die now; in-flight
+  // ones (a chain committing between ring entries) die on their release.
+  app.cache->invalidate();
   ++allotment_epoch_;
   targets_epoch_.fetch_add(1, std::memory_order_release);
   app.shared->publish({app.layout->nb(), allotment_epoch_});
@@ -335,7 +358,9 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
   // Acquire the partition exactly like run_loop: the chain's entry is a
   // loop boundary, so pending grants/revokes are adopted first.
   const platform::TeamLayout* layout = nullptr;
+  const sched::ShardTopology* topo = nullptr;
   PoolJob* job = nullptr;
+  sched::SchedulerCache* cache = nullptr;
   {
     std::unique_lock lk(mutex_);
     App& a = app_of(id);
@@ -350,12 +375,16 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
     AID_CHECK_MSG(!a.current.empty(), "app lease holds no cores");
     a.in_loop = true;
     layout = a.layout.get();
+    topo = a.topo.get();
     job = a.job.get();
+    cache = a.cache.get();
   }
 
-  // Schedulers live for the whole chain (stats are read at the end, and a
-  // published entry's scheduler must outlive its completion).
-  std::vector<std::unique_ptr<sched::LoopScheduler>> scheds(total);
+  // Scheduler leases live for the whole chain (stats are read at the end,
+  // and a published entry's scheduler must outlive its completion). A
+  // mid-chain repartition invalidates the cache, so leases acquired before
+  // the commit are destroyed — not repooled — when released below.
+  std::vector<sched::LoopScheduler*> scheds(total, nullptr);
   std::vector<u64> seqs(total, 0);
   usize pub = 0;      // chain entries published so far
   usize run = 0;      // chain entries the master has participated in
@@ -404,12 +433,17 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
         if (seq > PoolJob::kChainRing &&
             !pool_.entry_complete(*job, seq - PoolJob::kChainRing))
           break;
+        // Proven complete: hand entry pub - kChainRing's lease back now
+        // (only the final entry's stats are read), so a long same-shape
+        // chain re-arms at most kChainRing instances.
+        if (pub >= PoolJob::kChainRing) {
+          cache->release(scheds[pub - PoolJob::kChainRing]);
+          scheds[pub - PoolJob::kChainRing] = nullptr;
+        }
         const pipeline::ChainedLoop& loop = loops[pub];
-        scheds[pub] = sched::make_scheduler(
-            loop.spec, loop.count, *layout,
-            sched::ShardTopology::from_layout(*layout));
+        scheds[pub] = cache->acquire(loop.spec, loop.count, *layout, *topo);
         PoolJob::Entry& entry = job->entry_of(seq);
-        entry.sched = scheds[pub].get();
+        entry.sched = scheds[pub];
         entry.body = &loop.body;
         // Dependency edges point at earlier entries; `completed` is
         // monotone, so an edge into an already-drained window is a no-op
@@ -449,6 +483,7 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
       });
       a.in_loop = true;
       layout = a.layout.get();
+      topo = a.topo.get();
     } else {
       // Ring full and nothing left for the master to run: wait for the
       // oldest in-flight entry (the workers are draining it).
@@ -459,10 +494,14 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
   // Chain-end flush: the only full join of the chain.
   flush_published();
 
+  const sched::SchedulerStats stats = scheds[total - 1]->stats();
+  for (sched::LoopScheduler* s : scheds)
+    if (s != nullptr) cache->release(s);
+
   {
     std::scoped_lock lk(mutex_);
     App& a = app_of(id);
-    a.last_stats = scheds[total - 1]->stats();
+    a.last_stats = stats;
     a.in_loop = false;
     if (a.region_depth == 0) commit_idle();
     granted_.notify_all();
@@ -472,7 +511,9 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
 void PoolManager::run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
                            const rt::RangeBody& body) {
   const platform::TeamLayout* layout = nullptr;
+  const sched::ShardTopology* topo = nullptr;
   PoolJob* job = nullptr;
+  sched::SchedulerCache* cache = nullptr;
   {
     std::unique_lock lk(mutex_);
     App& a = app_of(id);
@@ -491,20 +532,26 @@ void PoolManager::run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
     AID_CHECK_MSG(!a.current.empty(), "app lease holds no cores");
     a.in_loop = true;
     layout = a.layout.get();
+    topo = a.topo.get();
     job = a.job.get();
+    cache = a.cache.get();
   }
 
-  // Shard membership follows the partition: the topology is derived from
-  // the layout current at construction, so a repartition committed at a
-  // loop boundary (or between chain ring entries) remaps shards with it.
-  auto scheduler = sched::make_scheduler(
-      spec, count, *layout, sched::ShardTopology::from_layout(*layout));
+  // Shard membership follows the partition: the topology (rebuilt in
+  // adopt() alongside the layout) matches whatever partition this loop
+  // boundary committed, and the cache was invalidated if it moved — so a
+  // cache hit always re-arms an instance built for the current layout.
+  sched::LoopScheduler* scheduler = cache->acquire(spec, count, *layout,
+                                                   *topo);
   pool_.run_loop(*layout, count, *scheduler, body, *job);
+
+  const sched::SchedulerStats stats = scheduler->stats();
+  cache->release(scheduler);
 
   {
     std::scoped_lock lk(mutex_);
     App& a = app_of(id);
-    a.last_stats = scheduler->stats();
+    a.last_stats = stats;
     a.in_loop = false;
     if (a.region_depth == 0) commit_idle();
     granted_.notify_all();

@@ -34,6 +34,8 @@
 #include "rt/os_bridge.h"
 #include "rt/team.h"
 #include "sched/schedule_spec.h"
+#include "sched/scheduler_cache.h"
+#include "sched/shard_topology.h"
 
 namespace aid::pipeline {
 class LoopChain;
@@ -105,6 +107,20 @@ class AppHandle {
   [[nodiscard]] const rt::SharedAllotment& shared() const;
   [[nodiscard]] sched::SchedulerStats last_loop_stats() const;
   [[nodiscard]] int nthreads() const { return allotment().total(); }
+
+  /// The lease's per-shape scheduler cache (sched/scheduler_cache.h):
+  /// every construct on this partition — run_loop, chain entries, GOMP
+  /// work shares — re-arms a cached instance instead of building one. The
+  /// manager invalidates it whenever the partition moves (cached
+  /// instances bake in the old layout's thread count and shard topology),
+  /// so hold the reference only while a loop or region pins the layout.
+  [[nodiscard]] sched::SchedulerCache& scheduler_cache();
+
+  /// Shard topology of the current partition (rebuilt with the layout on
+  /// every adoption). Same validity contract as the layout reference from
+  /// begin_region(): hold it only while a loop or region pins the
+  /// partition.
+  [[nodiscard]] const sched::ShardTopology& shard_topology() const;
 
   [[nodiscard]] bool valid() const { return mgr_ != nullptr; }
   /// Early unregister (idempotent; the destructor calls it too).
@@ -181,6 +197,13 @@ class PoolManager {
     bool in_loop = false;
     int region_depth = 0;  ///< begin_region nesting; >0 defers adoption
     std::unique_ptr<platform::TeamLayout> layout;  // built over `current`
+    /// Shard topology of `layout`, rebuilt with it in adopt() so the
+    /// per-construct path does not re-derive it (env read + allocation)
+    /// on every loop.
+    std::unique_ptr<sched::ShardTopology> topo;
+    /// Per-shape scheduler cache for this lease; invalidated in adopt()
+    /// whenever the partition actually moves.
+    std::unique_ptr<sched::SchedulerCache> cache;
     // Externally-referenced state (workers touch the job's completion
     // words briefly after the app's last join; observers may hold a
     // shared() reference past release). Recycled through retired_ on
@@ -222,11 +245,17 @@ class PoolManager {
 
   platform::Platform platform_;
   Config config_;
-  WorkerPool pool_;
   mutable std::mutex mutex_;
   std::condition_variable granted_;  ///< signaled when cores are released
+  // apps_/retired_ are declared BEFORE pool_ deliberately: destruction
+  // runs in reverse, so ~WorkerPool joins every worker before any PoolJob
+  // is freed. A worker's last act on an entry is the completion gate's
+  // check_in (an atomic read of the waiters word can still be in flight
+  // when the master's wait returns) — freeing the job before the join is
+  // a use-after-free the CI tsan leg catches.
   std::map<u64, std::unique_ptr<App>> apps_;  // keyed by registration order
   std::vector<Retired> retired_;
+  WorkerPool pool_;
   u64 next_id_ = 1;
   u64 allotment_epoch_ = 0;  ///< bumps on every adoption that changed cores
   /// Bumps (under mutex_) whenever targets are recomputed or any app's

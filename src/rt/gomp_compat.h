@@ -29,6 +29,16 @@
 // Threading model: aid_gomp_parallel() runs `fn` on every team member of
 // the global runtime (rt/runtime.h). Loop state is kept per team; nested
 // parallelism is not supported (matching libaid's Team).
+//
+// Nowait chaining: consecutive work shares inside a region execute over a
+// generation ring of in-flight constructs (the loop-pipeline design,
+// src/pipeline/), so after aid_gomp_loop_end_nowait() a thread flows
+// straight into the next work share — up to Team::kChainRing constructs
+// past the team's slowest straggler — exactly like a native LoopChain.
+// aid_gomp_loop_end() barriers on its construct's completion gate, and
+// the region end is the chain-end flush. Per-construct schedulers come
+// re-armed from the runtime's per-shape SchedulerCache. Design note:
+// src/rt/README.md "GOMP nowait chains".
 #pragma once
 
 namespace aid::rt::gomp {

@@ -9,23 +9,31 @@ namespace aid::rt {
 SharedAllotment::SharedAllotment(Allotment initial) { publish(initial); }
 
 void SharedAllotment::publish(Allotment a) {
-  // Seqlock write: odd sequence marks "in flight"; readers retry.
+  // Seqlock write: odd sequence marks "in flight"; readers retry. All
+  // stores are seq_cst rather than the classic fence-based pairing:
+  // under the single total order the snapshot argument is immediate (a
+  // reader whose two sequence reads both return the same even value sits
+  // entirely between this publish's closing store and the next publish's
+  // opening store), it needs no std::atomic_thread_fence — which
+  // ThreadSanitizer cannot model (GCC's -Wtsan diagnostic flags it, and
+  // the library's -Werror turns that into a build failure on the CI tsan
+  // leg) — and the path is cold on both sides (one publish per
+  // repartition, one read per loop-boundary poll).
   const u64 seq = sequence_.load(std::memory_order_relaxed);
-  sequence_.store(seq + 1, std::memory_order_release);
-  threads_on_big_.store(a.threads_on_big, std::memory_order_relaxed);
-  epoch_.store(a.epoch, std::memory_order_relaxed);
-  sequence_.store(seq + 2, std::memory_order_release);
+  sequence_.store(seq + 1, std::memory_order_seq_cst);
+  threads_on_big_.store(a.threads_on_big, std::memory_order_seq_cst);
+  epoch_.store(a.epoch, std::memory_order_seq_cst);
+  sequence_.store(seq + 2, std::memory_order_seq_cst);
 }
 
 Allotment SharedAllotment::read() const {
   for (;;) {
-    const u64 before = sequence_.load(std::memory_order_acquire);
+    const u64 before = sequence_.load(std::memory_order_seq_cst);
     if (before % 2 != 0) continue;  // writer in flight
     Allotment a;
-    a.threads_on_big = threads_on_big_.load(std::memory_order_relaxed);
-    a.epoch = epoch_.load(std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (sequence_.load(std::memory_order_relaxed) == before) return a;
+    a.threads_on_big = threads_on_big_.load(std::memory_order_seq_cst);
+    a.epoch = epoch_.load(std::memory_order_seq_cst);
+    if (sequence_.load(std::memory_order_seq_cst) == before) return a;
   }
 }
 

@@ -79,6 +79,16 @@ sched::SchedulerStats Runtime::last_loop_stats() const {
   return team_->last_loop_stats();
 }
 
+sched::SchedulerCache& Runtime::scheduler_cache() {
+  if (lease_ != nullptr) return lease_->scheduler_cache();
+  return team_->scheduler_cache();
+}
+
+const sched::ShardTopology& Runtime::shard_topology() const {
+  if (lease_ != nullptr) return lease_->shard_topology();
+  return team_->shard_topology();
+}
+
 const platform::TeamLayout& Runtime::enter_region() {
   if (lease_ != nullptr) return lease_->begin_region();
   return team_->layout();

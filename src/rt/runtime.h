@@ -85,6 +85,20 @@ class Runtime {
   /// Stats of the most recent loop (SF estimate, pool removals, ...).
   [[nodiscard]] sched::SchedulerStats last_loop_stats() const;
 
+  /// The per-shape scheduler cache constructs on this runtime draw from:
+  /// the team's, or the leased pool partition's (invalidated by the
+  /// manager whenever the partition moves). The GOMP work-share ring
+  /// acquires its per-construct schedulers here, so a region's repeated
+  /// loop shapes are re-armed instead of reallocated. Valid while a
+  /// region pins the layout (enter_region/exit_region).
+  [[nodiscard]] sched::SchedulerCache& scheduler_cache();
+
+  /// Shard topology of the current layout (the team's fixed one, or the
+  /// leased partition's — rebuilt by the manager on adoption). Same
+  /// validity contract as scheduler_cache(): hold the reference only
+  /// while a region pins the layout.
+  [[nodiscard]] const sched::ShardTopology& shard_topology() const;
+
   [[nodiscard]] bool uses_pool() const { return lease_ != nullptr; }
 
   /// The private team (non-pool mode only; CHECK-fails under AID_POOL=1 —

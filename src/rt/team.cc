@@ -8,6 +8,13 @@
 
 namespace aid::rt {
 
+// The cache retains this many idle instances per shape precisely so a
+// chain can hold a full ring of same-shape constructs in flight; a ring
+// deepened past the retention cap would silently reintroduce steady-state
+// construction misses (and break the cache-determinism tests).
+static_assert(Team::kChainRing <= sched::SchedulerCache::kInstancesPerShape,
+              "chain-ring depth exceeds SchedulerCache per-shape retention");
+
 Team::Team(const platform::Platform& platform, int nthreads,
            platform::Mapping mapping, bool emulate_amp, bool bind_threads,
            bool sf_cpu_time)
@@ -126,17 +133,15 @@ void Team::participate(int tid, sched::LoopScheduler& sched,
 }
 
 u64 Team::publish(sched::LoopScheduler* sched, const RangeBody* body,
-                  u64 dep_gen, std::unique_ptr<sched::LoopScheduler> owned) {
+                  u64 dep_gen) {
   const u64 gen = job_generation_ + 1;
   ChainSlot& slot = slot_of(gen);
   // Ring reuse guard (callers enforce): the previous occupant, generation
-  // gen - kChainRing, has completed, so nobody reads the old fields and
-  // the old owned scheduler can be replaced.
+  // gen - kChainRing, has completed, so nobody reads the old fields.
   AID_DCHECK(gen <= kChainRing || slot.gate.complete(gen - kChainRing));
   slot.sched = sched;
   slot.body = body;
   slot.dep_gen = dep_gen;
-  slot.owned = std::move(owned);
   slot.gate.arm(layout_.nthreads());
   ++job_generation_;
   // Publish per-dock generations first, then the shared epoch, then check
@@ -156,9 +161,22 @@ void Team::run_loop(i64 count, const sched::ScheduleSpec& spec,
   AID_CHECK_MSG(!in_loop_.exchange(true),
                 "nested/concurrent run_loop is not supported");
 
-  auto sched = sched::make_scheduler(spec, count, layout_, shard_topo_);
+  if (count == 0) {
+    // Empty loop: no iterations, so no scheduler, no dispatch, no
+    // barrier — the construct costs only this guard.
+    last_stats_ = sched::SchedulerStats{};
+    in_loop_.store(false, std::memory_order_release);
+    return;
+  }
 
-  if (docks_.empty() || count == 0) {
+  // The construct path is cache-first: an idle same-shape instance is
+  // re-armed via reset() instead of reallocating scheduler + shard pool
+  // per loop (sched/scheduler_cache.h; data-parallel apps run the same
+  // loop shapes thousands of times).
+  sched::LoopScheduler* sched =
+      sched_cache_.acquire(spec, count, layout_, shard_topo_);
+
+  if (docks_.empty()) {
     // Serial fast path: a one-thread team (or an empty loop) has nothing to
     // dispatch — run the master's participation with zero synchronization.
     participate(/*tid=*/0, *sched, body);
@@ -167,13 +185,14 @@ void Team::run_loop(i64 count, const sched::ScheduleSpec& spec,
     // (as in libgomp), check into the countdown, and flush immediately.
     // The ring reuse guard holds because every previous construct was
     // flushed before its run_loop/run_chain returned.
-    const u64 gen = publish(sched.get(), &body, /*dep_gen=*/0, nullptr);
+    const u64 gen = publish(sched, &body, /*dep_gen=*/0);
     participate(/*tid=*/0, *sched, body);
     slot_of(gen).gate.check_in(gen);
     wait_generation(gen);
   }
 
   last_stats_ = sched->stats();
+  sched_cache_.release(sched);
   in_loop_.store(false, std::memory_order_release);
 }
 
@@ -187,10 +206,11 @@ void Team::run_chain(const pipeline::LoopChain& chain) {
     // One-thread team: the chain degenerates to running each loop in
     // order; every dependency is trivially satisfied.
     for (const auto& loop : loops) {
-      auto sched = sched::make_scheduler(loop.spec, loop.count, layout_,
-                                         shard_topo_);
+      sched::LoopScheduler* sched =
+          sched_cache_.acquire(loop.spec, loop.count, layout_, shard_topo_);
       participate(/*tid=*/0, *sched, loop.body);
       last_stats_ = sched->stats();
+      sched_cache_.release(sched);
     }
     in_loop_.store(false, std::memory_order_release);
     return;
@@ -204,6 +224,10 @@ void Team::run_chain(const pipeline::LoopChain& chain) {
   // chain-end flush.
   const u64 base = job_generation_;
   const usize total = loops.size();
+  // Cache leases for the chain's schedulers: a ring slot's scheduler must
+  // stay alive until the slot's flush, so every lease is released only
+  // after the chain-end flush (and the final stats read).
+  std::vector<sched::LoopScheduler*> scheds(total, nullptr);
   usize pub = 0;  // loops published so far
   usize run = 0;  // loops the master has participated in
   while (run < total) {
@@ -212,15 +236,22 @@ void Team::run_chain(const pipeline::LoopChain& chain) {
       // Ring reuse guard: the slot's previous occupant must be complete.
       if (gen > kChainRing && !slot_of(gen).gate.complete(gen - kChainRing))
         break;
+      // The guard just proved chain entry pub - kChainRing fully
+      // completed: release its lease now (stats are read from the final
+      // entry only), so a long same-shape chain re-arms at most
+      // kChainRing instances instead of defeating the cache.
+      if (pub >= kChainRing) {
+        sched_cache_.release(scheds[pub - kChainRing]);
+        scheds[pub - kChainRing] = nullptr;
+      }
       const auto& loop = loops[pub];
-      auto sched = sched::make_scheduler(loop.spec, loop.count, layout_,
-                                         shard_topo_);
+      scheds[pub] =
+          sched_cache_.acquire(loop.spec, loop.count, layout_, shard_topo_);
       const u64 dep =
           loop.depends_on >= 0
               ? base + 1 + static_cast<u64>(loop.depends_on)
               : 0;
-      sched::LoopScheduler* raw = sched.get();
-      publish(raw, &loop.body, dep, std::move(sched));
+      publish(scheds[pub], &loop.body, dep);
       ++pub;
     }
     if (run < pub) {
@@ -240,7 +271,9 @@ void Team::run_chain(const pipeline::LoopChain& chain) {
   // The chain-end flush: the only full barrier in the chain.
   for (usize k = 0; k < total; ++k) wait_generation(base + 1 + k);
 
-  last_stats_ = slot_of(base + total).owned->stats();
+  last_stats_ = scheds[total - 1]->stats();
+  for (sched::LoopScheduler* s : scheds)
+    if (s != nullptr) sched_cache_.release(s);
   in_loop_.store(false, std::memory_order_release);
 }
 

@@ -47,6 +47,7 @@
 #include "rt/runtime_config.h"
 #include "rt/throttle.h"
 #include "sched/loop_scheduler.h"
+#include "sched/scheduler_cache.h"
 #include "sched/shard_topology.h"
 
 namespace aid::pipeline {
@@ -119,6 +120,22 @@ class Team {
     return last_stats_;
   }
 
+  /// Per-shape scheduler cache every construct of this team draws from
+  /// (run_loop, run_chain entries, and the GOMP work-share ring via
+  /// Runtime::scheduler_cache). Never invalidated: the team's layout is
+  /// fixed for its lifetime. Exposed for the GOMP surface and for
+  /// hit/miss observability in tests.
+  [[nodiscard]] sched::SchedulerCache& scheduler_cache() {
+    return sched_cache_;
+  }
+
+  /// The shard topology every construct of this team arms (fixed for the
+  /// team's lifetime). Exposed so the GOMP surface reuses it instead of
+  /// re-deriving one (env read + allocation) per parallel region.
+  [[nodiscard]] const sched::ShardTopology& shard_topology() const {
+    return shard_topo_;
+  }
+
  private:
   /// One worker's dispatch mailbox, alone in its cache line (via Padded):
   /// the generation of the last job published to this worker. The worker's
@@ -135,12 +152,13 @@ class Team {
   /// and no worker touches a slot whose generation it has not observed.
   /// The gate's monotone watermark makes a dependency wait on an
   /// already-reused slot return immediately instead of deadlocking on the
-  /// new occupant's countdown (common/completion_gate.h).
+  /// new occupant's countdown (common/completion_gate.h). Scheduler
+  /// lifetime is the cache lease: the master releases an entry's
+  /// scheduler back to sched_cache_ only after the construct's flush.
   struct ChainSlot {
     sched::LoopScheduler* sched = nullptr;
     const RangeBody* body = nullptr;
     u64 dep_gen = 0;  ///< generation that must complete first (0 = none)
-    std::unique_ptr<sched::LoopScheduler> owned;  ///< master-only lifetime
     CompletionGate gate;
   };
 
@@ -160,10 +178,9 @@ class Team {
   /// Master side: stage `sched`/`body` into the next generation's ring slot
   /// and publish it to every dock (the slot's previous occupant must have
   /// completed — callers enforce the ring reuse guard). Returns the new
-  /// generation. `owned` optionally transfers scheduler ownership to the
-  /// slot (kept alive until the slot is reused).
-  u64 publish(sched::LoopScheduler* sched, const RangeBody* body, u64 dep_gen,
-              std::unique_ptr<sched::LoopScheduler> owned);
+  /// generation.
+  u64 publish(sched::LoopScheduler* sched, const RangeBody* body,
+              u64 dep_gen);
 
   /// Worker side: spin-then-block until `dock.gen` leaves `seen`; returns
   /// the new generation.
@@ -175,6 +192,10 @@ class Team {
   /// populated core type (AID_SHARDS overrides; =1 is the single-pool
   /// fallback). Fixed for the team's lifetime because the layout is.
   sched::ShardTopology shard_topo_;
+  /// Per-shape scheduler instances, re-armed per construct instead of
+  /// reallocated (sched/scheduler_cache.h). Valid for the team's lifetime
+  /// — the layout (and so the shard topology) never changes.
+  sched::SchedulerCache sched_cache_;
   SteadyTimeSource clock_;
   ThreadCpuTimeSource cpu_clock_;
   const TimeSource* sf_clock_;  // what the schedulers' sampling observes

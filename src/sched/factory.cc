@@ -23,6 +23,10 @@ std::unique_ptr<LoopScheduler> make_scheduler(
 std::unique_ptr<LoopScheduler> make_scheduler(
     const ScheduleSpec& spec, i64 count, const platform::TeamLayout& layout,
     const ShardTopology& topo) {
+  // This is the cold construction path: the runtime layers front it with
+  // a per-shape SchedulerCache (sched/scheduler_cache.h) that re-arms an
+  // idle instance via reset() per construct, so this switch runs once per
+  // (shape, layout generation) — not once per loop.
   switch (spec.kind) {
     case ScheduleKind::kStatic:
       return std::make_unique<StaticScheduler>(count, layout, spec.chunk);

@@ -15,7 +15,7 @@ void SfEstimator::reset(int expected_threads) {
     t.time_sum.store(0, std::memory_order_relaxed);
     t.iter_sum.store(0, std::memory_order_relaxed);
   }
-  expected_ = expected_threads;
+  expected_.store(expected_threads, std::memory_order_relaxed);
   completed_.store(0, std::memory_order_release);
 }
 
@@ -30,12 +30,14 @@ bool SfEstimator::record(int core_type, Nanos elapsed, i64 iterations) {
     acc.iter_sum.fetch_add(iterations, std::memory_order_relaxed);
   }
   const int done = completed_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  AID_DCHECK(done <= expected_);
-  return done == expected_;
+  const int expected = expected_.load(std::memory_order_relaxed);
+  AID_DCHECK(done <= expected);
+  return done == expected;
 }
 
 bool SfEstimator::complete() const {
-  return completed_.load(std::memory_order_acquire) >= expected_;
+  return completed_.load(std::memory_order_acquire) >=
+         expected_.load(std::memory_order_relaxed);
 }
 
 double SfEstimator::rate(int core_type) const {

@@ -71,7 +71,12 @@ class SfEstimator {
 
   std::vector<TypeAccum> types_;
   std::atomic<int> completed_{0};
-  int expected_ = 0;
+  /// Atomic (relaxed): a phase-closing reset() may overlap the tail of a
+  /// straggler's record() — after its completed_ increment, before its
+  /// expected_ comparison. The value written is the same team size, so
+  /// the comparison is unaffected; atomicity only removes the formal
+  /// data race (caught by the CI tsan leg).
+  std::atomic<int> expected_{0};
 };
 
 /// k in the paper's notation: the per-small-core-thread allotment such that

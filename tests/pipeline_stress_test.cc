@@ -154,6 +154,52 @@ TEST(PipelineStress, FourLoopChainsUnderPolicyChurn) {
   EXPECT_EQ(b.nthreads(), 6);
 }
 
+// A lease-routed chain much longer than the entry ring, all loops one
+// shape: exercises the pool chain's ring-slot reuse AND the scheduler
+// cache's release-at-reuse path (a published entry's lease is handed back
+// the moment the reuse guard proves its slot's previous occupant
+// complete), with a policy-churning arbiter landing commits mid-chain.
+TEST(PipelineStress, LongSameShapeChainReusesRingAndCacheOnLease) {
+  constexpr usize kLoops = 3 * pool::PoolJob::kChainRing + 1;
+  constexpr i64 kCount = 257;
+  PoolManager mgr(platform::generic_amp(4, 4, 3.0), test_config());
+
+  AppHandle app = mgr.register_app("long-chain");
+  std::vector<std::vector<std::atomic<u16>>> hits(kLoops);
+  for (auto& loop : hits) {
+    std::vector<std::atomic<u16>> v(kCount);
+    for (auto& h : v) h.store(0);
+    loop.swap(v);
+  }
+
+  LoopChain chain;
+  for (usize k = 0; k < kLoops; ++k) {
+    auto* mine = &hits[k];
+    chain.add(kCount, ScheduleSpec::dynamic(3),
+              [mine](i64 b, i64 e, const rt::WorkerInfo&) {
+                for (i64 i = b; i < e; ++i)
+                  (*mine)[static_cast<usize>(i)].fetch_add(1);
+              });
+  }
+
+  std::atomic<bool> done{false};
+  std::thread churn([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      mgr.repartition();
+      std::this_thread::yield();
+    }
+  });
+  for (int round = 0; round < 4; ++round) app.run_chain(chain);
+  done.store(true, std::memory_order_release);
+  churn.join();
+
+  for (usize k = 0; k < kLoops; ++k)
+    for (i64 i = 0; i < kCount; ++i)
+      ASSERT_EQ(hits[k][static_cast<usize>(i)].load(), 4)
+          << "loop " << k << " iteration " << i;
+  app.release();
+}
+
 TEST(PipelineStress, LeaseRoutedRuntimeChainUnderChurn) {
   // The unmodified-application path: a Runtime configured from the
   // environment (AID_POOL=1) leases from the process-wide manager, and

@@ -43,10 +43,47 @@ COUNTER_METRICS = ("local_share_pct", "rebalances_per_run")
 
 
 def load(path):
-    """Return {(config, metric): record} for one BENCH_*.json file."""
+    """Return {(config, metric): record} for one BENCH_*.json file.
+
+    Malformed records (missing config/metric/median — e.g. a truncated
+    write from an interrupted bench run) are skipped with a warning
+    instead of raising a KeyError later in the report."""
     with open(path, encoding="utf-8") as f:
         records = json.load(f)
-    return {(r["config"], r["metric"]): r for r in records}
+    table = {}
+    skipped = 0
+    for r in records:
+        if not all(k in r for k in ("config", "metric", "median")):
+            skipped += 1
+            continue
+        table[(r["config"], r["metric"])] = r
+    if skipped:
+        print(f"bench_diff: warning — {skipped} malformed record(s) "
+              f"skipped in {path}")
+    return table
+
+
+def family_of(config):
+    """A config's *family*: the set of key names in its /-separated
+    key=value segments (e.g. "threads=4/gomp_chain=8/count=256" ->
+    "threads/gomp_chain/count"). New bench families (a whole new config
+    shape, like gomp_chain=) appear in only one snapshot on their first
+    run; the report calls those out as added/removed instead of drowning
+    them in per-series rows."""
+    return "/".join(seg.split("=", 1)[0] for seg in config.split("/")
+                    if "=" in seg)
+
+
+def print_family_changes(baseline, current):
+    base_families = {family_of(c) for c, _ in baseline}
+    cur_families = {family_of(c) for c, _ in current}
+    for fam in sorted(cur_families - base_families):
+        n = sum(1 for c, _ in current if family_of(c) == fam)
+        print(f"family added (not in baseline): {fam}  ({n} series — "
+              f"excluded from regression accounting)")
+    for fam in sorted(base_families - cur_families):
+        n = sum(1 for c, _ in baseline if family_of(c) == fam)
+        print(f"family removed (baseline only): {fam}  ({n} series)")
 
 
 def is_latency(metric):
@@ -95,7 +132,11 @@ def main():
     parser.add_argument(
         "--fail-above", type=float, default=None, metavar="PCT",
         help="exit 1 if any latency regression exceeds PCT percent "
-             "(local gating; CI keeps the non-fatal report)")
+             "(CI gates the default leg with this; see .github/workflows)")
+    parser.add_argument(
+        "--exempt", action="append", default=[], metavar="SUBSTR",
+        help="configs containing SUBSTR are reported but never gate "
+             "(repeatable; CI exempts the host-sensitive shard= family)")
     args = parser.parse_args()
 
     for path, what in ((args.baseline, "baseline"), (args.current, "current")):
@@ -122,6 +163,7 @@ def main():
         label = f"{key[0]} {key[1]}".ljust(width)
         base = baseline.get(key)
         cur = current.get(key)
+        exempt = any(sub in key[0] for sub in args.exempt)
         if base is None:
             print(f"{label}  {'-':>12}  {cur['median']:>12.0f}      new")
             continue
@@ -131,17 +173,22 @@ def main():
         if base["median"] <= 0:
             continue
         delta = 100.0 * (cur["median"] - base["median"]) / base["median"]
-        worst_regression = max(worst_regression, delta)
-        flag = ""
+        if not exempt:
+            worst_regression = max(worst_regression, delta)
+        flag = "  (exempt)" if exempt else ""
         if delta >= args.threshold:
-            flag = "  << regression"  # latency metrics: up is bad
-            regressions += 1
+            flag += "  << regression"  # latency metrics: up is bad
+            if not exempt:
+                regressions += 1
         elif delta <= -args.threshold:
-            flag = "  improvement"
-            improvements += 1
+            flag += "  improvement"
+            if not exempt:
+                improvements += 1
         print(f"{label}  {base['median']:>12.0f}  {cur['median']:>12.0f}  "
               f"{delta:>+7.1f}%{flag}")
 
+    print()
+    print_family_changes(baseline, current)
     print_counter_section(keys, baseline, current)
 
     print(f"\nbench_diff: {regressions} regression(s), "
