@@ -148,6 +148,58 @@ ChainSamples measure_chain(rt::Team& team, int chain_len, i64 count,
   return out;
 }
 
+// --- cancel= family --------------------------------------------------------
+//
+// The failure-domain layer's two bench guards (src/rt/README.md "Failure
+// model"):
+//
+//   cancel_latency_chunks — chunks taken after a cancel fired from inside
+//       the first chunk's body. Cooperative cancellation is observed at
+//       the chunk-take boundary, so the overshoot is bounded by roughly
+//       one in-flight chunk per team member — this metric pins that bound
+//       (deliberately not a *_ns family: it gates on chunk counts).
+//   roundtrip_ns (cancel=unarmed / cancel=armed) — the same small static
+//       construct without and with a never-firing deadline: the armed
+//       variant pays the watchdog's arm/disarm (one mutex hop each) on
+//       top of the construct; the unarmed take path must stay within
+//       noise of the committed roundtrip baseline (the token probe is one
+//       relaxed load).
+
+void report_cancel_family(bench::BenchJsonWriter& json, rt::Team& team,
+                          int nthreads, int runs) {
+  {
+    const sched::ScheduleSpec dyn = sched::ScheduleSpec::dynamic(16);
+    std::vector<double> latency;
+    const int warmup = runs / 10 + 5;
+    for (int r = -warmup; r < runs; ++r) {
+      CancelToken token;
+      std::atomic<i64> chunks{0};
+      const rt::RangeBody body = [&](i64, i64, const rt::WorkerInfo&) {
+        if (chunks.fetch_add(1, std::memory_order_relaxed) == 0)
+          token.cancel();
+      };
+      team.run_loop(i64{1} << 14, dyn.with_cancel(&token), body);
+      if (r < 0) continue;
+      latency.push_back(
+          static_cast<double>(chunks.load(std::memory_order_relaxed) - 1));
+    }
+    char config[96];
+    std::snprintf(config, sizeof config,
+                  "threads=%d/cancel=latency/sched=dynamic16", nthreads);
+    report(json, config, "cancel_latency_chunks", latency);
+  }
+  for (const bool armed : {false, true}) {
+    sched::ScheduleSpec spec = sched::ScheduleSpec::static_even();
+    if (armed) spec.deadline_ns = i64{3600} * 1'000'000'000;  // never fires
+    char config[96];
+    std::snprintf(config, sizeof config,
+                  "threads=%d/cancel=%s/count=256/sched=static", nthreads,
+                  armed ? "armed" : "unarmed");
+    const LatencySamples s = measure(team, 256, spec, runs);
+    report(json, config, "roundtrip_ns", s.roundtrip);
+  }
+}
+
 // --- gomp_chain= family ----------------------------------------------------
 //
 // The same K-loop sync-vs-pipelined comparison as `chain=K`, but through
@@ -420,6 +472,10 @@ int main() {
     // the AID_SHARDS=1 fallback) plus the local-vs-remote removal ratio.
     report_shard_family(json, nthreads, /*count=*/i64{1} << 12, /*chunk=*/4,
                         runs);
+
+    // Failure-domain guards: cooperative cancel overshoot (in chunks) and
+    // the watchdog arm/disarm tax on the construct round-trip.
+    report_cancel_family(json, team, nthreads, runs);
   }
 
   // GOMP work shares through the generation ring, sync vs nowait (after

@@ -2,9 +2,46 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 
 namespace aid::env {
+
+namespace {
+
+std::mutex& warn_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::set<std::string, std::less<>>& warned_set() {
+  static std::set<std::string, std::less<>> warned;
+  return warned;
+}
+
+/// Warn once per variable that a set-but-malformed value was ignored.
+/// Guarded: runtimes read the environment from multiple threads (lazy
+/// per-construct config), and a flood of identical warnings would bury
+/// the one line the user needs.
+void warn_ignored(std::string_view name, std::string_view value,
+                  const char* why) {
+  {
+    const std::scoped_lock lock(warn_mutex());
+    if (!warned_set().emplace(name).second) return;
+  }
+  std::fprintf(stderr, "libaid: ignoring %s %.*s=\"%.*s\"\n", why,
+               static_cast<int>(name.size()), name.data(),
+               static_cast<int>(value.size()), value.data());
+}
+
+}  // namespace
+
+void reset_warnings() {
+  const std::scoped_lock lock(warn_mutex());
+  warned_set().clear();
+}
 
 std::optional<std::string> get(std::string_view name) {
   const std::string key(name);
@@ -56,21 +93,48 @@ i64 get_int(std::string_view name, i64 fallback) {
   const auto v = get(name);
   if (!v) return fallback;
   const auto parsed = parse_int(*v);
-  return parsed ? *parsed : fallback;
+  if (!parsed) {
+    warn_ignored(name, *v, "malformed");
+    return fallback;
+  }
+  return *parsed;
+}
+
+i64 get_int_at_least(std::string_view name, i64 fallback, i64 min) {
+  const auto v = get(name);
+  if (!v) return fallback;
+  const auto parsed = parse_int(*v);
+  if (!parsed) {
+    warn_ignored(name, *v, "malformed");
+    return fallback;
+  }
+  if (*parsed < min) {
+    warn_ignored(name, *v, "out-of-range");
+    return fallback;
+  }
+  return *parsed;
 }
 
 double get_double(std::string_view name, double fallback) {
   const auto v = get(name);
   if (!v) return fallback;
   const auto parsed = parse_double(*v);
-  return parsed ? *parsed : fallback;
+  if (!parsed) {
+    warn_ignored(name, *v, "malformed");
+    return fallback;
+  }
+  return *parsed;
 }
 
 bool get_bool(std::string_view name, bool fallback) {
   const auto v = get(name);
   if (!v) return fallback;
   const auto parsed = parse_bool(*v);
-  return parsed ? *parsed : fallback;
+  if (!parsed) {
+    warn_ignored(name, *v, "malformed");
+    return fallback;
+  }
+  return *parsed;
 }
 
 std::vector<std::string> split_list(std::string_view text, char delim) {

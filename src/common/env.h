@@ -18,14 +18,26 @@ namespace aid::env {
 /// Raw lookup; nullopt when the variable is unset.
 [[nodiscard]] std::optional<std::string> get(std::string_view name);
 
-/// Typed lookups: return `fallback` when unset; return nullopt-driven
-/// `fallback` (not an error) when set but unparsable, so a bad environment
-/// never aborts a user application — matching libgomp's forgiving behavior.
+/// Typed lookups: return `fallback` when unset; when set but unparsable
+/// they warn ONCE per variable to stderr and return `fallback` (not an
+/// error), so a bad environment never aborts a user application — matching
+/// libgomp's forgiving behavior while still telling the user their knob
+/// silently did nothing (AID_SHARDS=abc used to vanish without a trace).
 [[nodiscard]] std::string get_string(std::string_view name,
                                      std::string_view fallback);
 [[nodiscard]] i64 get_int(std::string_view name, i64 fallback);
 [[nodiscard]] double get_double(std::string_view name, double fallback);
 [[nodiscard]] bool get_bool(std::string_view name, bool fallback);
+
+/// get_int with a domain floor: values that parse but fall below `min`
+/// (e.g. a negative chunk size or AID_NUM_THREADS=-4) get the same
+/// warn-once + fallback treatment as unparsable text.
+[[nodiscard]] i64 get_int_at_least(std::string_view name, i64 fallback,
+                                   i64 min);
+
+/// Test hook: forget which variables have already warned (the warn-once
+/// set is process-global; tests reuse variable names).
+void reset_warnings();
 
 /// Parse helpers exposed for tests and for OMP_SCHEDULE-style strings.
 [[nodiscard]] std::optional<i64> parse_int(std::string_view text);

@@ -1,0 +1,7 @@
+#include "common/fault_hook.h"
+
+namespace aid::fault_hook {
+
+std::atomic<bool (*)()> drop_wake{nullptr};
+
+}  // namespace aid::fault_hook

@@ -1,0 +1,26 @@
+// Fault-injection seam for common/ primitives.
+//
+// The fault subsystem (src/fault/) injects failures into the runtimes'
+// body shims directly, but the completion gate's wake path lives in
+// common/ — which must not depend on fault/. This header is the one-way
+// valve: fault/ installs a function pointer here, and the gate consults it
+// with a single relaxed load on the (already cold) notify branch. In
+// production the pointer is null and the probe folds to one predictable
+// branch.
+#pragma once
+
+#include <atomic>
+
+namespace aid::fault_hook {
+
+/// Installed by fault/ when the active FaultPlan carries a drop-wake
+/// clause; null otherwise. Returns true to suppress ONE notify (modeling a
+/// lost futex wake — the watermark store itself always happens).
+extern std::atomic<bool (*)()> drop_wake;
+
+[[nodiscard]] inline bool consume_drop_wake() {
+  auto* fn = drop_wake.load(std::memory_order_relaxed);
+  return fn != nullptr && fn();
+}
+
+}  // namespace aid::fault_hook

@@ -1,0 +1,157 @@
+#include "fault/fault.h"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "common/fault_hook.h"
+
+namespace aid::fault {
+namespace {
+
+/// The installed plan plus the mutable one-shot state its clauses arm.
+/// Static storage, swapped atomically via g_active: install() fills the
+/// inactive fields first, then publishes the pointer, so a reader either
+/// sees no plan or a fully armed one. Reinstalling while a construct is in
+/// flight is the caller's bug (documented in fault.h).
+struct Active {
+  FaultPlan plan;
+  std::atomic<bool> throw_armed{false};
+  std::atomic<bool> stall_armed{false};
+  std::atomic<int> wakes_left{0};
+};
+
+Active g_storage;
+
+bool consume_wake() {
+  int left = g_storage.wakes_left.load(std::memory_order_relaxed);
+  while (left > 0) {
+    if (g_storage.wakes_left.compare_exchange_weak(
+            left, left - 1, std::memory_order_acq_rel,
+            std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+[[nodiscard]] bool parse_i64(std::string_view text, i64& out) {
+  const char* first = text.data();
+  const char* last = first + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+std::atomic<const void*> g_active{nullptr};
+
+std::optional<FaultPlan> parse(std::string_view text) {
+  FaultPlan plan;
+  while (!text.empty()) {
+    const usize sep = text.find(';');
+    std::string_view clause = text.substr(0, sep);
+    text = sep == std::string_view::npos ? std::string_view{}
+                                         : text.substr(sep + 1);
+    if (clause.empty()) continue;
+
+    const usize at = clause.find('@');
+    const std::string_view head = clause.substr(0, at);
+    const std::string_view args =
+        at == std::string_view::npos ? std::string_view{}
+                                     : clause.substr(at + 1);
+    const usize colon = args.find(':');
+    const std::string_view a0 = args.substr(0, colon);
+    const std::string_view a1 = colon == std::string_view::npos
+                                    ? std::string_view{}
+                                    : args.substr(colon + 1);
+
+    if (head == "throw") {
+      if (!parse_i64(a0, plan.throw_at) || plan.throw_at < 0 || !a1.empty())
+        return std::nullopt;
+    } else if (head == "stall") {
+      if (!parse_i64(a0, plan.stall_at) || plan.stall_at < 0 ||
+          !parse_i64(a1, plan.stall_ms) || plan.stall_ms < 0)
+        return std::nullopt;
+    } else if (head == "delay") {
+      i64 tid = 0;
+      if (!parse_i64(a0, tid) || tid < 0 || !parse_i64(a1, plan.delay_us) ||
+          plan.delay_us < 0)
+        return std::nullopt;
+      plan.delay_tid = static_cast<int>(tid);
+    } else if (head == "drop-wake") {
+      if (args.empty()) {
+        plan.drop_wakes = 1;
+      } else {
+        i64 n = 0;
+        if (!parse_i64(a0, n) || n < 1 || !a1.empty()) return std::nullopt;
+        plan.drop_wakes = static_cast<int>(n);
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+void install(const FaultPlan& plan) {
+  g_active.store(nullptr, std::memory_order_release);
+  g_storage.plan = plan;
+  g_storage.throw_armed.store(plan.throw_at >= 0,
+                              std::memory_order_relaxed);
+  g_storage.stall_armed.store(plan.stall_at >= 0,
+                              std::memory_order_relaxed);
+  g_storage.wakes_left.store(plan.drop_wakes, std::memory_order_relaxed);
+  fault_hook::drop_wake.store(plan.drop_wakes > 0 ? &consume_wake : nullptr,
+                              std::memory_order_release);
+  g_active.store(&g_storage, std::memory_order_release);
+}
+
+void clear() {
+  g_active.store(nullptr, std::memory_order_release);
+  fault_hook::drop_wake.store(nullptr, std::memory_order_release);
+}
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* value = std::getenv("AID_FAULT");
+    if (value == nullptr || value[0] == '\0') return;
+    const std::optional<FaultPlan> plan = parse(value);
+    if (!plan.has_value()) {
+      std::fprintf(stderr,
+                   "libaid: ignoring malformed AID_FAULT=\"%s\" "
+                   "(see src/fault/README.md for the grammar)\n",
+                   value);
+      return;
+    }
+    if (plan->any()) install(*plan);
+  });
+}
+
+void before_chunk(int tid, i64 begin, i64 end) {
+  const auto* active =
+      static_cast<const Active*>(g_active.load(std::memory_order_acquire));
+  if (active == nullptr) return;
+  const FaultPlan& plan = active->plan;
+
+  if (plan.delay_tid == tid && plan.delay_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_us));
+
+  if (plan.stall_at >= begin && plan.stall_at < end &&
+      g_storage.stall_armed.load(std::memory_order_relaxed) &&
+      g_storage.stall_armed.exchange(false, std::memory_order_acq_rel))
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan.stall_ms));
+
+  if (plan.throw_at >= begin && plan.throw_at < end &&
+      g_storage.throw_armed.load(std::memory_order_relaxed) &&
+      g_storage.throw_armed.exchange(false, std::memory_order_acq_rel))
+    throw std::runtime_error("aid::fault injected throw at iteration " +
+                             std::to_string(plan.throw_at));
+}
+
+}  // namespace aid::fault

@@ -20,4 +20,12 @@ int LoopChain::add(i64 count, const sched::ScheduleSpec& spec,
   return static_cast<int>(loops_.size()) - 1;
 }
 
+void LoopChain::bind_cancel(CancelToken* cancel, i64 deadline_ns) {
+  for (ChainedLoop& loop : loops_) {
+    if (loop.spec.cancel == nullptr) loop.spec.cancel = cancel;
+    if (loop.spec.deadline_ns <= 0 && deadline_ns > 0)
+      loop.spec.deadline_ns = deadline_ns;
+  }
+}
+
 }  // namespace aid::pipeline

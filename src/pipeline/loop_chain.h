@@ -68,6 +68,13 @@ class LoopChain {
                depends_on);
   }
 
+  /// Bind a cancellation token and/or per-entry deadline to every entry
+  /// that does not already name its own (the hook behind
+  /// Runtime::run_chain's cancel/deadline overload): one token reaches
+  /// the whole chain without per-entry spec plumbing. The deadline is
+  /// relative to each entry's own publication, not the chain's start.
+  void bind_cancel(CancelToken* cancel, i64 deadline_ns = 0);
+
   [[nodiscard]] const std::vector<ChainedLoop>& loops() const {
     return loops_;
   }

@@ -1,6 +1,7 @@
 #include "pool/pool_manager.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/check.h"
 #include "pipeline/loop_chain.h"
@@ -55,6 +56,14 @@ void AppHandle::run_loop(i64 count, const sched::ScheduleSpec& spec,
 void AppHandle::run_chain(const pipeline::LoopChain& chain) {
   AID_CHECK_MSG(mgr_ != nullptr, "run_chain on a released app lease");
   mgr_->run_chain(id_, chain);
+}
+
+void AppHandle::cancel() {
+  AID_CHECK_MSG(mgr_ != nullptr, "cancel on a released app lease");
+  // The mutex only guards the map lookup; the token itself is atomic and
+  // is read lock-free by every participant of the in-flight construct.
+  std::scoped_lock lk(mgr_->mutex_);
+  mgr_->app_of(id_).cancel_token.cancel(CancelReason::kUser);
 }
 
 const platform::TeamLayout& AppHandle::begin_region() {
@@ -361,6 +370,7 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
   const sched::ShardTopology* topo = nullptr;
   PoolJob* job = nullptr;
   sched::SchedulerCache* cache = nullptr;
+  CancelToken* lease_cancel = nullptr;
   {
     std::unique_lock lk(mutex_);
     App& a = app_of(id);
@@ -374,6 +384,10 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
     }
     AID_CHECK_MSG(!a.current.empty(), "app lease holds no cores");
     a.in_loop = true;
+    // Re-arm the lease-wide cancel parent: one AppHandle::cancel() kills
+    // every in-flight entry of this chain (they all bind to it).
+    a.cancel_token.reset();
+    lease_cancel = &a.cancel_token;
     layout = a.layout.get();
     topo = a.topo.get();
     job = a.job.get();
@@ -386,13 +400,35 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
   // the commit are destroyed — not repooled — when released below.
   std::vector<sched::LoopScheduler*> scheds(total, nullptr);
   std::vector<u64> seqs(total, 0);
+  std::vector<u64> wd_ids(total, 0);
   usize pub = 0;      // chain entries published so far
   usize run = 0;      // chain entries the master has participated in
   usize flushed = 0;  // chain entries known complete (window boundary)
   bool window_open = false;
 
+  // First error anywhere in the chain, rethrown after the lease's loop
+  // state is released. An entry's token MUST be disarmed + harvested
+  // before its ring slot is reused (the staging below resets the token)
+  // and before a repartition commit swaps the layout its watchdog dump
+  // references — so harvesting happens in entry order, at the ring-reuse
+  // point and after every flush. Entries below `harvested` are proven
+  // complete (each was either flushed or ring-reuse-guarded).
+  std::exception_ptr chain_error;
+  usize harvested = 0;
+  const auto harvest_through = [&](usize limit) {
+    for (; harvested < limit; ++harvested) {
+      if (wd_ids[harvested] != 0) {
+        watchdog_.disarm(wd_ids[harvested]);
+        wd_ids[harvested] = 0;
+      }
+      if (!chain_error)
+        chain_error = job->entry_of(seqs[harvested]).token.error();
+    }
+  };
+
   const auto flush_published = [&] {
     for (; flushed < pub; ++flushed) pool_.wait_entry(*job, seqs[flushed]);
+    harvest_through(pub);
     window_open = false;
   };
 
@@ -433,10 +469,12 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
         if (seq > PoolJob::kChainRing &&
             !pool_.entry_complete(*job, seq - PoolJob::kChainRing))
           break;
-        // Proven complete: hand entry pub - kChainRing's lease back now
-        // (only the final entry's stats are read), so a long same-shape
-        // chain re-arms at most kChainRing instances.
+        // Proven complete: disarm + harvest entry pub - kChainRing before
+        // its slot fields are rewritten below, then hand its lease back
+        // now (only the final entry's stats are read), so a long
+        // same-shape chain re-arms at most kChainRing instances.
         if (pub >= PoolJob::kChainRing) {
+          harvest_through(pub - PoolJob::kChainRing + 1);
           cache->release(scheds[pub - PoolJob::kChainRing]);
           scheds[pub - PoolJob::kChainRing] = nullptr;
         }
@@ -451,7 +489,17 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
         entry.dep_seq =
             loop.depends_on >= 0 ? seqs[static_cast<usize>(loop.depends_on)]
                                  : 0;
-        entry.gate.arm(layout->nthreads());
+        // Re-own the slot token for the new occupant (harvested above or
+        // never used) and chain it to the entry's spec token plus the
+        // lease-wide cancel parent.
+        entry.token.reset();
+        entry.token.bind(loop.spec.cancel, lease_cancel);
+        entry.gate.arm(layout->nthreads(), seq);
+        if (loop.spec.deadline_ns > 0)
+          wd_ids[pub] = watchdog_.arm(
+              &entry.token, &entry.gate, seq, loop.spec.deadline_ns,
+              "pool chain entry",
+              pool_.make_watchdog_dump(*layout, *scheds[pub], seq));
         if (!window_open) {
           pool_.open_window(*layout, *job, seq);
           window_open = true;
@@ -491,7 +539,8 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
     }
   }
 
-  // Chain-end flush: the only full join of the chain.
+  // Chain-end flush: the only full join of the chain (pub == total here,
+  // so it also disarms + harvests every remaining entry).
   flush_published();
 
   const sched::SchedulerStats stats = scheds[total - 1]->stats();
@@ -506,6 +555,8 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
     if (a.region_depth == 0) commit_idle();
     granted_.notify_all();
   }
+  // Lease state released FIRST, rethrow LAST (same contract as run_loop).
+  if (chain_error) std::rethrow_exception(chain_error);
 }
 
 void PoolManager::run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
@@ -514,6 +565,7 @@ void PoolManager::run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
   const sched::ShardTopology* topo = nullptr;
   PoolJob* job = nullptr;
   sched::SchedulerCache* cache = nullptr;
+  CancelToken* lease_cancel = nullptr;
   {
     std::unique_lock lk(mutex_);
     App& a = app_of(id);
@@ -531,6 +583,10 @@ void PoolManager::run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
     }
     AID_CHECK_MSG(!a.current.empty(), "app lease holds no cores");
     a.in_loop = true;
+    // Re-arm the lease-wide cancel parent for this construct (no loop was
+    // in flight, so nobody reads it concurrently with the reset).
+    a.cancel_token.reset();
+    lease_cancel = &a.cancel_token;
     layout = a.layout.get();
     topo = a.topo.get();
     job = a.job.get();
@@ -543,7 +599,9 @@ void PoolManager::run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
   // cache hit always re-arms an instance built for the current layout.
   sched::LoopScheduler* scheduler = cache->acquire(spec, count, *layout,
                                                    *topo);
-  pool_.run_loop(*layout, count, *scheduler, body, *job);
+  const std::exception_ptr error =
+      pool_.run_loop(*layout, count, *scheduler, body, *job, spec.cancel,
+                     lease_cancel, &watchdog_, spec.deadline_ns);
 
   const sched::SchedulerStats stats = scheduler->stats();
   cache->release(scheduler);
@@ -556,6 +614,9 @@ void PoolManager::run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
     if (a.region_depth == 0) commit_idle();
     granted_.notify_all();
   }
+  // Lease state released FIRST, rethrow LAST: a thrown body leaves the
+  // lease reusable (subsequent loops work) and co-tenants unaffected.
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace aid::pool

@@ -27,12 +27,14 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "platform/platform.h"
 #include "platform/team_layout.h"
 #include "pool/policy.h"
 #include "pool/worker_pool.h"
 #include "rt/os_bridge.h"
 #include "rt/team.h"
+#include "rt/watchdog.h"
 #include "sched/schedule_spec.h"
 #include "sched/scheduler_cache.h"
 #include "sched/shard_topology.h"
@@ -69,6 +71,12 @@ class AppHandle {
   /// Execute `count` canonical iterations on the current partition.
   /// Adopts any pending repartition first (the loop boundary), then blocks
   /// until the partition's implicit barrier completes.
+  ///
+  /// Failure domain (src/rt/README.md "Failure model"): spec.cancel /
+  /// spec.deadline_ns / cancel() cancel cooperatively at chunk-take
+  /// boundaries; a throwing body rethrows HERE after the barrier closed
+  /// and the lease's loop state was released, so the lease (and its
+  /// co-tenants) stay fully usable afterwards.
   void run_loop(i64 count, const sched::ScheduleSpec& spec,
                 const rt::RangeBody& body);
 
@@ -121,6 +129,15 @@ class AppHandle {
   /// begin_region(): hold it only while a loop or region pins the
   /// partition.
   [[nodiscard]] const sched::ShardTopology& shard_topology() const;
+
+  /// Cancel the construct currently in flight on this lease (run_loop or
+  /// every in-flight entry of a run_chain), cooperatively: participants
+  /// observe it at their next chunk-take boundary and the construct
+  /// returns normally with the remaining iterations dropped. Callable
+  /// from any thread. The lease's token is re-armed at the next
+  /// construct's entry, so a cancel that loses the race with that entry
+  /// is a no-op (cooperative semantics — there is nothing to cancel yet).
+  void cancel();
 
   [[nodiscard]] bool valid() const { return mgr_ != nullptr; }
   /// Early unregister (idempotent; the destructor calls it too).
@@ -213,6 +230,11 @@ class PoolManager {
     std::unique_ptr<rt::SharedAllotment> shared;
     std::unique_ptr<PoolJob> job;
     sched::SchedulerStats last_stats;
+    /// The lease-wide cancellation parent (AppHandle::cancel): every
+    /// construct on this lease binds its per-entry token to it. Reset at
+    /// each construct's entry (under mutex_, before anything is
+    /// published), so one cancel kills at most one construct.
+    CancelToken cancel_token;
   };
 
   /// Recycled externally-referenced state (see App); bounds allocation at
@@ -256,6 +278,11 @@ class PoolManager {
   std::map<u64, std::unique_ptr<App>> apps_;  // keyed by registration order
   std::vector<Retired> retired_;
   WorkerPool pool_;
+  /// Deadline watchdog shared by every lease (lazy thread; armed only for
+  /// deadline'd specs). Declared after pool_ so it is destroyed FIRST:
+  /// its monitor thread may read entry gates/tokens inside PoolJobs,
+  /// which outlive it (apps_/retired_ are destroyed after pool_).
+  rt::Watchdog watchdog_;
   u64 next_id_ = 1;
   u64 allotment_epoch_ = 0;  ///< bumps on every adoption that changed cores
   /// Bumps (under mutex_) whenever targets are recomputed or any app's

@@ -4,6 +4,7 @@
 #include "common/check.h"
 #include "common/env.h"
 #include "common/spin_wait.h"
+#include "fault/fault.h"
 
 namespace aid::pool {
 
@@ -14,16 +15,20 @@ WorkerPool::WorkerPool(const platform::Platform& platform, Options options)
                     ? static_cast<const TimeSource*>(&cpu_clock_)
                     : static_cast<const TimeSource*>(&clock_)),
       slots_(static_cast<usize>(platform_.num_cores())),
-      spin_budget_(static_cast<i32>(env::get_int(
-          "AID_FORKJOIN_SPIN", default_spin_budget(platform_.num_cores())))),
-      yield_budget_(static_cast<i32>(env::get_int(
-          "AID_FORKJOIN_YIELD",
-          default_yield_budget(platform_.num_cores())))) {
+      spin_budget_(static_cast<i32>(env::get_int_at_least(
+          "AID_FORKJOIN_SPIN", default_spin_budget(platform_.num_cores()),
+          0))),
+      yield_budget_(static_cast<i32>(env::get_int_at_least(
+          "AID_FORKJOIN_YIELD", default_yield_budget(platform_.num_cores()),
+          0))) {
   const double max_speed =
       platform_.speed_of_type(platform_.num_core_types() - 1);
   for (int core = 0; core < platform_.num_cores(); ++core)
     slots_[static_cast<usize>(core)].throttle = rt::Throttle(
         max_speed / platform_.speed_of_core(core), options_.emulate_amp);
+  // Arm the fault-injection plan (if AID_FAULT is set) before any worker
+  // can run a body shim; once-per-process, no-op thereafter.
+  fault::init_from_env();
 }
 
 WorkerPool::~WorkerPool() {
@@ -102,10 +107,16 @@ void WorkerPool::worker_main(CoreSlot& slot) {
     for (u64 gen = seen + 1; gen <= g; ++gen) {
       const u64 seq = base_seq + (gen - base_gen);
       PoolJob::Entry& entry = job.entry_of(seq);
-      if (entry.dep_seq != 0) wait_entry(job, entry.dep_seq);
+      if (entry.dep_seq != 0) {
+        wait_entry(job, entry.dep_seq);
+        // A cancelled predecessor cancels its dependents (see
+        // rt/team.cc worker_main for the full argument).
+        if (job.entry_of(entry.dep_seq).gate.was_cancelled(entry.dep_seq))
+          entry.token.cancel(CancelReason::kDependency);
+      }
       participate(*job.layout, *entry.sched, *entry.body, tid,
-                  slot.throttle);
-      entry.gate.check_in(seq);
+                  slot.throttle, &entry.token);
+      entry.gate.check_in(seq, entry.token.cancelled());
     }
     seen = g;
   }
@@ -114,20 +125,32 @@ void WorkerPool::worker_main(CoreSlot& slot) {
 void WorkerPool::participate(const platform::TeamLayout& layout,
                              sched::LoopScheduler& sched,
                              const rt::RangeBody& body, int tid,
-                             const rt::Throttle& throttle) {
+                             const rt::Throttle& throttle,
+                             CancelToken* token) {
   sched::ThreadContext tc{
       .tid = tid,
       .core_type = layout.core_type_of(tid),
       .speed = layout.speed_of(tid),
       .shard = sched.home_shard_of(tid),
       .time = sf_clock_,
+      .cancel = token,
   };
   const rt::WorkerInfo info{tid, tc.core_type, tc.speed};
+  const bool fault_on = fault::enabled();
 
   sched::IterRange r;
   while (sched.next(tc, r)) {
     const Nanos t0 = clock_.now();
-    body(r.begin, r.end, info);
+    // Capture shim, identical to Team::participate: the first exception
+    // per construct is stashed in the token (atomic claim), cancels the
+    // construct, and never unwinds past the dock loop.
+    try {
+      if (fault_on) [[unlikely]]
+        fault::before_chunk(tid, r.begin, r.end);
+      body(r.begin, r.end, info);
+    } catch (...) {
+      if (token != nullptr) token->capture(std::current_exception());
+    }
     throttle.pay(clock_.now() - t0);
   }
 }
@@ -166,15 +189,22 @@ void WorkerPool::publish_entry(const platform::TeamLayout& layout) {
 void WorkerPool::run_entry_master(const platform::TeamLayout& layout,
                                   PoolJob& job, u64 seq) {
   PoolJob::Entry& entry = job.entry_of(seq);
-  if (entry.dep_seq != 0) wait_entry(job, entry.dep_seq);
+  if (entry.dep_seq != 0) {
+    wait_entry(job, entry.dep_seq);
+    if (job.entry_of(entry.dep_seq).gate.was_cancelled(entry.dep_seq))
+      entry.token.cancel(CancelReason::kDependency);
+  }
   participate(layout, *entry.sched, *entry.body, /*tid=*/0,
-              slots_[static_cast<usize>(layout.core_of(0))].throttle);
-  entry.gate.check_in(seq);
+              slots_[static_cast<usize>(layout.core_of(0))].throttle,
+              &entry.token);
+  entry.gate.check_in(seq, entry.token.cancelled());
 }
 
-void WorkerPool::run_loop(const platform::TeamLayout& layout, i64 count,
-                          sched::LoopScheduler& sched,
-                          const rt::RangeBody& body, PoolJob& job) {
+std::exception_ptr WorkerPool::run_loop(
+    const platform::TeamLayout& layout, i64 count,
+    sched::LoopScheduler& sched, const rt::RangeBody& body, PoolJob& job,
+    const CancelToken* parent_a, const CancelToken* parent_b,
+    rt::Watchdog* watchdog, i64 deadline_ns) {
   AID_CHECK(count >= 0);
   const int n = layout.nthreads();
   AID_CHECK_MSG(n >= 1, "empty partition");
@@ -185,9 +215,17 @@ void WorkerPool::run_loop(const platform::TeamLayout& layout, i64 count,
     // ring traffic at all. (The dispatching path binds the master in
     // open_window instead.)
     if (options_.bind_threads) try_bind_to_core(layout.core_of(0));
+    CancelToken token;
+    token.bind(parent_a, parent_b);
+    u64 wd = 0;
+    if (watchdog != nullptr && deadline_ns > 0)
+      wd = watchdog->arm(&token, nullptr, 0, deadline_ns,
+                         "pool construct (serial)");
     participate(layout, sched, body, /*tid=*/0,
-                slots_[static_cast<usize>(layout.core_of(0))].throttle);
-    return;
+                slots_[static_cast<usize>(layout.core_of(0))].throttle,
+                &token);
+    if (wd != 0) watchdog->disarm(wd);
+    return token.error();
   }
 
   // A one-entry window. The ring reuse guard holds because every previous
@@ -199,11 +237,40 @@ void WorkerPool::run_loop(const platform::TeamLayout& layout, i64 count,
   entry.sched = &sched;
   entry.body = &body;
   entry.dep_seq = 0;
-  entry.gate.arm(n);
+  entry.token.reset();
+  entry.token.bind(parent_a, parent_b);
+  entry.gate.arm(n, seq);
   open_window(layout, job, seq);
+  u64 wd = 0;
+  if (watchdog != nullptr && deadline_ns > 0)
+    wd = watchdog->arm(&entry.token, &entry.gate, seq, deadline_ns,
+                       "pool construct",
+                       make_watchdog_dump(layout, sched, seq));
   publish_entry(layout);
   run_entry_master(layout, job, seq);
   wait_entry(job, seq);
+  if (wd != 0) watchdog->disarm(wd);
+  return entry.token.error();
+}
+
+rt::Watchdog::DumpFn WorkerPool::make_watchdog_dump(
+    const platform::TeamLayout& layout, const sched::LoopScheduler& sched,
+    u64 seq) const {
+  return [this, &layout, &sched, seq](std::FILE* f) {
+    std::fprintf(f, "  scheduler: %.*s remaining=%lld\n",
+                 static_cast<int>(sched.name().size()), sched.name().data(),
+                 static_cast<long long>(sched.remaining()));
+    for (int tid = 1; tid < layout.nthreads(); ++tid) {
+      const Dock& dock =
+          *slots_[static_cast<usize>(layout.core_of(tid))].dock;
+      std::fprintf(
+          f, "  core %d (tid %d): dock generation %llu (entry %llu)\n",
+          layout.core_of(tid), tid,
+          static_cast<unsigned long long>(
+              dock.gen.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(seq));
+    }
+  };
 }
 
 }  // namespace aid::pool

@@ -38,9 +38,11 @@
 
 #include <array>
 #include <atomic>
+#include <exception>
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/completion_gate.h"
 #include "common/padded.h"
 #include "common/time_source.h"
@@ -48,6 +50,7 @@
 #include "platform/team_layout.h"
 #include "rt/team.h"
 #include "rt/throttle.h"
+#include "rt/watchdog.h"
 #include "sched/loop_scheduler.h"
 
 namespace aid::pool {
@@ -72,6 +75,10 @@ struct PoolJob {
     const rt::RangeBody* body = nullptr;
     u64 dep_seq = 0;  ///< entry sequence that must complete first (0 = none)
     CompletionGate gate;
+    /// The occupant's cancellation token: reset + re-bound by the staging
+    /// master (ring reuse guard already held), read at every chunk take,
+    /// harvested before the slot is reused or the construct returns.
+    CancelToken token;
   };
 
   /// The partition the current window runs on. Stable for a window's whole
@@ -110,9 +117,19 @@ class WorkerPool {
   /// the partition's implicit barrier completes. Equivalent to a
   /// one-entry window: open_window + publish_entry + run_entry_master +
   /// wait_entry.
-  void run_loop(const platform::TeamLayout& layout, i64 count,
-                sched::LoopScheduler& sched, const rt::RangeBody& body,
-                PoolJob& job);
+  ///
+  /// Failure domain: the construct's token is bound to the two optional
+  /// parent tokens (the caller's spec token and the app-lease token); a
+  /// throwing body is captured and RETURNED (never thrown) so the caller
+  /// — who owns the lease — can release it before rethrowing. When
+  /// `watchdog` is non-null and deadline_ns > 0, a deadline is armed for
+  /// the construct and disarmed before returning.
+  [[nodiscard]] std::exception_ptr run_loop(
+      const platform::TeamLayout& layout, i64 count,
+      sched::LoopScheduler& sched, const rt::RangeBody& body, PoolJob& job,
+      const CancelToken* parent_a = nullptr,
+      const CancelToken* parent_b = nullptr,
+      rt::Watchdog* watchdog = nullptr, i64 deadline_ns = 0);
 
   // --- chain windows (the loop-pipeline dispatch path) ---------------------
   //
@@ -147,6 +164,15 @@ class WorkerPool {
   [[nodiscard]] bool entry_complete(const PoolJob& job, u64 seq) const {
     return job.entry_of(seq).gate.complete(seq);
   }
+
+  /// Watchdog dump section for an in-flight entry on `layout`: the
+  /// scheduler's pool remainder plus the partition's dock generations
+  /// (atomic / racy-by-design reads only — the construct is live when it
+  /// runs). Both referents must outlive the armed watchdog entry; disarm
+  /// before the flush that invalidates them.
+  [[nodiscard]] rt::Watchdog::DumpFn make_watchdog_dump(
+      const platform::TeamLayout& layout,
+      const sched::LoopScheduler& sched, u64 seq) const;
 
   [[nodiscard]] const platform::Platform& platform() const {
     return platform_;
@@ -183,7 +209,8 @@ class WorkerPool {
   void worker_main(CoreSlot& slot);
   void participate(const platform::TeamLayout& layout,
                    sched::LoopScheduler& sched, const rt::RangeBody& body,
-                   int tid, const rt::Throttle& throttle);
+                   int tid, const rt::Throttle& throttle,
+                   CancelToken* token);
   u64 wait_for_dispatch(Dock& dock, u64 seen);
 
   platform::Platform platform_;

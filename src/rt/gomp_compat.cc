@@ -215,7 +215,7 @@ bool aid_gomp_loop_runtime_start(long start, long end, long incr,
                                       *state.topo);
     slot.user_start = start;
     slot.user_incr = incr;
-    slot.done.arm(state.team_size);
+    slot.done.arm(state.team_size, seq);
     slot.published.publish(seq);
   }
   // Everyone (winner included) enters through the publication watermark:

@@ -57,11 +57,27 @@ void Runtime::run_loop(i64 count, const sched::ScheduleSpec& spec,
     team_->run_loop(count, spec, body);
 }
 
+void Runtime::run_loop(i64 count, const sched::ScheduleSpec& spec,
+                       const RangeBody& body, CancelToken& cancel,
+                       i64 deadline_ns) {
+  sched::ScheduleSpec bound = spec;
+  bound.cancel = &cancel;
+  if (deadline_ns > 0) bound.deadline_ns = deadline_ns;
+  run_loop(count, bound, body);
+}
+
 void Runtime::run_chain(const pipeline::LoopChain& chain) {
   if (lease_ != nullptr)
     lease_->run_chain(chain);
   else
     team_->run_chain(chain);
+}
+
+void Runtime::run_chain(const pipeline::LoopChain& chain, CancelToken& cancel,
+                        i64 deadline_ns) {
+  pipeline::LoopChain bound = chain;
+  bound.bind_cancel(&cancel, deadline_ns);
+  run_chain(bound);
 }
 
 platform::TeamLayout Runtime::layout() const {

@@ -24,6 +24,7 @@
 
 #include <memory>
 
+#include "common/cancel.h"
 #include "platform/platform.h"
 #include "rt/runtime_config.h"
 #include "rt/team.h"
@@ -51,14 +52,35 @@ class Runtime {
 
   /// Execute `count` canonical iterations on the team or the leased pool
   /// partition. This is the construct every public loop entry routes to.
+  ///
+  /// Failure domain (src/rt/README.md "Failure model"): spec.cancel and
+  /// spec.deadline_ns make the construct cancellable / deadline-bounded;
+  /// a throwing body rethrows here, on the caller, after the construct
+  /// wound down — the runtime stays fully usable afterwards.
   void run_loop(i64 count, const sched::ScheduleSpec& spec,
                 const RangeBody& body);
+
+  /// run_loop with an explicit cancellation token and/or deadline — sugar
+  /// for spec.with_cancel(&cancel).with_deadline_ns(deadline_ns). The
+  /// token may be fired from any thread while the loop runs.
+  void run_loop(i64 count, const sched::ScheduleSpec& spec,
+                const RangeBody& body, CancelToken& cancel,
+                i64 deadline_ns = 0);
 
   /// Execute a pipeline::LoopChain with nowait semantics on the team or
   /// the leased pool partition (pipelined over the generation docks; in
   /// pool mode, repartitions commit between ring entries). Blocks until
   /// the whole chain completes. See src/pipeline/README.md.
   void run_chain(const pipeline::LoopChain& chain);
+
+  /// run_chain with a chain-wide cancellation token and/or per-entry
+  /// deadline: every entry that names no spec token/deadline of its own
+  /// inherits these (the chain is copied once at launch to bind them —
+  /// pipeline::LoopChain::bind_cancel on a caller-owned chain avoids the
+  /// copy). Cancelling kills every in-flight and not-yet-published entry;
+  /// dependents of a cancelled entry cancel through the ring as usual.
+  void run_chain(const pipeline::LoopChain& chain, CancelToken& cancel,
+                 i64 deadline_ns = 0);
 
   template <typename F>
   void parallel_for(i64 start, i64 end, i64 step,

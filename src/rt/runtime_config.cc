@@ -1,5 +1,6 @@
 #include "rt/runtime_config.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "common/env.h"
@@ -10,11 +11,20 @@ RuntimeConfig RuntimeConfig::from_env() {
   RuntimeConfig cfg;
 
   if (const auto text = env::get("AID_SCHEDULE")) {
-    if (const auto spec = sched::parse_schedule(*text)) cfg.schedule = *spec;
+    if (const auto spec = sched::parse_schedule(*text)) {
+      cfg.schedule = *spec;
+    } else {
+      // One config read per Runtime construction, so a plain warn here is
+      // already effectively once; no need for the env warn-once set.
+      std::fprintf(stderr,
+                   "libaid: ignoring malformed AID_SCHEDULE=\"%s\"\n",
+                   text->c_str());
+    }
   }
 
-  const i64 nt = env::get_int("AID_NUM_THREADS", 0);
-  cfg.num_threads = nt > 0 ? static_cast<int>(nt) : 0;
+  // 0 = "use every core"; anything below that is a user error, warned once.
+  cfg.num_threads =
+      static_cast<int>(env::get_int_at_least("AID_NUM_THREADS", 0, 0));
 
   // GOMP_AMP_AFFINITY analog: enforce the BS mapping convention AID relies
   // on (threads 0..NB-1 on big cores).
@@ -31,8 +41,7 @@ RuntimeConfig RuntimeConfig::from_env() {
 
   cfg.use_pool = env::get_bool("AID_POOL", false);
   if (const auto text = env::get("AID_POOL_POLICY")) cfg.pool_policy = *text;
-  const i64 shards = env::get_int("AID_SHARDS", 0);
-  cfg.shards = shards >= 0 ? static_cast<int>(shards) : 0;
+  cfg.shards = static_cast<int>(env::get_int_at_least("AID_SHARDS", 0, 0));
   return cfg;
 }
 

@@ -40,12 +40,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/completion_gate.h"
 #include "common/padded.h"
 #include "common/time_source.h"
 #include "platform/team_layout.h"
 #include "rt/runtime_config.h"
 #include "rt/throttle.h"
+#include "rt/watchdog.h"
 #include "sched/loop_scheduler.h"
 #include "sched/scheduler_cache.h"
 #include "sched/shard_topology.h"
@@ -89,6 +91,17 @@ class Team {
 
   /// Execute `count` canonical iterations under `spec`. Blocks until the
   /// implicit barrier completes. Not reentrant (no nested regions).
+  ///
+  /// Failure domain (src/rt/README.md "Failure model"):
+  ///  * spec.cancel — cooperative cancellation observed at every
+  ///    chunk-take boundary (latency: one chunk); remaining iterations
+  ///    are dropped, the barrier still closes, the construct returns
+  ///    normally.
+  ///  * spec.deadline_ns — the team watchdog cancels the construct when
+  ///    the deadline passes (CancelReason::kDeadline).
+  ///  * a throwing body — the first exception is captured, cancels the
+  ///    construct, and rethrows HERE (on the master) after the barrier
+  ///    closed and the scheduler lease was released; workers never unwind.
   void run_loop(i64 count, const sched::ScheduleSpec& spec,
                 const RangeBody& body);
 
@@ -160,11 +173,16 @@ class Team {
     const RangeBody* body = nullptr;
     u64 dep_gen = 0;  ///< generation that must complete first (0 = none)
     CompletionGate gate;
+    /// The occupant's cancellation token. reset + re-bound by publish()
+    /// (safe: the ring reuse guard proved the previous occupant flushed),
+    /// read by every participant at each chunk take, harvested by the
+    /// master before the slot is reused or the construct returns.
+    CancelToken token;
   };
 
   void worker_main(int tid);
   void participate(int tid, sched::LoopScheduler& sched,
-                   const RangeBody& body);
+                   const RangeBody& body, CancelToken* token);
 
   /// Spin-then-block until generation `gen` has fully completed.
   void wait_generation(u64 gen) {
@@ -180,7 +198,14 @@ class Team {
   /// completed — callers enforce the ring reuse guard). Returns the new
   /// generation.
   u64 publish(sched::LoopScheduler* sched, const RangeBody* body,
-              u64 dep_gen);
+              u64 dep_gen, CancelToken* external);
+
+  /// Arm the deadline watchdog for an in-flight construct when its spec
+  /// asks for one (returns 0 otherwise — constructs without deadlines
+  /// never touch the watchdog mutex).
+  u64 maybe_arm_watchdog(const sched::ScheduleSpec& spec, ChainSlot* slot,
+                         u64 gen, sched::LoopScheduler* sched,
+                         CancelToken* serial_token);
 
   /// Worker side: spin-then-block until `dock.gen` leaves `seen`; returns
   /// the new generation.
@@ -226,6 +251,10 @@ class Team {
 
   sched::SchedulerStats last_stats_;
   std::vector<std::jthread> workers_;
+  /// Deadline watchdog (lazy thread; armed only for deadline'd specs).
+  /// Declared last so it is destroyed FIRST: its monitor thread may read
+  /// ring gates/tokens, which must still be alive while it joins.
+  Watchdog watchdog_;
 };
 
 }  // namespace aid::rt

@@ -1,0 +1,128 @@
+#include "rt/watchdog.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+
+namespace aid::rt {
+
+namespace {
+constexpr i64 kDefaultGraceMs = 250;
+}  // namespace
+
+Watchdog::Watchdog()
+    : grace_(env::get_int_at_least("AID_WATCHDOG_GRACE_MS", kDefaultGraceMs,
+                                   0)) {}
+
+Watchdog::~Watchdog() {
+  {
+    const std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+u64 Watchdog::arm(CancelToken* token, CompletionGate* gate, u64 tag,
+                  i64 deadline_ns, std::string label, DumpFn dump) {
+  AID_DCHECK(deadline_ns > 0);
+  const auto deadline =
+      Clock::now() + std::chrono::nanoseconds(deadline_ns);
+  u64 id;
+  {
+    const std::scoped_lock lock(mu_);
+    id = next_id_++;
+    entries_.push_back(Entry{id, token, gate, tag, deadline,
+                             /*fired=*/false, std::move(label),
+                             std::move(dump)});
+    if (!started_) {
+      started_ = true;
+      thread_ = std::thread([this] { thread_main(); });
+    }
+  }
+  cv_.notify_all();
+  return id;
+}
+
+void Watchdog::disarm(u64 id) {
+  const std::scoped_lock lock(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+  // No notify: the monitor waking to find nothing due is harmless, and the
+  // disarm path is the construct fast path.
+}
+
+void Watchdog::thread_main() {
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    if (entries_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !entries_.empty(); });
+      continue;
+    }
+    Clock::time_point next = Clock::time_point::max();
+    for (const Entry& e : entries_) {
+      const auto due = e.fired ? e.deadline + grace_ : e.deadline;
+      if (due < next) next = due;
+    }
+    cv_.wait_until(lock, next);
+    if (stop_) break;
+
+    const auto now = Clock::now();
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (!it->fired && now >= it->deadline) {
+        // Step 1: fire the cancellation. Workers notice at their next
+        // chunk-take boundary; on the happy path the master's disarm()
+        // removes this entry before the grace check below.
+        it->fired = true;
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        if (it->token != nullptr) it->token->cancel(CancelReason::kDeadline);
+      }
+      if (it->fired && now >= it->deadline + grace_) {
+        // Step 2: cancel ignored past grace — diagnose, then kick.
+        if (it->gate != nullptr && !it->gate->complete(it->tag)) {
+          dump_entry(*it);
+          dumps_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Kick unconditionally: if the construct actually completed but
+        // the master never woke (lost wake), the re-check releases it.
+        if (it->gate != nullptr) it->gate->kick();
+        it = entries_.erase(it);
+        continue;
+      }
+      ++it;
+    }
+  }
+}
+
+void Watchdog::dump_entry(const Entry& entry) {
+  const auto write = [&entry](std::FILE* f) {
+    std::fprintf(f,
+                 "libaid: WATCHDOG deadline expired and cancellation was "
+                 "not honored within grace\n"
+                 "  construct: %s (tag %llu)\n"
+                 "  reason:    %s\n"
+                 "  gate:      unfinished=%d watermark=%llu\n",
+                 entry.label.c_str(),
+                 static_cast<unsigned long long>(entry.tag),
+                 entry.token != nullptr ? to_string(entry.token->reason())
+                                        : "(no token)",
+                 entry.gate->unfinished(),
+                 static_cast<unsigned long long>(entry.gate->watermark()));
+    if (entry.dump) entry.dump(f);
+    std::fflush(f);
+  };
+  write(stderr);
+  // Second copy to a file for CI artifact upload (appended: several
+  // constructs may wedge in one run).
+  static const std::optional<std::string> path =
+      env::get("AID_WATCHDOG_DUMP");
+  if (path.has_value()) {
+    if (std::FILE* f = std::fopen(path->c_str(), "ae")) {
+      write(f);
+      std::fclose(f);
+    }
+  }
+}
+
+}  // namespace aid::rt

@@ -1,0 +1,106 @@
+// Deadline watchdog for in-flight constructs.
+//
+// A cancellable construct with a deadline (ScheduleSpec::deadline_ns) needs
+// someone to *fire* the cancellation when the team itself is the thing
+// that's stuck — cooperative checks can't run if every worker is wedged in
+// a body or asleep on a lost wake. The watchdog is that someone: one lazy
+// monitor thread per owning runtime (Team or PoolManager owns one), woken
+// only when the earliest armed deadline falls due.
+//
+// Per armed construct it enforces a two-step escalation:
+//
+//   1. Deadline expiry — cancel the construct's token with
+//      CancelReason::kDeadline. Workers notice at the next chunk-take
+//      boundary; on the happy path the gate closes within one chunk and the
+//      master's disarm() removes the entry before step 2.
+//   2. Grace expiry (deadline + grace, AID_WATCHDOG_GRACE_MS) — the cancel
+//      was ignored: the gate is still open, so some participant is wedged
+//      past any cooperative boundary. Emit a structured diagnostic dump
+//      (gate counts + a runtime-supplied section: per-worker dock
+//      generations, scheduler remainders) to stderr — and to the file
+//      named by AID_WATCHDOG_DUMP, for CI artifact upload — then kick()
+//      the gate. The kick recovers the lost-wake failure class (sleepers
+//      re-check a watermark that was stored but never notified); a body
+//      that never returns is documented as unsurvivable — the dump exists
+//      so it is at least diagnosable instead of a silent hang.
+//
+// Arm/disarm take a mutex, so the watchdog costs nothing on constructs
+// without a deadline — the runtimes only touch it when deadline_ns > 0.
+#pragma once
+
+#include <condition_variable>
+#include <cstdio>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/completion_gate.h"
+#include "common/types.h"
+
+namespace aid::rt {
+
+class Watchdog {
+ public:
+  /// Runtime-supplied dump section, invoked (under the watchdog mutex,
+  /// after the cancel fired) with the stream to write to. Must only read
+  /// atomics / racy-by-design diagnostics — the construct is live.
+  using DumpFn = std::function<void(std::FILE*)>;
+
+  Watchdog();
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Arm a deadline `deadline_ns` nanoseconds from now for the construct
+  /// tagged `tag` whose completion is tracked by `gate` and whose workers
+  /// observe `token`. Returns the entry id for disarm(). Starts the
+  /// monitor thread on first use. `label` names the construct in the dump.
+  u64 arm(CancelToken* token, CompletionGate* gate, u64 tag, i64 deadline_ns,
+          std::string label, DumpFn dump = {});
+
+  /// Remove an armed entry (master calls it right after its gate wait
+  /// returns). Idempotent; a fired-and-retired entry is simply gone.
+  void disarm(u64 id);
+
+  // Test observability.
+  [[nodiscard]] i64 expired() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] i64 dumps() const {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    u64 id = 0;
+    CancelToken* token = nullptr;
+    CompletionGate* gate = nullptr;
+    u64 tag = 0;
+    Clock::time_point deadline;
+    bool fired = false;  ///< step 1 done, waiting out the grace period
+    std::string label;
+    DumpFn dump;
+  };
+
+  void thread_main();
+  void dump_entry(const Entry& entry);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::thread thread_;
+  bool started_ = false;
+  bool stop_ = false;
+  u64 next_id_ = 1;
+  std::chrono::milliseconds grace_;
+  std::atomic<i64> expired_{0};
+  std::atomic<i64> dumps_{0};
+};
+
+}  // namespace aid::rt

@@ -135,6 +135,14 @@ bool AidBlockScheduler::drain(IterRange& out, int tid, int shard) {
 }
 
 bool AidBlockScheduler::next(ThreadContext& tc, IterRange& out) {
+  // Cancellation: poison the pool so every state of every thread's machine
+  // funnels to its drained-pool exit (each state takes, sees empty, and
+  // returns false — including kWait, which never spins inside next()).
+  if (tc.cancelled()) [[unlikely]] {
+    pool_.poison();
+    out = {pool_.end(), pool_.end()};
+    return false;
+  }
   AID_DCHECK(tc.tid >= 0 && tc.tid < nthreads_);
   PerThread& pt = *per_thread_[static_cast<usize>(tc.tid)];
 

@@ -56,6 +56,7 @@ class AidBlockScheduler final : public LoopScheduler {
   [[nodiscard]] int home_shard_of(int tid) const override {
     return pool_.home_of(tid);
   }
+  [[nodiscard]] i64 remaining() const override { return pool_.remaining(); }
 
   /// The per-thread AID target for a core type (SF_t·k, rounded), exposed
   /// for tests of the distribution math.

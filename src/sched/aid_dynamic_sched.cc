@@ -126,6 +126,14 @@ bool AidDynamicScheduler::enter_phase(ThreadContext& tc, PerThread& pt,
 }
 
 bool AidDynamicScheduler::next(ThreadContext& tc, IterRange& out) {
+  // Cancellation: poison and bail before any state transition. A thread
+  // cancelled mid-phase leaves its in-flight block unrecorded — harmless,
+  // the estimator is rebuilt by reset() before the instance is reused.
+  if (tc.cancelled()) [[unlikely]] {
+    pool_.poison();
+    out = {pool_.end(), pool_.end()};
+    return false;
+  }
   AID_DCHECK(tc.tid >= 0 && tc.tid < nthreads_);
   PerThread& pt = *per_thread_[static_cast<usize>(tc.tid)];
 

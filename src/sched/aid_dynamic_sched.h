@@ -52,6 +52,7 @@ class AidDynamicScheduler final : public LoopScheduler {
   [[nodiscard]] int home_shard_of(int tid) const override {
     return pool_.home_of(tid);
   }
+  [[nodiscard]] i64 remaining() const override { return pool_.remaining(); }
 
   /// Current per-type progress ratios R_t (R of the slowest type == 1);
   /// exposed for tests. Only stable between phases.

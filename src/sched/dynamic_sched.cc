@@ -12,6 +12,11 @@ DynamicScheduler::DynamicScheduler(i64 count, i64 chunk, int nthreads,
 }
 
 bool DynamicScheduler::next(ThreadContext& tc, IterRange& out) {
+  if (tc.cancelled()) [[unlikely]] {
+    pool_.poison();
+    out = {pool_.end(), pool_.end()};
+    return false;
+  }
   out = pool_.take(chunk_, tc.tid, tc.shard);
   return !out.empty();
 }

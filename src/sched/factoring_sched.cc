@@ -26,6 +26,11 @@ WeightedFactoringScheduler::WeightedFactoringScheduler(
 }
 
 bool WeightedFactoringScheduler::next(ThreadContext& tc, IterRange& out) {
+  if (tc.cancelled()) [[unlikely]] {
+    pool_.poison();
+    out = {pool_.end(), pool_.end()};
+    return false;
+  }
   AID_DCHECK(tc.tid >= 0 &&
              tc.tid < static_cast<int>(weights_.size()));
   const double w = weights_[static_cast<usize>(tc.tid)];

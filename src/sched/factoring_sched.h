@@ -46,6 +46,7 @@ class WeightedFactoringScheduler final : public LoopScheduler {
   [[nodiscard]] int home_shard_of(int tid) const override {
     return pool_.home_of(tid);
   }
+  [[nodiscard]] i64 remaining() const override { return pool_.remaining(); }
 
   [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
 

@@ -15,6 +15,11 @@ GuidedScheduler::GuidedScheduler(i64 count,
 }
 
 bool GuidedScheduler::next(ThreadContext& tc, IterRange& out) {
+  if (tc.cancelled()) [[unlikely]] {
+    pool_.poison();
+    out = {pool_.end(), pool_.end()};
+    return false;
+  }
   out = pool_.take_adaptive(
       [this](i64 remaining) {
         const i64 q = remaining / nthreads_;

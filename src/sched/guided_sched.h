@@ -35,6 +35,7 @@ class GuidedScheduler final : public LoopScheduler {
   [[nodiscard]] int home_shard_of(int tid) const override {
     return pool_.home_of(tid);
   }
+  [[nodiscard]] i64 remaining() const override { return pool_.remaining(); }
 
  private:
   ShardedWorkShare pool_;

@@ -64,6 +64,12 @@ class LoopScheduler {
     return 0;
   }
 
+  /// Iterations not yet handed out of this construct's pool — a racy
+  /// diagnostic read (the watchdog's wedge dump quotes it; nothing
+  /// schedules off it). Pool-backed schedulers override; pool-less ones
+  /// (static) report 0 because their remaining work is per-thread state.
+  [[nodiscard]] virtual i64 remaining() const { return 0; }
+
   /// Home shard of one thread in this construct's pool. The runtime copies
   /// it into ThreadContext::shard before the next() loop so every take
   /// lands cluster-local; shard membership therefore follows whatever

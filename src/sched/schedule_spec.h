@@ -12,6 +12,10 @@
 
 #include "common/types.h"
 
+namespace aid {
+class CancelToken;
+}  // namespace aid
+
 namespace aid::sched {
 
 enum class ScheduleKind {
@@ -51,12 +55,44 @@ struct ScheduleSpec {
   /// quantify the optimization's contribution (bench_ablation_schedulers).
   bool aid_endgame = true;
 
+  /// Cooperative cancellation token for this construct (nullable; the
+  /// caller keeps it alive past the loop). Observed at every chunk-take
+  /// boundary, so cancel latency is one chunk. NOT part of the shape key
+  /// (operator==): a cancellable loop re-arms the same cached scheduler
+  /// instance as its uncancellable twin.
+  CancelToken* cancel = nullptr;
+
+  /// Relative deadline in nanoseconds (0 = none): the runtime arms the
+  /// deadline watchdog (rt/watchdog.h) when the construct is published;
+  /// expiry cancels it with CancelReason::kDeadline. NOT part of the
+  /// shape key either.
+  i64 deadline_ns = 0;
+
   [[nodiscard]] i64 effective_chunk() const { return chunk > 0 ? chunk : 1; }
 
   /// Canonical display form, e.g. "dynamic,4" or "aid-dynamic,1,5".
   [[nodiscard]] std::string display() const;
 
-  friend bool operator==(const ScheduleSpec&, const ScheduleSpec&) = default;
+  /// Shape equality — the SchedulerCache key. Deliberately EXCLUDES the
+  /// failure-domain fields (cancel, deadline_ns): they parameterize one
+  /// execution, not the scheduler instance shape.
+  friend bool operator==(const ScheduleSpec& a, const ScheduleSpec& b) {
+    return a.kind == b.kind && a.chunk == b.chunk &&
+           a.major_chunk == b.major_chunk &&
+           a.hybrid_percent == b.hybrid_percent &&
+           a.offline_sf == b.offline_sf && a.aid_endgame == b.aid_endgame;
+  }
+
+  [[nodiscard]] ScheduleSpec with_cancel(CancelToken* token) const {
+    ScheduleSpec s = *this;
+    s.cancel = token;
+    return s;
+  }
+  [[nodiscard]] ScheduleSpec with_deadline_ns(i64 ns) const {
+    ScheduleSpec s = *this;
+    s.deadline_ns = ns;
+    return s;
+  }
 
   // Named constructors for the seven configurations evaluated in the paper.
   static ScheduleSpec make(ScheduleKind kind, i64 chunk) {

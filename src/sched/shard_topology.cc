@@ -15,8 +15,8 @@ ShardTopology ShardTopology::single(int nthreads) {
 }
 
 ShardTopology ShardTopology::from_layout(const platform::TeamLayout& layout) {
-  return from_layout(layout,
-                     static_cast<int>(env::get_int("AID_SHARDS", 0)));
+  return from_layout(
+      layout, static_cast<int>(env::get_int_at_least("AID_SHARDS", 0, 0)));
 }
 
 ShardTopology ShardTopology::from_layout(const platform::TeamLayout& layout,

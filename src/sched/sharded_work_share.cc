@@ -57,6 +57,7 @@ void ShardedWorkShare::reset(i64 count, const std::vector<double>& weights) {
     c.rebalanced_iters.store(0, std::memory_order_relaxed);
   }
   migrating_.store(0, std::memory_order_relaxed);
+  poisoned_.store(false, std::memory_order_relaxed);
   AID_CHECK(static_cast<int>(weights.size()) == nshards_);
   double wsum = 0.0;
   for (const double w : weights) wsum += w > 0.0 ? w : 0.0;
@@ -88,6 +89,7 @@ void ShardedWorkShare::reset(i64 count, const std::vector<double>& weights) {
 }
 
 IterRange ShardedWorkShare::take_stealing(i64 want, int tid, int home) {
+  if (poisoned_.load(std::memory_order_relaxed)) return {count_, count_};
   for (int k = 1; k < nshards_; ++k) {
     const int s = (home + k) % nshards_;
     const i64 avail = remaining_of_shard(s);

@@ -90,6 +90,7 @@ class ShardedWorkShare {
     if (single_mode_) {
       return single_.take(want, tid);
     }
+    if (poisoned_.load(std::memory_order_relaxed)) return {count_, count_};
     AID_CHECK(tid >= 0 && tid < nthreads_);
     if (home < 0 || home >= nshards_) home = 0;
     IterRange r = take_from_shard(home, want);
@@ -109,6 +110,7 @@ class ShardedWorkShare {
     if (single_mode_) {
       return single_.take_adaptive(static_cast<WantFn&&>(want_of), tid);
     }
+    if (poisoned_.load(std::memory_order_relaxed)) return {count_, count_};
     AID_CHECK(tid >= 0 && tid < nthreads_);
     if (home < 0 || home >= nshards_) home = 0;
     for (int k = 0; k < nshards_; ++k) {
@@ -137,6 +139,19 @@ class ShardedWorkShare {
       }
     }
     return {count_, count_};
+  }
+
+  /// Cancellation poison. Sharded mode uses a FLAG rather than draining
+  /// the segment words: segment stores would race the migrate/install
+  /// protocol (whose merge-back path asserts an end it believes only the
+  /// migration token holder can move). One relaxed flag load per take is
+  /// the whole fast-path cost; cancel latency stays one chunk.
+  void poison() {
+    if (single_mode_) {
+      single_.poison();
+      return;
+    }
+    poisoned_.store(true, std::memory_order_release);
   }
 
   /// Estimator-driven bulk rebalance: `weights[s]` is shard s's measured
@@ -329,6 +344,8 @@ class ShardedWorkShare {
   /// migration is what makes the merge-back path of a failed install
   /// always applicable: nobody else can have moved the donor's end.
   std::atomic<int> migrating_{0};
+  /// Cancellation poison flag (sharded mode only; see poison()).
+  std::atomic<bool> poisoned_{false};
 };
 
 }  // namespace aid::sched

@@ -24,6 +24,12 @@ IterRange StaticScheduler::even_block(i64 count, int nthreads, int tid) {
 }
 
 bool StaticScheduler::next(ThreadContext& tc, IterRange& out) {
+  // No pool to poison: a static allotment is per-thread state, so each
+  // thread simply stops taking its own blocks on the first sighting.
+  if (tc.cancelled()) [[unlikely]] {
+    out = {count_, count_};
+    return false;
+  }
   AID_DCHECK(tc.tid >= 0 && tc.tid < nthreads_);
   PerThread& pt = per_thread_[static_cast<usize>(tc.tid)];
 

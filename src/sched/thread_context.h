@@ -6,6 +6,7 @@
 // worker: its team id, the core type it is bound to, and a time source.
 #pragma once
 
+#include "common/cancel.h"
 #include "common/time_source.h"
 #include "common/types.h"
 
@@ -21,8 +22,16 @@ struct ThreadContext {
   /// mapping per call. 0 for single-pool constructs and the simulator.
   int shard = 0;
   const TimeSource* time = nullptr;  ///< per-worker in the simulator
+  /// The construct's cancellation token (the runtimes point it at the
+  /// ring slot's embedded token; null in the simulator and in tests that
+  /// drive schedulers directly). Schedulers probe it at every chunk-take
+  /// boundary and poison their pool on the first sighting.
+  const CancelToken* cancel = nullptr;
 
   [[nodiscard]] Nanos now() const { return time->now(); }
+  [[nodiscard]] bool cancelled() const {
+    return cancel != nullptr && cancel->cancelled();
+  }
 };
 
 }  // namespace aid::sched

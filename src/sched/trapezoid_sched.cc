@@ -47,6 +47,11 @@ i64 TrapezoidScheduler::chunk_size(i64 k) const {
 }
 
 bool TrapezoidScheduler::next(ThreadContext& tc, IterRange& out) {
+  if (tc.cancelled()) [[unlikely]] {
+    pool_.poison();
+    out = {pool_.end(), pool_.end()};
+    return false;
+  }
   // Probe the drain first so an exhausted pool stops advancing the chunk
   // index (and the index fetch_add) once the loop is over.
   if (pool_.remaining() == 0) {

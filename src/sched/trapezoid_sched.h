@@ -36,6 +36,7 @@ class TrapezoidScheduler final : public LoopScheduler {
   [[nodiscard]] int home_shard_of(int tid) const override {
     return pool_.home_of(tid);
   }
+  [[nodiscard]] i64 remaining() const override { return pool_.remaining(); }
 
   /// Size of the k-th dispensed chunk (exposed for tests):
   /// max(last, first - k * delta) with delta = (first-last)/(C-1),

@@ -82,6 +82,13 @@ class alignas(kCacheLineBytes) WorkShare {
     return {end_, end_};
   }
 
+  /// Cancellation poison: one release store publishes a drained pool, so
+  /// every subsequent take answers through the read-only drain probe. An
+  /// in-flight fetch_add that already passed the probe may still win one
+  /// chunk — that is the documented cancel latency (one chunk), not a bug.
+  /// reset() re-arms the pool for the next construct as usual.
+  void poison() { next_.store(end_, std::memory_order_release); }
+
   /// Iterations not yet handed out (may be stale under concurrency; exact in
   /// the simulator). Never negative.
   [[nodiscard]] i64 remaining() const {
