@@ -122,11 +122,12 @@ CoRunResult co_run_shared_pool(const platform::Platform& platform, int loops,
 void report(bench::BenchJsonWriter& json, const std::string& config,
             std::vector<double> wall_samples, int workers) {
   const bench::SampleSummary s = bench::summarize(std::move(wall_samples));
-  std::printf("  %-42s median %8.2f ms   p95 %8.2f ms   workers %2d\n",
-              config.c_str(), s.median / 1e6, s.p95 / 1e6, workers);
+  std::printf(
+      "  %-42s median %8.2f ms   p95 %8.2f ms   p99 %8.2f ms   workers %2d\n",
+      config.c_str(), s.median / 1e6, s.p95 / 1e6, s.p99 / 1e6, workers);
   json.add(config, "co_run_wall_ns", s);
-  json.add(config, "worker_threads",
-           {static_cast<double>(workers), static_cast<double>(workers), 1});
+  const double w = static_cast<double>(workers);
+  json.add(config, "worker_threads", {w, w, w, 1});
 }
 
 }  // namespace

@@ -66,24 +66,49 @@ inline void print_header(const std::string& what,
 
 /// Robust order statistics of one measurement series, in the series' unit.
 struct SampleSummary {
-  double median = 0.0;
+  double median = 0.0;  ///< p50
   double p95 = 0.0;
+  double p99 = 0.0;
   int runs = 0;
 };
+
+/// Linear-interpolated percentile of an ASCENDING-sorted series;
+/// `q` in [0,1] (0.5 = median). The single shared implementation behind
+/// every bench's p50/p95/p99 — tail metrics must mean the same thing in
+/// every JSON record.
+[[nodiscard]] inline double percentile_of_sorted(
+    const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const usize lo = static_cast<usize>(pos);
+  const usize hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
 
 /// Summarize by sorting a copy; `samples` may arrive in any order.
 inline SampleSummary summarize(std::vector<double> samples) {
   if (samples.empty()) return {};
   std::sort(samples.begin(), samples.end());
-  const auto at_quantile = [&](double q) {
-    const double pos = q * static_cast<double>(samples.size() - 1);
-    const usize lo = static_cast<usize>(pos);
-    const usize hi = std::min(lo + 1, samples.size() - 1);
-    const double frac = pos - static_cast<double>(lo);
-    return samples[lo] + (samples[hi] - samples[lo]) * frac;
-  };
-  return {at_quantile(0.5), at_quantile(0.95),
+  return {percentile_of_sorted(samples, 0.5),
+          percentile_of_sorted(samples, 0.95),
+          percentile_of_sorted(samples, 0.99),
           static_cast<int>(samples.size())};
+}
+
+/// Jain fairness index of per-tenant allocations: (Σx)² / (n·Σx²).
+/// 1.0 = perfectly even; 1/n = one tenant got everything. The standard
+/// single-number answer to "did the co-tenants share?".
+[[nodiscard]] inline double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sq += x * x;
+  }
+  if (sq == 0.0) return 1.0;  // all-zero allocations are (vacuously) even
+  return sum * sum / (static_cast<double>(xs.size()) * sq);
 }
 
 class BenchJsonWriter {
@@ -119,6 +144,7 @@ class BenchJsonWriter {
           << "\", \"metric\": \"" << json_str(r.metric)
           << "\", \"median\": " << json_num(r.summary.median)
           << ", \"p95\": " << json_num(r.summary.p95)
+          << ", \"p99\": " << json_num(r.summary.p99)
           << ", \"runs\": " << r.summary.runs << '}'
           << (i + 1 < records_.size() ? "," : "") << '\n';
     }

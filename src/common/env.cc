@@ -21,22 +21,22 @@ std::set<std::string, std::less<>>& warned_set() {
   return warned;
 }
 
-/// Warn once per variable that a set-but-malformed value was ignored.
-/// Guarded: runtimes read the environment from multiple threads (lazy
-/// per-construct config), and a flood of identical warnings would bury
-/// the one line the user needs.
-void warn_ignored(std::string_view name, std::string_view value,
-                  const char* why) {
+}  // namespace
+
+void warn_once_ignored(std::string_view name, std::string_view value,
+                       std::string_view expected) {
+  // Warn once per variable. Guarded: runtimes read the environment from
+  // multiple threads (lazy per-construct config), and a flood of identical
+  // warnings would bury the one line the user needs.
   {
     const std::scoped_lock lock(warn_mutex());
     if (!warned_set().emplace(name).second) return;
   }
-  std::fprintf(stderr, "libaid: ignoring %s %.*s=\"%.*s\"\n", why,
+  std::fprintf(stderr, "libaid: ignoring %.*s=\"%.*s\" (expected %.*s)\n",
                static_cast<int>(name.size()), name.data(),
-               static_cast<int>(value.size()), value.data());
+               static_cast<int>(value.size()), value.data(),
+               static_cast<int>(expected.size()), expected.data());
 }
-
-}  // namespace
 
 void reset_warnings() {
   const std::scoped_lock lock(warn_mutex());
@@ -94,7 +94,7 @@ i64 get_int(std::string_view name, i64 fallback) {
   if (!v) return fallback;
   const auto parsed = parse_int(*v);
   if (!parsed) {
-    warn_ignored(name, *v, "malformed");
+    warn_once_ignored(name, *v, "an integer");
     return fallback;
   }
   return *parsed;
@@ -103,13 +103,12 @@ i64 get_int(std::string_view name, i64 fallback) {
 i64 get_int_at_least(std::string_view name, i64 fallback, i64 min) {
   const auto v = get(name);
   if (!v) return fallback;
+  char expected[64];
+  std::snprintf(expected, sizeof expected, "an integer >= %lld",
+                static_cast<long long>(min));
   const auto parsed = parse_int(*v);
-  if (!parsed) {
-    warn_ignored(name, *v, "malformed");
-    return fallback;
-  }
-  if (*parsed < min) {
-    warn_ignored(name, *v, "out-of-range");
+  if (!parsed || *parsed < min) {
+    warn_once_ignored(name, *v, expected);
     return fallback;
   }
   return *parsed;
@@ -120,7 +119,7 @@ double get_double(std::string_view name, double fallback) {
   if (!v) return fallback;
   const auto parsed = parse_double(*v);
   if (!parsed) {
-    warn_ignored(name, *v, "malformed");
+    warn_once_ignored(name, *v, "a real number");
     return fallback;
   }
   return *parsed;
@@ -131,7 +130,7 @@ bool get_bool(std::string_view name, bool fallback) {
   if (!v) return fallback;
   const auto parsed = parse_bool(*v);
   if (!parsed) {
-    warn_ignored(name, *v, "malformed");
+    warn_once_ignored(name, *v, "one of 1|0|true|false|yes|no|on|off");
     return fallback;
   }
   return *parsed;

@@ -35,6 +35,14 @@ namespace aid::env {
 [[nodiscard]] i64 get_int_at_least(std::string_view name, i64 fallback,
                                    i64 min);
 
+/// The warn-once channel behind the typed lookups, exposed for knobs whose
+/// grammar lives outside this module (enum-valued variables like
+/// AID_POLICY / AID_SERVE_POLICY). Prints
+///   libaid: ignoring NAME="VALUE" (expected GRAMMAR)
+/// to stderr, at most once per variable name per process.
+void warn_once_ignored(std::string_view name, std::string_view value,
+                       std::string_view expected);
+
 /// Test hook: forget which variables have already warned (the warn-once
 /// set is process-global; tests reuse variable names).
 void reset_warnings();

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "common/check.h"
+#include "common/time_source.h"
 #include "pipeline/loop_chain.h"
 #include "rt/runtime.h"
 #include "sched/loop_scheduler.h"
@@ -120,6 +121,12 @@ sched::SchedulerStats AppHandle::last_loop_stats() const {
   AID_CHECK_MSG(mgr_ != nullptr, "stats on a released app lease");
   std::scoped_lock lk(mgr_->mutex_);
   return mgr_->app_of(id_).last_stats;
+}
+
+LeaseStats AppHandle::lease_stats() const {
+  AID_CHECK_MSG(mgr_ != nullptr, "lease_stats on a released app lease");
+  std::scoped_lock lk(mgr_->mutex_);
+  return mgr_->app_of(id_).lease_stats;
 }
 
 sched::SchedulerCache& AppHandle::scheduler_cache() {
@@ -363,6 +370,8 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
   const auto& loops = chain.loops();
   if (loops.empty()) return;
   const usize total = loops.size();
+  const SteadyTimeSource clock;
+  const Nanos construct_t0 = clock.now();
 
   // Acquire the partition exactly like run_loop: the chain's entry is a
   // loop boundary, so pending grants/revokes are adopted first.
@@ -551,6 +560,8 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
     std::scoped_lock lk(mutex_);
     App& a = app_of(id);
     a.last_stats = stats;
+    a.lease_stats.chains += 1;
+    a.lease_stats.busy_ns += clock.now() - construct_t0;
     a.in_loop = false;
     if (a.region_depth == 0) commit_idle();
     granted_.notify_all();
@@ -561,6 +572,8 @@ void PoolManager::run_chain(u64 id, const pipeline::LoopChain& chain) {
 
 void PoolManager::run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
                            const rt::RangeBody& body) {
+  const SteadyTimeSource clock;
+  const Nanos construct_t0 = clock.now();
   const platform::TeamLayout* layout = nullptr;
   const sched::ShardTopology* topo = nullptr;
   PoolJob* job = nullptr;
@@ -610,6 +623,8 @@ void PoolManager::run_loop(u64 id, i64 count, const sched::ScheduleSpec& spec,
     std::scoped_lock lk(mutex_);
     App& a = app_of(id);
     a.last_stats = stats;
+    a.lease_stats.loops += 1;
+    a.lease_stats.busy_ns += clock.now() - construct_t0;
     a.in_loop = false;
     if (a.region_depth == 0) commit_idle();
     granted_.notify_all();

@@ -54,6 +54,17 @@ struct AppAllotment {
   [[nodiscard]] int total() const { return threads_on_big + threads_on_small; }
 };
 
+/// Cumulative usage of one lease since registration: constructs executed
+/// and wall time spent inside them (including any loop-boundary wait for a
+/// pending grant — that wait is part of what the tenant experienced). A
+/// multi-tenant layer above the pool (src/serve/) reads this to account
+/// usage per tenant without instrumenting every body.
+struct LeaseStats {
+  u64 loops = 0;    ///< run_loop constructs completed
+  u64 chains = 0;   ///< run_chain constructs completed
+  Nanos busy_ns = 0;  ///< wall time spent inside those constructs
+};
+
 /// An application's lease on a pool partition. Move-only; releasing (or
 /// destroying) the handle returns the cores to the pool and triggers a
 /// repartition among the remaining apps. All methods are thread-safe
@@ -114,6 +125,9 @@ class AppHandle {
   /// Lock-free Sec. 4.3 shared-region view (epoch bumps on repartition).
   [[nodiscard]] const rt::SharedAllotment& shared() const;
   [[nodiscard]] sched::SchedulerStats last_loop_stats() const;
+  /// Cumulative constructs + wall time this lease has executed (see
+  /// LeaseStats). Monotonic; survives repartitions and policy changes.
+  [[nodiscard]] LeaseStats lease_stats() const;
   [[nodiscard]] int nthreads() const { return allotment().total(); }
 
   /// The lease's per-shape scheduler cache (sched/scheduler_cache.h):
@@ -230,6 +244,7 @@ class PoolManager {
     std::unique_ptr<rt::SharedAllotment> shared;
     std::unique_ptr<PoolJob> job;
     sched::SchedulerStats last_stats;
+    LeaseStats lease_stats;  ///< accumulated at every construct's exit
     /// The lease-wide cancellation parent (AppHandle::cancel): every
     /// construct on this lease binds its per-entry token to it. Reset at
     /// each construct's entry (under mutex_, before anything is

@@ -59,6 +59,12 @@ class Watchdog {
   /// tagged `tag` whose completion is tracked by `gate` and whose workers
   /// observe `token`. Returns the entry id for disarm(). Starts the
   /// monitor thread on first use. `label` names the construct in the dump.
+  ///
+  /// `gate` may be nullptr — a *gate-less* entry for work that has a
+  /// deadline before any construct (and thus any gate) exists, e.g. a job
+  /// still waiting in the serving tier's queue. Expiry then stops at step
+  /// 1 (cancel the token); the step-2 dump/kick escalation is skipped,
+  /// since there is no gate to inspect and nobody is wedged in a dock.
   u64 arm(CancelToken* token, CompletionGate* gate, u64 tag, i64 deadline_ns,
           std::string label, DumpFn dump = {});
 

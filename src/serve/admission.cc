@@ -1,0 +1,216 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace aid::serve {
+
+AdmissionController::AdmissionController(
+    const std::array<ClassLimits, kNumQosClasses>& limits,
+    const std::array<int, kNumQosClasses>& fair_weights, int preempt_burst)
+    : queue_(fair_weights, preempt_burst), limits_(limits) {
+  for (const ClassLimits& l : limits_) {
+    AID_CHECK_MSG(l.max_queue >= 1, "class queue depth must be >= 1");
+    AID_CHECK_MSG(l.max_inflight >= 1, "class in-flight cap must be >= 1");
+  }
+}
+
+std::optional<std::string> AdmissionController::submit(
+    const std::shared_ptr<JobState>& job, const SubmitOptions& opts) {
+  const QosClass cls = job->spec.qos;
+  const usize c = static_cast<usize>(index_of(cls));
+  std::unique_lock lock(mu_);
+  ++stats_[c].submitted;
+  if (stopping_) {
+    ++stats_[c].rejected;
+    return "node shutting down";
+  }
+
+  const auto has_space = [&] {
+    return queue_.depth(cls) < static_cast<usize>(limits_[c].max_queue);
+  };
+  if (!has_space()) {
+    if (opts.on_full == SubmitOptions::OnFull::kReject) {
+      ++stats_[c].rejected;
+      return "queue full";
+    }
+    // Bounded block: wait for a dispatcher to pop (depth is charged at
+    // dequeue, not completion), give up at the timeout. Spurious wakeups
+    // re-check both predicates.
+    const bool got_space = space_cv_.wait_for(
+        lock, std::chrono::nanoseconds(opts.block_timeout_ns),
+        [&] { return stopping_ || has_space(); });
+    if (stopping_) {
+      ++stats_[c].rejected;
+      return "node shutting down";
+    }
+    if (!got_space) {
+      ++stats_[c].rejected;
+      return "timed out waiting for queue space";
+    }
+  }
+
+  ++stats_[c].admitted;
+  job->submit_ns = clock_.now();
+  if (job->spec.deadline_ns > 0) {
+    job->deadline_abs_ns = job->submit_ns + job->spec.deadline_ns;
+    // Whole-life deadline through the job's one CancelToken: a gate-less
+    // watchdog entry (rt/watchdog.h) fires CancelReason::kDeadline whether
+    // the job is still queued or already mid-run. Disarmed in finish_run
+    // or when the job is dropped in-queue.
+    job->watchdog_id =
+        watchdog_.arm(&job->token, /*gate=*/nullptr, job->id,
+                      job->spec.deadline_ns, "serve job");
+  }
+  queue_.push(job);
+  lock.unlock();
+  dispatch_cv_.notify_one();
+  return std::nullopt;
+}
+
+void AdmissionController::drop_in_queue(const std::shared_ptr<JobState>& job,
+                                        Nanos now) {
+  // In-queue terminal: the job never reaches dispatch — no lease, no
+  // thread, no body execution. Resolve the ticket right here.
+  const usize c = static_cast<usize>(index_of(job->spec.qos));
+  const CancelReason reason = job->token.reason();
+  const bool expired = reason == CancelReason::kDeadline;
+  if (expired)
+    ++stats_[c].expired_in_queue;
+  else
+    ++stats_[c].cancelled_in_queue;
+  const Nanos wait = now - job->submit_ns;
+  stats_[c].queue_wait_total += wait;
+  stats_[c].queue_wait_max = std::max(stats_[c].queue_wait_max, wait);
+  if (job->watchdog_id != 0) {
+    watchdog_.disarm(job->watchdog_id);
+    job->watchdog_id = 0;
+  }
+  JobResult r;
+  r.status = expired ? JobStatus::kExpired : JobStatus::kCancelled;
+  r.never_dispatched = true;
+  r.queue_wait_ns = wait;
+  job->resolve(std::move(r));
+}
+
+std::shared_ptr<JobState> AdmissionController::pop_runnable() {
+  std::array<bool, kNumQosClasses> eligible{};
+  for (usize c = 0; c < static_cast<usize>(kNumQosClasses); ++c)
+    eligible[c] = inflight_[c] < limits_[c].max_inflight;
+
+  while (std::shared_ptr<JobState> job = queue_.pop(eligible)) {
+    space_cv_.notify_one();  // depth decreased — a blocked submitter fits
+    const Nanos now = clock_.now();
+    // Expiry belt-and-braces: trust the token, but also the clock — a job
+    // whose deadline has passed must never reach dispatch even if the
+    // watchdog thread has not fired yet.
+    if (job->deadline_abs_ns != 0 && now >= job->deadline_abs_ns)
+      job->token.cancel(CancelReason::kDeadline);
+    if (job->token.cancelled()) {
+      drop_in_queue(job, now);
+      continue;
+    }
+    const usize c = static_cast<usize>(index_of(job->spec.qos));
+    ++inflight_[c];
+    ++stats_[c].dispatched;
+    job->dispatch_ns = now;
+    const Nanos wait = now - job->submit_ns;
+    stats_[c].queue_wait_total += wait;
+    stats_[c].queue_wait_max = std::max(stats_[c].queue_wait_max, wait);
+    return job;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<JobState> AdmissionController::next() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (std::shared_ptr<JobState> job = pop_runnable()) return job;
+    if (queue_.empty()) {
+      idle_cv_.notify_all();
+      if (stopping_) return nullptr;
+    }
+    // Woken by a submit (new work), a finish_run (a class slot freed), or
+    // shutdown. A non-empty queue with every class capped waits here too.
+    dispatch_cv_.wait(lock);
+  }
+}
+
+void AdmissionController::finish_run(JobState& job, JobStatus status,
+                                     Nanos service_ns,
+                                     std::exception_ptr error) {
+  if (job.watchdog_id != 0) {
+    watchdog_.disarm(job.watchdog_id);
+    job.watchdog_id = 0;
+  }
+  JobResult r;
+  r.status = status;
+  r.error = std::move(error);
+  r.queue_wait_ns = job.dispatch_ns - job.submit_ns;
+  r.service_ns = service_ns;
+  {
+    const std::scoped_lock lock(mu_);
+    const usize c = static_cast<usize>(index_of(job.spec.qos));
+    --inflight_[c];
+    stats_[c].service_total += service_ns;
+    switch (status) {
+      case JobStatus::kDone: ++stats_[c].completed; break;
+      case JobStatus::kFailed: ++stats_[c].failed; break;
+      case JobStatus::kExpired: ++stats_[c].expired_running; break;
+      case JobStatus::kCancelled: ++stats_[c].cancelled_running; break;
+      case JobStatus::kPending:
+      case JobStatus::kRejected:
+        AID_CHECK_MSG(false, "finish_run with a non-run outcome");
+    }
+    // Resolve while still inside the critical section: wait_idle() holds
+    // this mutex for its predicate, so it can never observe "idle" while
+    // some finished job's client is still unresolved.
+    job.resolve(std::move(r));
+  }
+  // The freed class slot may unmask queued work.
+  dispatch_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+void AdmissionController::note_lease(QosClass cls, bool reused) {
+  const std::scoped_lock lock(mu_);
+  const usize c = static_cast<usize>(index_of(cls));
+  if (reused)
+    ++stats_[c].lease_reused;
+  else
+    ++stats_[c].lease_registered;
+}
+
+void AdmissionController::begin_shutdown() {
+  {
+    const std::scoped_lock lock(mu_);
+    stopping_ = true;
+  }
+  dispatch_cv_.notify_all();
+  space_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+void AdmissionController::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    if (!queue_.empty()) return false;
+    for (const int n : inflight_)
+      if (n > 0) return false;
+    return true;
+  });
+}
+
+ClassStats AdmissionController::stats(QosClass cls) const {
+  const std::scoped_lock lock(mu_);
+  return stats_[static_cast<usize>(index_of(cls))];
+}
+
+usize AdmissionController::queue_depth(QosClass cls) const {
+  const std::scoped_lock lock(mu_);
+  return queue_.depth(cls);
+}
+
+}  // namespace aid::serve

@@ -1,0 +1,135 @@
+// Admission control for the serving tier: the gate between client
+// submissions and the shared pool.
+//
+// Enforces, per QoS class:
+//   - a queue-depth limit — over-limit submissions get *backpressure*:
+//     reject-with-reason or bounded block, the caller's choice
+//     (SubmitOptions). A rejected job never spawns a thread, never takes
+//     a lease, and never enters the queue.
+//   - an in-flight concurrency limit — a class at its cap is masked out
+//     of the dequeue discipline; its queued jobs wait.
+//
+// Deadlines are enforced with the PR 6 failure-domain machinery and
+// nothing else: admission arms the job's CancelToken on the rt::Watchdog
+// (gate-less entry — there is no construct gate yet) for the job's WHOLE
+// life, so expiry behaves identically whether the job is still queued or
+// already running. A job whose token is cancelled by the time the
+// dispatcher pops it is resolved right there — in queue, pre-lease; its
+// body never runs and no pool state is touched on its behalf
+// (`JobResult::never_dispatched`). next() also compares the clock
+// directly at dequeue, so an expired job never reaches dispatch even if
+// the watchdog thread is lagging.
+//
+// All counters in ClassStats are exact (mutated under the admission
+// mutex); tests assert the closed-form invariants
+//   admitted == expired_in_queue + cancelled_in_queue + dispatched   (drained)
+//   dispatched == completed + failed + expired_running + cancelled_running
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/time_source.h"
+#include "rt/watchdog.h"
+#include "serve/job.h"
+#include "serve/job_queue.h"
+#include "serve/qos.h"
+
+namespace aid::serve {
+
+/// Per-class serving statistics (exact; see the invariants above).
+struct ClassStats {
+  u64 submitted = 0;   ///< submit() calls naming this class
+  u64 admitted = 0;    ///< entered the queue
+  u64 rejected = 0;    ///< backpressure (queue full / timeout / shutdown)
+  u64 expired_in_queue = 0;    ///< deadline fired before dispatch
+  u64 cancelled_in_queue = 0;  ///< user cancel before dispatch
+  u64 dispatched = 0;  ///< handed to a dispatcher (a lease was taken)
+  u64 completed = 0;
+  u64 failed = 0;              ///< body threw
+  u64 expired_running = 0;     ///< deadline fired mid-run (cooperative)
+  u64 cancelled_running = 0;   ///< user cancel mid-run (cooperative)
+  u64 lease_registered = 0;    ///< fresh pool leases taken for this class
+  u64 lease_reused = 0;        ///< jobs served on a recycled class lease
+  Nanos queue_wait_total = 0;  ///< submit → dispatch (or in-queue drop)
+  Nanos queue_wait_max = 0;
+  Nanos service_total = 0;     ///< dispatch → finish
+};
+
+struct ClassLimits {
+  int max_queue = 64;    ///< queued (not running) jobs; >= 1
+  int max_inflight = 1;  ///< concurrently dispatched jobs; >= 1
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const std::array<ClassLimits, kNumQosClasses>& limits,
+                      const std::array<int, kNumQosClasses>& fair_weights,
+                      int preempt_burst);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Admit `job` into its class queue, or return the backpressure reason
+  /// (the job was NOT admitted; the caller resolves its ticket as
+  /// kRejected). Stamps submit_ns / deadline_abs_ns and arms the in-queue
+  /// deadline watchdog on admission.
+  [[nodiscard]] std::optional<std::string> submit(
+      const std::shared_ptr<JobState>& job, const SubmitOptions& opts);
+
+  /// Dispatcher entry: block until a runnable job is available, pop it by
+  /// the queue discipline, charge its class's in-flight slot, and return
+  /// it. Jobs found cancelled/expired at dequeue are resolved internally
+  /// (never returned, never charged). Returns nullptr once shutdown has
+  /// begun and the queue is drained.
+  [[nodiscard]] std::shared_ptr<JobState> next();
+
+  /// Run accounting for a job returned by next(): release the in-flight
+  /// slot, disarm the deadline, record the outcome, and resolve the
+  /// ticket — under the admission mutex, so once wait_idle() returns,
+  /// every admitted job's ticket has been resolved (drain() implies
+  /// every client waiter was released).
+  void finish_run(JobState& job, JobStatus status, Nanos service_ns,
+                  std::exception_ptr error);
+
+  /// Lease-cache accounting hook (ServeNode owns the cache).
+  void note_lease(QosClass cls, bool reused);
+
+  /// Stop admitting; wake blocked submitters (they reject) and let
+  /// dispatchers drain the queue and exit.
+  void begin_shutdown();
+
+  /// Block until nothing is queued and nothing is in flight.
+  void wait_idle();
+
+  [[nodiscard]] ClassStats stats(QosClass cls) const;
+  [[nodiscard]] usize queue_depth(QosClass cls) const;
+
+ private:
+  /// Pop the next runnable job under `lock`; resolves in-queue-terminal
+  /// jobs as it goes. nullptr when nothing runnable right now.
+  [[nodiscard]] std::shared_ptr<JobState> pop_runnable();
+
+  void drop_in_queue(const std::shared_ptr<JobState>& job, Nanos now);
+
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;  ///< dispatchers waiting for work
+  std::condition_variable space_cv_;     ///< bounded-block submitters
+  std::condition_variable idle_cv_;
+  JobQueue queue_;
+  std::array<ClassLimits, kNumQosClasses> limits_;
+  std::array<int, kNumQosClasses> inflight_{};
+  std::array<ClassStats, kNumQosClasses> stats_{};
+  bool stopping_ = false;
+  SteadyTimeSource clock_;
+  /// In-queue (and whole-life) deadline enforcement. Gate-less watchdog
+  /// entries: expiry cancels the job token; there is no construct gate to
+  /// dump or kick while the job is queued.
+  rt::Watchdog watchdog_;
+};
+
+}  // namespace aid::serve

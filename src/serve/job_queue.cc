@@ -1,0 +1,88 @@
+#include "serve/job_queue.h"
+
+#include "common/check.h"
+
+namespace aid::serve {
+
+JobQueue::JobQueue(const std::array<int, kNumQosClasses>& fair_weights,
+                   int preempt_burst)
+    : weight_(fair_weights), burst_(preempt_burst) {
+  for (const int w : weight_) AID_CHECK_MSG(w > 0, "fair weight must be > 0");
+  AID_CHECK_MSG(preempt_burst >= 0, "preempt burst must be >= 0");
+}
+
+void JobQueue::push(std::shared_ptr<JobState> job) {
+  const int cls = index_of(job->spec.qos);
+  fifo_[static_cast<usize>(cls)].push_back(std::move(job));
+}
+
+usize JobQueue::total_depth() const {
+  usize n = 0;
+  for (const auto& f : fifo_) n += f.size();
+  return n;
+}
+
+std::shared_ptr<JobState> JobQueue::pop(
+    const std::array<bool, kNumQosClasses>& eligible) {
+  // Candidate classes: non-empty and not masked by the in-flight cap.
+  int first = -1;   // highest-priority candidate (lowest index)
+  int count = 0;
+  for (int c = 0; c < kNumQosClasses; ++c) {
+    if (!eligible[static_cast<usize>(c)] ||
+        fifo_[static_cast<usize>(c)].empty())
+      continue;
+    if (first < 0) first = c;
+    ++count;
+  }
+  if (first < 0) return nullptr;
+
+  int pick = first;
+  if (count == 1) {
+    // A lone candidate is not a preemption — don't burn the burst budget
+    // (nobody queued behind it is being jumped).
+    consecutive_preempts_ = 0;
+  } else if (consecutive_preempts_ < burst_) {
+    // Preemptive pick: the top class jumps every lower class's queued
+    // work. Counted so a backlogged high class cannot monopolize pop().
+    ++consecutive_preempts_;
+  } else {
+    // Forced weighted-fair round: candidates earn credit by weight, the
+    // richest wins and pays back the round total (stride scheduling).
+    consecutive_preempts_ = 0;
+    i64 round = 0;
+    for (int c = 0; c < kNumQosClasses; ++c) {
+      if (!eligible[static_cast<usize>(c)] ||
+          fifo_[static_cast<usize>(c)].empty())
+        continue;
+      credit_[static_cast<usize>(c)] += weight_[static_cast<usize>(c)];
+      round += weight_[static_cast<usize>(c)];
+    }
+    pick = -1;
+    for (int c = 0; c < kNumQosClasses; ++c) {
+      if (!eligible[static_cast<usize>(c)] ||
+          fifo_[static_cast<usize>(c)].empty())
+        continue;
+      if (pick < 0 || credit_[static_cast<usize>(c)] >
+                          credit_[static_cast<usize>(pick)])
+        pick = c;  // ties break to the higher-priority (lower) class
+    }
+    credit_[static_cast<usize>(pick)] -= round;
+  }
+
+  auto& f = fifo_[static_cast<usize>(pick)];
+  std::shared_ptr<JobState> job = std::move(f.front());
+  f.pop_front();
+  return job;
+}
+
+std::shared_ptr<JobState> JobQueue::pop_any() {
+  for (auto& f : fifo_) {
+    if (f.empty()) continue;
+    std::shared_ptr<JobState> job = std::move(f.front());
+    f.pop_front();
+    return job;
+  }
+  return nullptr;
+}
+
+}  // namespace aid::serve

@@ -1,0 +1,66 @@
+// Per-class job queue with weighted-fair dequeue and bounded priority
+// preemption — the serving tier's queue discipline, factored out as a
+// plain (externally locked) data structure so the discipline itself is
+// deterministic and unit-testable without threads.
+//
+// Each QoS class owns a FIFO. pop() picks the next class two ways:
+//
+//   Preemption — if the highest-priority candidate class outranks some
+//   other candidate, it is picked directly ("queued work of a lower class
+//   is preempted"; running work never is). A burst cap bounds how many
+//   CONSECUTIVE preemptive picks may happen before one weighted-fair pick
+//   is forced, so a saturating latency tenant cannot starve batch work
+//   outright.
+//
+//   Weighted-fair — stride-style credits: every candidate class earns
+//   credit proportional to its fair_weight, the richest candidate wins
+//   and pays the round's total back. Long-run dequeue shares converge to
+//   the weight ratio among backlogged classes.
+//
+// Within a class, order is strict FIFO. The queue never inspects
+// deadlines or tokens — expiry policy belongs to the AdmissionController.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <memory>
+
+#include "serve/job.h"
+#include "serve/qos.h"
+
+namespace aid::serve {
+
+class JobQueue {
+ public:
+  /// `fair_weights` are per-class dequeue weights (> 0); `preempt_burst`
+  /// is the consecutive-preemption cap (>= 0; 0 disables preemption and
+  /// the discipline is pure weighted-fair).
+  JobQueue(const std::array<int, kNumQosClasses>& fair_weights,
+           int preempt_burst);
+
+  void push(std::shared_ptr<JobState> job);
+
+  /// Dequeue the next job among classes whose `eligible[cls]` is true
+  /// (the admission layer masks classes at their in-flight cap). Returns
+  /// nullptr when every eligible class is empty.
+  [[nodiscard]] std::shared_ptr<JobState> pop(
+      const std::array<bool, kNumQosClasses>& eligible);
+
+  [[nodiscard]] usize depth(QosClass cls) const {
+    return fifo_[static_cast<usize>(index_of(cls))].size();
+  }
+  [[nodiscard]] usize total_depth() const;
+  [[nodiscard]] bool empty() const { return total_depth() == 0; }
+
+  /// Drain every queued job in class-priority-then-FIFO order (shutdown).
+  [[nodiscard]] std::shared_ptr<JobState> pop_any();
+
+ private:
+  std::array<std::deque<std::shared_ptr<JobState>>, kNumQosClasses> fifo_;
+  std::array<int, kNumQosClasses> weight_;
+  std::array<i64, kNumQosClasses> credit_{};
+  int burst_;
+  int consecutive_preempts_ = 0;
+};
+
+}  // namespace aid::serve

@@ -1,0 +1,60 @@
+// QoS classes of the multi-tenant serving tier.
+//
+// Every job submitted to a ServeNode names one of three service classes.
+// The class decides two independent things:
+//
+//   1. *Queue discipline* — the weighted-fair dequeue share (fair_weight)
+//      and the preemption tier (lower enum value = higher priority; a
+//      higher class's queued jobs jump ahead of lower classes' queued —
+//      never running — work, bounded by the preemption burst).
+//   2. *Core arbitration* — the pool-lease weight (pool_weight) the class's
+//      leases carry into pool::arbitrate(). Under the serving tier's
+//      default big-core-priority policy the highest-weight class's
+//      partitions pack onto the big cores; equal-share ignores the weights
+//      (fair split) and proportional splits every core type by them. This
+//      is the QoS→policy mapping: latency ⇒ big-core-priority treatment,
+//      normal ⇒ the equal-share middle, batch ⇒ a small proportional
+//      share. See src/serve/README.md.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.h"
+
+namespace aid::serve {
+
+enum class QosClass : u8 {
+  kLatency = 0,  ///< interactive / tail-latency-sensitive
+  kNormal = 1,   ///< default service class
+  kBatch = 2,    ///< throughput work; yields to the classes above
+};
+
+inline constexpr int kNumQosClasses = 3;
+
+[[nodiscard]] constexpr const char* to_string(QosClass c) {
+  switch (c) {
+    case QosClass::kLatency: return "latency";
+    case QosClass::kNormal: return "normal";
+    case QosClass::kBatch: return "batch";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr int index_of(QosClass c) {
+  return static_cast<int>(c);
+}
+
+[[nodiscard]] constexpr QosClass qos_of(int index) {
+  return static_cast<QosClass>(index);
+}
+
+/// Parse a class name ("latency", "normal", "batch"). Returns true and
+/// writes `out` on success.
+[[nodiscard]] inline bool parse_qos(std::string_view text, QosClass& out) {
+  if (text == "latency") { out = QosClass::kLatency; return true; }
+  if (text == "normal") { out = QosClass::kNormal; return true; }
+  if (text == "batch") { out = QosClass::kBatch; return true; }
+  return false;
+}
+
+}  // namespace aid::serve

@@ -24,12 +24,23 @@ exist for local runs:
   --fail-above PCT    exit 1 when any regression exceeds PCT (implies
                       gating without changing the report threshold)
 
+--exempt takes a comma-separated list of config substrings (usually
+family keys like "shard=") that should not gate at the global
+--fail-above limit. A bare entry exempts the family outright; an entry
+with a colon suffix, "chain=:40", keeps the family gated but at its own
+looser percentage — for families that are legitimate to track yet too
+host-sensitive for the tight global limit (nowait chains wobble more
+than plain fork/join on shared CI hosts).
+
 Usage:
   tools/bench_diff.py                      # baseline ./BENCH_micro_forkjoin.json
                                            # current ./build/BENCH_micro_forkjoin.json
   tools/bench_diff.py --baseline A.json --current B.json --threshold 25
   tools/bench_diff.py --strict             # non-zero exit on regressions
   tools/bench_diff.py --fail-above 30      # gate only on >30% regressions
+  tools/bench_diff.py --fail-above 25 --exempt 'shard=,chain=:40'
+                                           # shard= never gates; chain=
+                                           # gates at 40% instead of 25%
 """
 
 import argparse
@@ -134,10 +145,29 @@ def main():
         help="exit 1 if any latency regression exceeds PCT percent "
              "(CI gates the default leg with this; see .github/workflows)")
     parser.add_argument(
-        "--exempt", action="append", default=[], metavar="SUBSTR",
-        help="configs containing SUBSTR are reported but never gate "
-             "(repeatable; CI exempts the host-sensitive shard= family)")
+        "--exempt", action="append", default=[], metavar="LIST",
+        help="comma-separated config substrings that do not gate at the "
+             "global --fail-above limit; SUBSTR exempts outright, "
+             "SUBSTR:PCT gates that family at its own PCT instead "
+             "(repeatable; CI exempts the host-sensitive shard= family "
+             "and loosens the chain= families)")
     args = parser.parse_args()
+
+    # {substring: None (fully exempt) | float (family-specific gate %)}.
+    exemptions = {}
+    for entry in args.exempt:
+        for item in entry.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if ":" in item:
+                sub, pct = item.rsplit(":", 1)
+                try:
+                    exemptions[sub] = float(pct)
+                except ValueError:
+                    parser.error(f"--exempt: bad threshold in {item!r}")
+            else:
+                exemptions[item] = None
 
     for path, what in ((args.baseline, "baseline"), (args.current, "current")):
         if not os.path.exists(path):
@@ -152,6 +182,7 @@ def main():
     latency_keys = [k for k in keys if is_latency(k[1])]
     regressions = improvements = 0
     worst_regression = 0.0
+    family_failures = []  # (config, metric, delta, family limit)
     width = max((len(f"{c} {m}") for c, m in latency_keys), default=20)
 
     print(f"bench_diff: {os.path.relpath(args.current, repo_root)} vs "
@@ -163,7 +194,11 @@ def main():
         label = f"{key[0]} {key[1]}".ljust(width)
         base = baseline.get(key)
         cur = current.get(key)
-        exempt = any(sub in key[0] for sub in args.exempt)
+        matched = [sub for sub in exemptions if sub in key[0]]
+        # Full exemption wins over a family threshold when both match.
+        exempt = any(exemptions[sub] is None for sub in matched)
+        family_limits = [exemptions[sub] for sub in matched
+                         if exemptions[sub] is not None]
         if base is None:
             print(f"{label}  {'-':>12}  {cur['median']:>12.0f}      new")
             continue
@@ -173,9 +208,14 @@ def main():
         if base["median"] <= 0:
             continue
         delta = 100.0 * (cur["median"] - base["median"]) / base["median"]
-        if not exempt:
+        if not exempt and not family_limits:
             worst_regression = max(worst_regression, delta)
         flag = "  (exempt)" if exempt else ""
+        if not exempt and family_limits:
+            limit = min(family_limits)
+            flag = f"  (gate {limit:.0f}%)"
+            if delta > limit:
+                family_failures.append((key[0], key[1], delta, limit))
         if delta >= args.threshold:
             flag += "  << regression"  # latency metrics: up is bad
             if not exempt:
@@ -194,6 +234,12 @@ def main():
     print(f"\nbench_diff: {regressions} regression(s), "
           f"{improvements} improvement(s) beyond ±{args.threshold:.0f}% "
           f"across {len(latency_keys)} latency series")
+    gating = args.fail_above is not None or args.strict
+    if gating and family_failures:
+        for config, metric, delta, limit in family_failures:
+            print(f"bench_diff: FAIL — {config} {metric} {delta:+.1f}% "
+                  f"exceeds its family gate of {limit:.0f}%")
+        return 1
     if args.fail_above is not None and worst_regression > args.fail_above:
         print(f"bench_diff: FAIL — worst regression {worst_regression:+.1f}% "
               f"exceeds --fail-above {args.fail_above:.0f}%")
