@@ -1,0 +1,158 @@
+// Socket-ingress loopback overhead: the same jobs submitted (a) directly
+// through ServeNode::submit and (b) through the full wire path — encode,
+// Unix socket, IngressServer event loop, completion hook, decode — on the
+// SAME node in the SAME process. The p50/p95/p99 gap is the ingress tax;
+// BENCH_ingress_loopback.json records both series plus the derived
+// overhead so bench_diff tracks the trajectory.
+//
+//   AID_BENCH_RUNS  — round-trips per configuration (default 5; CI uses
+//                     more for stable tails)
+//   AID_BENCH_SCALE — trip-count scale
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ingress/ingress_client.h"
+#include "ingress/ingress_server.h"
+#include "platform/platform.h"
+#include "serve/serve_node.h"
+#include "workloads/serve_kernel.h"
+
+namespace {
+
+using namespace aid;
+using clock_type = std::chrono::steady_clock;
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock_type::now().time_since_epoch())
+          .count());
+}
+
+struct Series {
+  std::vector<double> direct_ns;
+  std::vector<double> socket_ns;
+};
+
+}  // namespace
+
+int main() {
+  const platform::Platform platform = platform::symmetric(
+      std::max(2u, std::thread::hardware_concurrency()));
+  bench::print_header("Ingress loopback overhead (socket vs direct submit)",
+                      platform);
+
+  serve::ServeNode::Config node_cfg;
+  serve::ServeNode node(platform, node_cfg);
+
+  ingress::IngressServer::Config icfg;
+  icfg.socket_path =
+      "/tmp/aid_bench_loopback_" + std::to_string(::getpid()) + ".sock";
+  icfg.credit_window = 8;
+  ingress::IngressServer server(node, icfg);
+
+  std::string error;
+  auto client =
+      ingress::IngressClient::connect(icfg.socket_path, "bench", &error);
+  if (!client) {
+    std::fprintf(stderr, "connect: %s\n", error.c_str());
+    return 1;
+  }
+
+  const auto params = bench::params_for(platform);
+  const int warmup = 3;
+  const int runs = std::max(5, params.runs * 8);  // tails need samples
+
+  bench::BenchJsonWriter json("ingress_loopback");
+  std::printf("%-28s %10s %10s %10s %10s\n", "config", "path", "p50_us",
+              "p95_us", "p99_us");
+
+  for (const i64 base_count : {i64{1} << 10, i64{1} << 16}) {
+    const i64 count = std::max<i64>(
+        1, static_cast<i64>(static_cast<double>(base_count) * params.scale));
+    const std::string config =
+        "workload=EP/count=" + std::to_string(count);
+    Series series;
+
+    // Interleave the two paths so machine noise hits both alike.
+    for (int r = -warmup; r < runs; ++r) {
+      {
+        // The direct leg does the same work a SUBMIT frame triggers —
+        // kernel construction included — so the delta isolates the wire:
+        // encode, socket, event loop, completion hook, checksum, decode.
+        const double t0 = now_ns();
+        std::string kerr;
+        auto kernel = workloads::make_serve_kernel("EP", count, &kerr);
+        if (!kernel) {
+          std::fprintf(stderr, "kernel: %s\n", kerr.c_str());
+          return 1;
+        }
+        serve::JobSpec spec;
+        spec.count = kernel->count;
+        spec.body = kernel->body;
+        // Same schedule on both legs — the delta must be the wire, not a
+        // static-vs-dynamic chunking difference.
+        spec.sched = sched::ScheduleSpec::static_even();
+        serve::JobTicket t = node.submit(std::move(spec));
+        const serve::JobResult& jr = t.wait();
+        const double t1 = now_ns();
+        if (jr.status != serve::JobStatus::kDone) {
+          std::fprintf(stderr, "direct submit: %s\n", to_string(jr.status));
+          return 1;
+        }
+        if (r >= 0) series.direct_ns.push_back(t1 - t0);
+      }
+      {
+        ingress::IngressClient::Request req;
+        req.workload = "EP";
+        req.count = count;
+        req.sched = sched::ScheduleKind::kStatic;
+        const double t0 = now_ns();
+        const u64 id = client->submit(req);
+        if (id == 0) {
+          std::fprintf(stderr, "submit: %s\n", client->last_error().c_str());
+          return 1;
+        }
+        const ingress::IngressClient::Result res = client->wait(id);
+        const double t1 = now_ns();
+        if (!res.transport_ok || res.status != serve::JobStatus::kDone) {
+          std::fprintf(stderr, "socket submit failed: %s\n",
+                       res.message.c_str());
+          return 1;
+        }
+        if (r >= 0) series.socket_ns.push_back(t1 - t0);
+      }
+    }
+
+    const bench::SampleSummary direct = bench::summarize(series.direct_ns);
+    const bench::SampleSummary socket = bench::summarize(series.socket_ns);
+    json.add(config, "direct_roundtrip_ns", direct);
+    json.add(config, "socket_roundtrip_ns", socket);
+    // The headline number: added wire latency at each percentile.
+    bench::SampleSummary overhead;
+    overhead.median = socket.median - direct.median;
+    overhead.p95 = socket.p95 - direct.p95;
+    overhead.p99 = socket.p99 - direct.p99;
+    overhead.runs = socket.runs;
+    json.add(config, "ingress_overhead_ns", overhead);
+
+    std::printf("%-28s %10s %10.1f %10.1f %10.1f\n", config.c_str(),
+                "direct", direct.median / 1e3, direct.p95 / 1e3,
+                direct.p99 / 1e3);
+    std::printf("%-28s %10s %10.1f %10.1f %10.1f\n", config.c_str(),
+                "socket", socket.median / 1e3, socket.p95 / 1e3,
+                socket.p99 / 1e3);
+    std::printf("%-28s %10s %10.1f %10.1f %10.1f\n\n", config.c_str(),
+                "overhead", overhead.median / 1e3, overhead.p95 / 1e3,
+                overhead.p99 / 1e3);
+  }
+
+  std::printf("wrote BENCH_ingress_loopback.json\n");
+  return 0;
+}

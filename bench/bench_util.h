@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -40,8 +41,14 @@ inline std::vector<const workloads::Workload*> apps_by_name(
     const std::vector<std::string>& names) {
   std::vector<const workloads::Workload*> apps;
   for (const auto& n : names) {
-    const auto* w = workloads::find_workload(n);
-    AID_CHECK_MSG(w != nullptr, "unknown workload in bench");
+    std::string error;
+    const auto* w = workloads::find_workload_or_error(n, &error);
+    if (w == nullptr) {
+      // A bench naming a missing workload is a programming error, but die
+      // with the registry listing instead of a bare assert.
+      std::cerr << "bench: " << error << '\n';
+      std::abort();
+    }
     apps.push_back(w);
   }
   return apps;

@@ -1,0 +1,147 @@
+// Byte-level wire encode/decode helpers (explicit little-endian).
+//
+// The ingress wire protocol (src/ingress/wire.h) serializes every scalar
+// little-endian regardless of host order, so a frame written on one
+// machine decodes identically on any other. Two tiny classes:
+//
+//   WireWriter — append-only encoder into a std::vector<u8>.
+//   WireReader — bounds-checked decoder over a borrowed byte span. A
+//       read past the end (or an over-long string) does NOT throw or
+//       crash: it latches ok() = false and returns zero values, so a
+//       decoder can run every field read unconditionally and check ok()
+//       once at the end. This is the property the ingress fuzz tests
+//       lean on: arbitrary garbage bytes must never crash the server.
+//
+// Strings are length-prefixed (u16 byte count, no NUL), capped at
+// kWireMaxString — wire strings are names/reasons, not payloads.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aid::wire {
+
+/// Longest string the codec will encode or decode (tenant names, workload
+/// ids, reject reasons, truncated error messages).
+inline constexpr usize kWireMaxString = 256;
+
+class WireWriter {
+ public:
+  void put_u8(u8 v) { buf_.push_back(v); }
+
+  void put_u16(u16 v) {
+    buf_.push_back(static_cast<u8>(v));
+    buf_.push_back(static_cast<u8>(v >> 8));
+  }
+
+  void put_u32(u32 v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+
+  void put_u64(u64 v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+
+  void put_i64(i64 v) { put_u64(static_cast<u64>(v)); }
+
+  /// IEEE-754 bits, little-endian (both ends of the wire are IEEE-754;
+  /// the bit pattern is the portable representation).
+  void put_f64(double v) {
+    u64 bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    put_u64(bits);
+  }
+
+  /// u16 length prefix + raw bytes. Over-long strings are truncated to
+  /// kWireMaxString (encode never fails; the cap is a protocol constant).
+  void put_str(std::string_view s) {
+    if (s.size() > kWireMaxString) s = s.substr(0, kWireMaxString);
+    put_u16(static_cast<u16>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] const std::vector<u8>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<u8> take() { return std::move(buf_); }
+  [[nodiscard]] usize size() const { return buf_.size(); }
+
+ private:
+  std::vector<u8> buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const u8* data, usize size) : data_(data), size_(size) {}
+
+  [[nodiscard]] u8 get_u8() {
+    if (!take(1)) return 0;
+    return data_[off_++];
+  }
+
+  [[nodiscard]] u16 get_u16() {
+    if (!take(2)) return 0;
+    u16 v = 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<u16>(data_[off_++]) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] u32 get_u32() {
+    if (!take(4)) return 0;
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(data_[off_++]) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] u64 get_u64() {
+    if (!take(8)) return 0;
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(data_[off_++]) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] i64 get_i64() { return static_cast<i64>(get_u64()); }
+
+  [[nodiscard]] double get_f64() {
+    const u64 bits = get_u64();
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  [[nodiscard]] std::string get_str() {
+    const u16 len = get_u16();
+    if (len > kWireMaxString || !take(len)) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + off_), len);
+    off_ += len;
+    return s;
+  }
+
+  /// False once any read overran the span (all reads after that return
+  /// zero values). Decoders check this once, after reading every field.
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  /// Bytes not yet consumed; a strict decoder requires 0 at the end.
+  [[nodiscard]] usize remaining() const { return ok_ ? size_ - off_ : 0; }
+
+ private:
+  [[nodiscard]] bool take(usize n) {
+    if (!ok_ || size_ - off_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const u8* data_;
+  usize size_;
+  usize off_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace aid::wire

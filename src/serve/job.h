@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -103,12 +104,16 @@ class JobState {
   u64 watchdog_id = 0;       ///< in-queue deadline arm (0 = none)
 
   void resolve(JobResult r) {
+    std::function<void()> hook;
     {
       const std::scoped_lock lock(mu_);
       result_ = std::move(r);
       done_ = true;
+      hook = std::move(hook_);
+      hook_ = nullptr;
     }
     cv_.notify_all();
+    if (hook) hook();
   }
 
   [[nodiscard]] bool done() const {
@@ -122,11 +127,38 @@ class JobState {
     return result_;
   }
 
+  /// Non-blocking probe: the result once resolved, nullptr while pending.
+  /// The pointer stays valid for the state's lifetime (resolve happens
+  /// exactly once; the result is never rewritten).
+  [[nodiscard]] const JobResult* try_result() const {
+    const std::scoped_lock lock(mu_);
+    return done_ ? &result_ : nullptr;
+  }
+
+  /// Register a one-shot completion hook, so an event loop can multiplex
+  /// many tickets without parking a thread per job. Runs exactly once:
+  /// inline if the job already resolved, otherwise on the RESOLVING
+  /// thread — which may hold the admission mutex (see admission.cc
+  /// finish_run) — so the hook must only hand off (enqueue + wake) and
+  /// must never block or call back into the serving tier. At most one
+  /// hook per job; a second registration replaces an unfired first.
+  void on_resolve(std::function<void()> hook) {
+    {
+      const std::scoped_lock lock(mu_);
+      if (!done_) {
+        hook_ = std::move(hook);
+        return;
+      }
+    }
+    hook();
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;
   JobResult result_;
+  std::function<void()> hook_;
 };
 
 /// The client's handle on a submitted job. Cheap to copy; outliving the
@@ -145,9 +177,25 @@ class JobTicket {
   /// ticket (or any copy) lives.
   [[nodiscard]] const JobResult& wait() { return state_->wait(); }
 
+  /// Non-blocking harvest: the result once resolved, nullptr while
+  /// pending. Event-loop clients (the socket ingress) poll or hook
+  /// instead of parking a thread in wait().
+  [[nodiscard]] const JobResult* poll() const { return state_->try_result(); }
+
+  /// One-shot completion hook (see JobState::on_resolve for the contract:
+  /// may fire under the admission mutex — enqueue-and-wake only).
+  void on_resolve(std::function<void()> hook) {
+    state_->on_resolve(std::move(hook));
+  }
+
   /// Cooperative cancel: a queued job is dropped at dequeue without taking
-  /// a lease; a running job stops at the next chunk-take boundary.
-  void cancel() { state_->token.cancel(CancelReason::kUser); }
+  /// a lease; a running job stops at the next chunk-take boundary. The
+  /// reason defaults to kUser; infrastructure cleanup (e.g. the ingress
+  /// cancelling a dead connection's jobs) passes kDependency so stats and
+  /// dumps distinguish "the client asked" from "the client vanished".
+  void cancel(CancelReason reason = CancelReason::kUser) {
+    state_->token.cancel(reason);
+  }
 
  private:
   std::shared_ptr<JobState> state_;

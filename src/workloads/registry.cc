@@ -20,6 +20,29 @@ const Workload* find_workload(std::string_view name) {
   return nullptr;
 }
 
+const Workload* find_workload_or_error(std::string_view name,
+                                       std::string* error) {
+  if (const Workload* w = find_workload(name)) return w;
+  if (error != nullptr) {
+    std::string msg = "unknown workload '";
+    msg += name;
+    msg += "' (known:";
+    for (const auto& n : workload_names()) {
+      msg += ' ';
+      msg += n;
+    }
+    msg += ')';
+    *error = std::move(msg);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  for (const auto& w : all_workloads()) names.push_back(w.name());
+  return names;
+}
+
 std::vector<const Workload*> workloads_of_suite(std::string_view suite) {
   std::vector<const Workload*> out;
   for (const auto& w : all_workloads())

@@ -1,0 +1,177 @@
+#include "workloads/serve_kernel.h"
+
+#include <cmath>
+#include <memory>
+
+#include "workloads/kernels.h"
+#include "workloads/workload.h"
+
+namespace aid::workloads {
+
+namespace {
+
+/// Shared output-vector state: iteration i writes out[i]; the checksum is
+/// the fixed-order serial sum. One shared_ptr is captured by both the
+/// body and the checksum closure, so the kernel owns its state for as
+/// long as either closure lives (the ingress holds them until the
+/// terminal frame is sent).
+struct Slots {
+  std::vector<double> out;
+  explicit Slots(i64 n) : out(static_cast<usize>(n), 0.0) {}
+  [[nodiscard]] double sum() const {
+    double s = 0.0;
+    for (const double v : out) s += v;
+    return s;
+  }
+};
+
+ServeKernel from_fn(i64 count, std::function<double(i64)> fn) {
+  auto slots = std::make_shared<Slots>(count);
+  ServeKernel k;
+  k.count = count;
+  k.body = [slots, fn = std::move(fn)](i64 begin, i64 end,
+                                       const rt::WorkerInfo&) {
+    for (i64 i = begin; i < end; ++i)
+      slots->out[static_cast<usize>(i)] = fn(i);
+  };
+  k.checksum = [slots] { return slots->sum(); };
+  return k;
+}
+
+// ---------------------------------------------------------------- kernels
+
+ServeKernel make_ep(i64 count) {
+  // NPB EP: counter-based Marsaglia pairs — iterations are independent by
+  // construction (the paper's Fig. 1 uniform loop).
+  return from_fn(count, [](i64 i) {
+    double sx = 0.0;
+    double sy = 0.0;
+    const int accepted = kernels::ep_pair_accept(0xE9, i, &sx, &sy);
+    return accepted != 0 ? 1.0 + 0.25 * (sx + sy) : 0.0;
+  });
+}
+
+ServeKernel make_ft(i64 count) {
+  // NPB FT: one DFT bin per iteration over a fixed-size signal. The
+  // signal length is capped so per-iteration cost stays bounded
+  // (count * signal ops total) for arbitrary wire counts.
+  const i64 signal = std::min<i64>(count, 2048);
+  return from_fn(count, [signal](i64 k) {
+    return kernels::dft_bin(k % signal, signal, 0xF7);
+  });
+}
+
+ServeKernel make_cg(i64 count) {
+  // NPB CG: CSR SpMV rows of a 2D 5-point Laplacian. The matrix has at
+  // least `count` rows (side^2 >= count); iteration i computes row i.
+  const i64 side =
+      static_cast<i64>(std::ceil(std::sqrt(static_cast<double>(count))));
+  auto a = std::make_shared<kernels::CsrMatrix>(
+      kernels::CsrMatrix::laplacian_2d(std::max<i64>(side, 1)));
+  auto x = std::make_shared<std::vector<double>>();
+  x->resize(static_cast<usize>(a->rows));
+  for (usize j = 0; j < x->size(); ++j)
+    x->at(j) = 1.0 + 0.1 * static_cast<double>(j % 7);
+  return from_fn(count,
+                 [a, x](i64 row) { return kernels::spmv_row(*a, *x, row); });
+}
+
+ServeKernel make_blackscholes(i64 count) {
+  auto batch = std::make_shared<kernels::OptionBatch>(
+      kernels::OptionBatch::generate(count, 0xB5));
+  return from_fn(count, [batch](i64 i) {
+    const usize u = static_cast<usize>(i);
+    return kernels::black_scholes(batch->spot[u], batch->strike[u],
+                                  batch->rate[u], batch->vol[u],
+                                  batch->expiry[u], batch->call[u] != 0);
+  });
+}
+
+ServeKernel make_streamcluster(i64 count) {
+  auto points =
+      std::make_shared<kernels::PointSet>(kernels::PointSet::generate(
+          count, /*dims=*/8, 0x5C));
+  auto centers =
+      std::make_shared<kernels::PointSet>(kernels::PointSet::generate(
+          /*n=*/16, /*dims=*/8, 0xC5));
+  return from_fn(count, [points, centers](i64 i) {
+    return kernels::kmedian_assign(*points, *centers, i);
+  });
+}
+
+ServeKernel make_particlefilter(i64 count) {
+  return from_fn(count, [](i64 particle) {
+    return kernels::particle_weight(particle, /*frame=*/3, 0x9F);
+  });
+}
+
+using Maker = ServeKernel (*)(i64 count);
+
+struct Entry {
+  const char* name;
+  Maker make;
+};
+
+/// Registry subset with wire-servable kernels, in registry display order
+/// (NPB, then PARSEC, then Rodinia — matching workload_names()).
+constexpr Entry kServable[] = {
+    {"CG", make_cg},
+    {"EP", make_ep},
+    {"FT", make_ft},
+    {"blackscholes", make_blackscholes},
+    {"streamcluster", make_streamcluster},
+    {"particlefilter", make_particlefilter},
+};
+
+void set_error(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+}
+
+}  // namespace
+
+std::optional<ServeKernel> make_serve_kernel(std::string_view workload,
+                                             i64 count, std::string* error) {
+  // Registry membership first: an unknown name gets the registry's own
+  // explicit error (satellite: no assert/abort on miss).
+  std::string lookup_error;
+  if (find_workload_or_error(workload, &lookup_error) == nullptr) {
+    set_error(error, std::move(lookup_error));
+    return std::nullopt;
+  }
+  const Entry* entry = nullptr;
+  for (const Entry& e : kServable)
+    if (workload == e.name) {
+      entry = &e;
+      break;
+    }
+  if (entry == nullptr) {
+    std::string msg = "workload '";
+    msg += workload;
+    msg += "' has no wire-servable kernel (servable:";
+    for (const auto& n : serve_kernel_names()) {
+      msg += ' ';
+      msg += n;
+    }
+    msg += ')';
+    set_error(error, std::move(msg));
+    return std::nullopt;
+  }
+  if (count < 1 || count > kMaxServeCount) {
+    set_error(error, "count " + std::to_string(count) +
+                         " outside [1, " + std::to_string(kMaxServeCount) +
+                         "]");
+    return std::nullopt;
+  }
+  return entry->make(count);
+}
+
+const std::vector<std::string>& serve_kernel_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const Entry& e : kServable) v.emplace_back(e.name);
+    return v;
+  }();
+  return names;
+}
+
+}  // namespace aid::workloads

@@ -1,0 +1,52 @@
+// Wire-runnable instantiations of registry workloads.
+//
+// Function pointers don't cross a socket: an out-of-process client names a
+// workload from the registry and the SERVER builds the computation — a
+// canonical-range body over [0, count) plus a deterministic checksum
+// harvested after the loop. make_serve_kernel() is the boundary where
+// untrusted wire parameters meet the registry, so it validates everything
+// explicitly (unknown name, non-servable workload, out-of-range count)
+// and reports errors as strings — never an assert, never an abort.
+//
+// Every serve kernel is built from the schedule-invariant primitives in
+// workloads/kernels.h: iteration i writes slot i of a preallocated output
+// vector (no cross-iteration state, no atomics needed) and the checksum
+// is a fixed-order serial reduction over that vector — so the checksum is
+// bit-identical for ANY schedule, thread count, or chunking, which is
+// what lets a client verify a COMPLETED frame against a local serial run.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "rt/team.h"
+
+namespace aid::workloads {
+
+/// Upper bound on a wire job's trip count: bounds the per-job state the
+/// server allocates on behalf of a remote client (the credit window bounds
+/// how many such jobs one connection can have in flight).
+inline constexpr i64 kMaxServeCount = i64{1} << 20;
+
+struct ServeKernel {
+  i64 count = 0;            ///< canonical trip count (equals the request's)
+  rt::RangeBody body;       ///< iteration body; owns its state via captures
+  std::function<double()> checksum;  ///< fixed-order reduction; call AFTER
+                                     ///< every iteration completed
+};
+
+/// Build the named workload's serve kernel for `count` iterations.
+/// Returns nullopt and sets `error` (when non-null) for unknown names,
+/// registry workloads with no wire-servable kernel, or count outside
+/// [1, kMaxServeCount].
+[[nodiscard]] std::optional<ServeKernel> make_serve_kernel(
+    std::string_view workload, i64 count, std::string* error);
+
+/// The registry names accepted by make_serve_kernel, in registry order.
+[[nodiscard]] const std::vector<std::string>& serve_kernel_names();
+
+}  // namespace aid::workloads

@@ -61,6 +61,17 @@ class Workload {
 /// Lookup by name; nullptr when unknown.
 [[nodiscard]] const Workload* find_workload(std::string_view name);
 
+/// Lookup that reports: on a miss returns nullptr AND (when `error` is
+/// non-null) formats an explicit "unknown workload" message naming the
+/// registry. This is the lookup the serving boundary uses — wire input
+/// must produce a structured error, never an assert/abort.
+[[nodiscard]] const Workload* find_workload_or_error(std::string_view name,
+                                                     std::string* error);
+
+/// Every registry name in the stable Fig. 6/7 display order (the listing
+/// behind `aid_submit --list`).
+[[nodiscard]] std::vector<std::string> workload_names();
+
 /// All workloads of one suite ("NPB", "PARSEC", "Rodinia").
 [[nodiscard]] std::vector<const Workload*> workloads_of_suite(
     std::string_view suite);

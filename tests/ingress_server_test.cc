@@ -1,0 +1,587 @@
+// IngressServer/IngressClient integration tests over real AF_UNIX
+// sockets: submit/complete with checksum verification, rejects, credit
+// flow (client blocks, server rejects), disconnect cancellation,
+// per-tenant stats, protocol-error handling, the non-blocking JobTicket
+// surface, and an out-of-process fork/exec case driving the tools
+// binaries end to end.
+#include "ingress/ingress_server.h"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ingress/ingress_client.h"
+#include "platform/platform.h"
+#include "serve/serve_node.h"
+#include "workloads/serve_kernel.h"
+
+namespace aid::ingress {
+namespace {
+
+using serve::JobStatus;
+using serve::QosClass;
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/aid_ingress_test_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+/// A fixture owning a small symmetric node + ingress. Batch gets
+/// max_inflight=1 so tests can pin jobs in the queue deterministically.
+struct NodeAndServer {
+  explicit NodeAndServer(const char* tag, u32 credits = 8)
+      : node(platform::symmetric(4), node_config()),
+        server(node, server_config(tag, credits)) {}
+
+  static serve::ServeNode::Config node_config() {
+    serve::ServeNode::Config c;
+    c.dispatchers = 2;
+    c.cls[serve::index_of(QosClass::kBatch)] = {4, 1, 1, 1.0};
+    return c;
+  }
+  static IngressServer::Config server_config(const char* tag, u32 credits) {
+    IngressServer::Config c;
+    c.socket_path = test_socket_path(tag);
+    c.credit_window = credits;
+    return c;
+  }
+
+  IngressClient connect(const std::string& name) {
+    std::string error;
+    auto c = IngressClient::connect(server.socket_path(), name, &error);
+    EXPECT_TRUE(c.has_value()) << error;
+    return std::move(*c);
+  }
+
+  serve::ServeNode node;
+  IngressServer server;
+};
+
+/// A trip count big enough that a job reliably outlives a few microseconds
+/// of frame processing (EP at this size runs for milliseconds).
+constexpr i64 kLongCount = workloads::kMaxServeCount;
+
+double local_serial_checksum(const char* workload, i64 count) {
+  std::string error;
+  auto k = workloads::make_serve_kernel(workload, count, &error);
+  EXPECT_TRUE(k.has_value()) << error;
+  k->body(0, k->count, rt::WorkerInfo{});
+  return k->checksum();
+}
+
+// ---------------------------------------------------------- ticket surface
+
+TEST(JobTicketNonBlocking, PollTransitionsFromNullToResult) {
+  serve::ServeNode node(platform::symmetric(4), NodeAndServer::node_config());
+  std::atomic<bool> release{false};
+  serve::JobSpec spec;
+  spec.count = 64;
+  spec.body = [&](i64, i64, const rt::WorkerInfo&) {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  };
+  serve::JobTicket t = node.submit(std::move(spec));
+  EXPECT_EQ(t.poll(), nullptr);  // body is parked on `release`
+  release.store(true, std::memory_order_release);
+  const serve::JobResult& r = t.wait();
+  EXPECT_EQ(r.status, JobStatus::kDone);
+  ASSERT_NE(t.poll(), nullptr);
+  EXPECT_EQ(t.poll()->status, JobStatus::kDone);
+}
+
+TEST(JobTicketNonBlocking, HookFiresOnResolutionWithoutAnyWaiter) {
+  serve::ServeNode node(platform::symmetric(4), NodeAndServer::node_config());
+  std::atomic<int> fired{0};
+  serve::JobSpec spec;
+  spec.count = 1024;
+  spec.body = [](i64, i64, const rt::WorkerInfo&) {};
+  serve::JobTicket t = node.submit(std::move(spec));
+  t.on_resolve([&] { fired.fetch_add(1); });
+  // Deadlines in this file are generous: they only bound how long a
+  // FAILING run hangs, and sanitizer legs run 10-20x slower than native.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fired.load() == 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(fired.load(), 1);
+  // Re-registration after resolution runs inline, exactly once.
+  t.on_resolve([&] { fired.fetch_add(1); });
+  EXPECT_EQ(fired.load(), 2);
+}
+
+// ------------------------------------------------------- happy-path submit
+
+TEST(IngressServerTest, SubmitCompletesWithSerialChecksum) {
+  NodeAndServer s("complete");
+  IngressClient client = s.connect("checker");
+
+  for (const char* workload : {"EP", "CG", "blackscholes"}) {
+    IngressClient::Request req;
+    req.workload = workload;
+    req.count = 10'000;
+    const u64 id = client.submit(req);
+    ASSERT_NE(id, 0u) << client.last_error();
+    const IngressClient::Result r = client.wait(id);
+    ASSERT_TRUE(r.transport_ok) << r.message;
+    ASSERT_EQ(r.status, JobStatus::kDone) << workload << ": " << r.message;
+    // Schedule-invariant kernels: the pool run must equal a local serial
+    // run bit for bit, whatever the chunking was.
+    EXPECT_EQ(r.checksum, local_serial_checksum(workload, req.count))
+        << workload;
+    EXPECT_GE(r.service_ns, 0);
+  }
+}
+
+TEST(IngressServerTest, UnknownWorkloadAndBadCountAreRejected) {
+  NodeAndServer s("reject");
+  IngressClient client = s.connect("rejecter");
+
+  IngressClient::Request req;
+  req.workload = "no-such-workload";
+  req.count = 16;
+  const u64 id = client.submit(req);
+  ASSERT_NE(id, 0u);
+  IngressClient::Result r = client.wait(id);
+  ASSERT_TRUE(r.transport_ok);
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+  EXPECT_NE(r.message.find("unknown workload"), std::string::npos)
+      << r.message;
+
+  req.workload = "BT";  // real workload, but not wire-servable
+  const u64 id2 = client.submit(req);
+  r = client.wait(id2);
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+  EXPECT_NE(r.message.find("servable"), std::string::npos) << r.message;
+
+  req.workload = "EP";
+  req.count = workloads::kMaxServeCount + 1;  // over the per-job cap
+  const u64 id3 = client.submit(req);
+  r = client.wait(id3);
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+
+  EXPECT_EQ(s.server.stats().invalid_rejects, 3u);
+  // Validation rejects never touch the node.
+  EXPECT_EQ(s.server.stats().submits, 0u);
+}
+
+TEST(IngressServerTest, AdmissionBackpressureSurfacesAsRejectedFrames) {
+  // Batch: max_inflight 1, max_queue 4. Flooding 10 long batch jobs must
+  // overflow admission — and overload comes back as REJECTED frames with
+  // the admission reason, not as a stalled socket.
+  NodeAndServer s("backpressure", /*credits=*/16);
+  IngressClient client = s.connect("flooder");
+
+  IngressClient::Request req;
+  req.workload = "EP";
+  req.count = kLongCount;
+  req.qos = QosClass::kBatch;
+
+  std::vector<u64> ids;
+  for (int i = 0; i < 10; ++i) {
+    const u64 id = client.submit(req);
+    ASSERT_NE(id, 0u) << client.last_error();
+    ids.push_back(id);
+  }
+  int done = 0;
+  int rejected = 0;
+  for (const u64 id : ids) {
+    const IngressClient::Result r = client.wait(id);
+    ASSERT_TRUE(r.transport_ok) << r.message;
+    if (r.status == JobStatus::kDone) ++done;
+    if (r.status == JobStatus::kRejected) {
+      ++rejected;
+      EXPECT_NE(r.message.find("queue"), std::string::npos) << r.message;
+    }
+  }
+  EXPECT_GT(done, 0);
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(done + rejected, 10);
+}
+
+// ------------------------------------------------------------- credit flow
+
+TEST(IngressServerTest, CreditExhaustionBlocksClientNotServer) {
+  NodeAndServer s("credits", /*credits=*/2);
+  IngressClient client = s.connect("windowed");
+  ASSERT_EQ(client.credit_window(), 2u);
+
+  IngressClient::Request req;
+  req.workload = "EP";
+  req.count = kLongCount;
+  req.qos = QosClass::kBatch;
+
+  // Two credits, two sends; the third try_submit fails CLIENT-SIDE — no
+  // frame hits the wire, nothing blocks, the server never sees it.
+  u64 a = 0;
+  u64 b = 0;
+  u64 c = 0;
+  ASSERT_TRUE(client.try_submit(req, &a));
+  ASSERT_TRUE(client.try_submit(req, &b));
+  EXPECT_EQ(client.credits(), 0u);
+  EXPECT_FALSE(client.try_submit(req, &c));
+
+  // The blocking submit() path pumps until a terminal frame returns a
+  // credit, then sends — the backpressure wait happens in the client.
+  const u64 d = client.submit(req);
+  ASSERT_NE(d, 0u) << client.last_error();
+
+  for (const u64 id : {a, b, d}) {
+    const IngressClient::Result r = client.wait(id);
+    ASSERT_TRUE(r.transport_ok) << r.message;
+    EXPECT_EQ(r.status, JobStatus::kDone) << r.message;
+  }
+  EXPECT_EQ(s.server.stats().no_credit_rejects, 0u);
+  EXPECT_LE(s.server.stats().max_inflight, 2u);
+}
+
+/// A wire-speaking client that deliberately ignores the credit discipline.
+class RawClient {
+ public:
+  bool connect(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    return ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_frame(const Frame& f) { send_bytes(encode(f)); }
+  void send_bytes(const std::vector<u8>& bytes) {
+    usize off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      if (n <= 0 && errno != EINTR) return;  // peer closed; tests check reads
+      if (n > 0) off += static_cast<usize>(n);
+    }
+  }
+
+  /// Next frame within `timeout_ms`; nullopt on timeout, EOF or bad data.
+  std::optional<Frame> read_frame(int timeout_ms = 30000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      Decoded d = rx_.next();
+      if (d.status == DecodeStatus::kOk) return std::move(d.frame);
+      if (d.status == DecodeStatus::kBad) return std::nullopt;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0) return std::nullopt;
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, static_cast<int>(left)) <= 0) continue;
+      u8 buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n <= 0) return std::nullopt;
+      rx_.append(buf, static_cast<usize>(n));
+    }
+  }
+
+  /// True when the server closes the connection within `timeout_ms`.
+  bool closed_within(int timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) continue;
+      u8 buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n == 0) return true;
+      if (n < 0 && errno != EINTR && errno != EAGAIN) return true;
+      if (n > 0) rx_.append(buf, static_cast<usize>(n));
+    }
+    return false;
+  }
+
+  int fd_ = -1;
+  FrameBuffer rx_;
+};
+
+TEST(IngressServerTest, OverWindowSubmitsAreRejectedNotQueued) {
+  // A misbehaving client blasts 5 SUBMITs into a window of 2. The server
+  // must (a) keep at most 2 of its jobs in flight, (b) answer the excess
+  // with REJECTED("credit window exceeded") frames, and (c) keep serving.
+  NodeAndServer s("overwindow", /*credits=*/2);
+  RawClient raw;
+  ASSERT_TRUE(raw.connect(s.server.socket_path()));
+  raw.send_frame(HelloFrame{kProtocolVersion, "rude"});
+  const auto ack = raw.read_frame();
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(type_of(*ack), FrameType::kHelloAck);
+  ASSERT_EQ(std::get<HelloAckFrame>(*ack).credits, 2u);
+
+  std::vector<u8> burst;
+  for (u64 id = 1; id <= 5; ++id) {
+    SubmitFrame m;
+    m.req_id = id;
+    m.qos = static_cast<u8>(QosClass::kBatch);
+    m.count = kLongCount;
+    m.workload = "EP";
+    const std::vector<u8> bytes = encode(Frame{m});
+    burst.insert(burst.end(), bytes.begin(), bytes.end());
+  }
+  raw.send_bytes(burst);  // one write: all 5 land before any completion
+
+  int completed = 0;
+  int credit_rejects = 0;
+  while (completed + credit_rejects < 5) {
+    const auto f = raw.read_frame();
+    ASSERT_TRUE(f.has_value()) << "terminal frames so far: "
+                               << (completed + credit_rejects);
+    if (type_of(*f) == FrameType::kCredit) continue;
+    if (type_of(*f) == FrameType::kCompleted) {
+      ++completed;
+    } else if (type_of(*f) == FrameType::kRejected) {
+      const auto& r = std::get<RejectedFrame>(*f);
+      EXPECT_NE(r.reason.find("credit window"), std::string::npos)
+          << r.reason;
+      ++credit_rejects;
+    } else {
+      FAIL() << "unexpected frame " << to_string(type_of(*f));
+    }
+  }
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(credit_rejects, 3);
+  const IngressServer::Stats st = s.server.stats();
+  EXPECT_EQ(st.no_credit_rejects, 3u);
+  EXPECT_LE(st.max_inflight, 2u);
+
+  // The server is unharmed: a well-behaved client still completes.
+  IngressClient client = s.connect("polite");
+  IngressClient::Request req;
+  req.workload = "EP";
+  req.count = 1024;
+  const u64 id = client.submit(req);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(client.wait(id).status, JobStatus::kDone);
+}
+
+// --------------------------------------------------- disconnect and cancel
+
+TEST(IngressServerTest, DisconnectCancelsInflightJobs) {
+  NodeAndServer s("disconnect");
+  const u64 before = s.server.stats().disconnect_cancels;
+  {
+    IngressClient client = s.connect("vanisher");
+    IngressClient::Request req;
+    req.workload = "EP";
+    req.count = kLongCount;
+    req.qos = QosClass::kBatch;  // inflight 1: later jobs pin in the queue
+    for (int i = 0; i < 3; ++i) ASSERT_NE(client.submit(req), 0u);
+    // Submits sit in the socket until the loop reads them — and a frame
+    // the server hasn't decoded when the FIN arrives is forfeit, not a
+    // job. Wait for all 3 to actually reach the node before vanishing.
+    const auto seen =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (s.server.stats().submits < 3 &&
+           std::chrono::steady_clock::now() < seen)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GE(s.server.stats().submits, 3u);
+  }  // ~IngressClient closes the socket with jobs still in flight
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (s.server.stats().disconnect_cancels == before &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(s.server.stats().disconnect_cancels, before);
+  // The node drains cleanly: the cancelled jobs resolve (kDependency) and
+  // nothing leaks into the next test.
+  s.node.drain();
+}
+
+TEST(IngressServerTest, CancelFrameResolvesQueuedJobAsCancelled) {
+  NodeAndServer s("cancel");
+  IngressClient client = s.connect("canceller");
+  IngressClient::Request req;
+  req.workload = "EP";
+  req.count = kLongCount;
+  req.qos = QosClass::kBatch;  // inflight 1: the 3rd job sits queued
+
+  const u64 a = client.submit(req);
+  const u64 b = client.submit(req);
+  const u64 victim = client.submit(req);
+  ASSERT_NE(victim, 0u);
+  client.cancel(victim);
+
+  const IngressClient::Result r = client.wait(victim);
+  ASSERT_TRUE(r.transport_ok) << r.message;
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  // The cancelled job still returned its credit and the others finish.
+  EXPECT_EQ(client.wait(a).status, JobStatus::kDone);
+  EXPECT_EQ(client.wait(b).status, JobStatus::kDone);
+}
+
+// ----------------------------------------------------------- tenant stats
+
+TEST(IngressServerTest, ConcurrentClientsKeepSeparateTenantStats) {
+  NodeAndServer s("tenants");
+  std::thread ta([&] {
+    IngressClient a = s.connect("tenant-a");
+    IngressClient::Request req;
+    req.workload = "EP";
+    req.count = 4096;
+    for (int i = 0; i < 4; ++i) {
+      const u64 id = a.submit(req);
+      ASSERT_NE(id, 0u);
+      EXPECT_EQ(a.wait(id).status, JobStatus::kDone);
+    }
+  });
+  std::thread tb([&] {
+    IngressClient b = s.connect("tenant-b");
+    IngressClient::Request req;
+    req.workload = "no-such";
+    req.count = 16;
+    for (int i = 0; i < 3; ++i) {
+      const u64 id = b.submit(req);
+      ASSERT_NE(id, 0u);
+      EXPECT_EQ(b.wait(id).status, JobStatus::kRejected);
+    }
+  });
+  ta.join();
+  tb.join();
+
+  const TenantStats a = s.server.tenant_stats("tenant-a");
+  const TenantStats b = s.server.tenant_stats("tenant-b");
+  EXPECT_EQ(a.submits, 4u);
+  EXPECT_EQ(a.completed, 4u);
+  EXPECT_EQ(a.rejected, 0u);
+  EXPECT_EQ(b.submits, 0u);  // validation rejects never reached the node
+  EXPECT_EQ(b.completed, 0u);
+  EXPECT_EQ(b.rejected, 3u);
+}
+
+// -------------------------------------------------------- protocol errors
+
+TEST(IngressServerTest, VersionMismatchGetsStructuredErrorAndClose) {
+  NodeAndServer s("version");
+  RawClient raw;
+  ASSERT_TRUE(raw.connect(s.server.socket_path()));
+  raw.send_frame(HelloFrame{kProtocolVersion + 7, "from-the-future"});
+  const auto f = raw.read_frame();
+  ASSERT_TRUE(f.has_value());
+  ASSERT_EQ(type_of(*f), FrameType::kError);
+  const auto& e = std::get<ErrorFrame>(*f);
+  EXPECT_EQ(e.req_id, 0u);  // connection-level
+  EXPECT_NE(e.message.find("version"), std::string::npos) << e.message;
+  EXPECT_TRUE(raw.closed_within(15000));
+  EXPECT_GE(s.server.stats().protocol_errors, 1u);
+}
+
+TEST(IngressServerTest, GarbageBytesGetErrorCloseAndServerSurvives) {
+  NodeAndServer s("garbage");
+  {
+    RawClient raw;
+    ASSERT_TRUE(raw.connect(s.server.socket_path()));
+    // A header declaring a 16 MiB payload followed by junk.
+    std::vector<u8> evil(64, 0xAB);
+    const u32 huge = 16u * 1024 * 1024;
+    std::memcpy(evil.data(), &huge, sizeof huge);
+    raw.send_bytes(evil);
+    EXPECT_TRUE(raw.closed_within(15000));
+  }
+  {
+    RawClient raw;  // SUBMIT before HELLO is a protocol error too
+    ASSERT_TRUE(raw.connect(s.server.socket_path()));
+    SubmitFrame m;
+    m.req_id = 1;
+    m.count = 4;
+    m.workload = "EP";
+    raw.send_frame(Frame{m});
+    EXPECT_TRUE(raw.closed_within(15000));
+  }
+  EXPECT_GE(s.server.stats().protocol_errors, 2u);
+
+  IngressClient client = s.connect("survivor");
+  IngressClient::Request req;
+  req.workload = "CG";
+  req.count = 2048;
+  const u64 id = client.submit(req);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(client.wait(id).status, JobStatus::kDone);
+}
+
+// ------------------------------------------------------- out of process
+
+TEST(IngressServerTest, EndToEndOutOfProcessToolsRoundTrip) {
+  const char* node_bin = std::getenv("AID_NODE_BIN");
+  const char* submit_bin = std::getenv("AID_SUBMIT_BIN");
+  if (node_bin == nullptr || submit_bin == nullptr)
+    GTEST_SKIP() << "AID_NODE_BIN / AID_SUBMIT_BIN not set (run via ctest)";
+
+  const std::string sock = test_socket_path("e2e");
+  int to_child[2];    // our write end keeps the node alive
+  int from_child[2];  // the node's READY line
+  ASSERT_EQ(::pipe(to_child), 0);
+  ASSERT_EQ(::pipe(from_child), 0);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    ::execl(node_bin, node_bin, "--socket", sock.c_str(), "--platform",
+            "symmetric:4", static_cast<char*>(nullptr));
+    std::perror("execl aid_node");
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  // Wait for "READY <socket>\n" from the node.
+  std::string ready;
+  char ch = 0;
+  while (ready.find('\n') == std::string::npos &&
+         ::read(from_child[0], &ch, 1) == 1)
+    ready.push_back(ch);
+  ASSERT_NE(ready.find("READY"), std::string::npos) << ready;
+
+  const std::string cmd = std::string(submit_bin) + " --socket " + sock +
+                          " --workload EP --count 4096 --jobs 2 2>&1";
+  FILE* out = ::popen(cmd.c_str(), "r");
+  ASSERT_NE(out, nullptr);
+  std::string output;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, out) != nullptr) output += buf;
+  const int rc = ::pclose(out);
+  EXPECT_EQ(WEXITSTATUS(rc), 0) << output;
+  // Two JSON lines, both COMPLETED(done), with the serial checksum.
+  EXPECT_NE(output.find("\"job\":1"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"status\":\"done\""), std::string::npos) << output;
+  char expect[64];
+  std::snprintf(expect, sizeof expect, "\"checksum\":%.17g",
+                local_serial_checksum("EP", 4096));
+  EXPECT_NE(output.find(expect), std::string::npos)
+      << output << "\nwanted " << expect;
+
+  ::close(to_child[1]);  // EOF on the node's stdin: clean shutdown
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  ::close(from_child[0]);
+  ::unlink(sock.c_str());
+}
+
+}  // namespace
+}  // namespace aid::ingress

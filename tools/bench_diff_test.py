@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Tests for the bench_diff gate semantics.
+
+The contract under test (registered with ctest as bench_diff_test):
+
+  1. A family that exists only in the NEW snapshot — the first run of a
+     freshly added bench, like ingress= — is reported as "family added"
+     and never trips --fail-above, even when gating is on.
+  2. A new series inside an EXISTING family is reported as "new" and does
+     not gate either.
+  3. A genuine latency regression beyond --fail-above still fails — the
+     added-family leniency must not swallow real regressions.
+  4. A family present only in the BASELINE is called out as removed,
+     without failing the gate.
+
+Usage: bench_diff_test.py [path/to/bench_diff.py]
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH_DIFF = (sys.argv[1] if len(sys.argv) > 1 else
+              os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "bench_diff.py"))
+
+
+def record(config, metric, median):
+    return {"bench": "t", "config": config, "metric": metric,
+            "median": median, "p95": median * 1.2, "p99": median * 1.5,
+            "runs": 5}
+
+
+def run_diff(tmp, baseline, current, extra_args=()):
+    base_path = os.path.join(tmp, "base.json")
+    cur_path = os.path.join(tmp, "cur.json")
+    with open(base_path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f)
+    with open(cur_path, "w", encoding="utf-8") as f:
+        json.dump(current, f)
+    proc = subprocess.run(
+        [sys.executable, BENCH_DIFF, "--baseline", base_path,
+         "--current", cur_path, *extra_args],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect(cond, what, output):
+    if not cond:
+        print(f"FAIL: {what}\n--- bench_diff output ---\n{output}")
+        sys.exit(1)
+    print(f"ok: {what}")
+
+
+def main():
+    base = [record("threads=4/count=256", "fork_ns", 1000.0)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. Whole new family in current only: reported, never gating.
+        cur = base + [
+            record("ingress=socket/count=1024", "socket_roundtrip_ns", 9e5),
+            record("ingress=socket/count=1024", "direct_roundtrip_ns", 8e5),
+        ]
+        rc, out = run_diff(tmp, base, cur, ("--fail-above", "10"))
+        expect(rc == 0, "added family does not gate under --fail-above", out)
+        expect("family added" in out and "ingress" in out,
+               "added family is called out in the report", out)
+
+        # 2. New series in an existing family: "new", not gating.
+        cur = base + [record("threads=8/count=256", "fork_ns", 5000.0)]
+        rc, out = run_diff(tmp, base, cur, ("--fail-above", "10"))
+        expect(rc == 0, "new series in existing family does not gate", out)
+        expect("new" in out, "new series is marked 'new'", out)
+
+        # 3. A real regression still fails the gate.
+        cur = [record("threads=4/count=256", "fork_ns", 2000.0)]
+        rc, out = run_diff(tmp, base, cur, ("--fail-above", "10"))
+        expect(rc == 1, "genuine +100% regression fails --fail-above 10", out)
+
+        # ... and the same regression passes without gating flags
+        # (informational default for noisy CI hosts).
+        rc, out = run_diff(tmp, base, cur)
+        expect(rc == 0, "regression is informational without gating flags",
+               out)
+
+        # 4. Family only in the baseline: noted as removed, no gate trip.
+        rc, out = run_diff(
+            tmp, base + [record("shard=2/count=64", "drain_ns", 100.0)],
+            base, ("--fail-above", "10"))
+        expect(rc == 0, "removed family does not gate", out)
+        expect("family removed" in out, "removed family is called out", out)
+
+    print("bench_diff_test: all cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
