@@ -41,10 +41,12 @@ std::optional<IngressClient> IngressClient::connect(
   if (!c.send_bytes(encode(HelloFrame{kProtocolVersion, client_name})))
     return fail("handshake send: " + c.error_);
   // Pump until HELLO_ACK lands (the server may interleave nothing else
-  // before it; ERROR means version rejection).
-  while (c.window_ == 0 && c.alive_)
+  // before it; ERROR means version rejection). The ack is tracked with an
+  // explicit flag — a zero-credit grant is a handshake failure inside
+  // process(), not a sentinel value this loop could spin on forever.
+  while (!c.saw_hello_ack_ && c.alive_)
     if (!c.pump(/*block=*/true)) break;
-  if (c.window_ == 0)
+  if (!c.saw_hello_ack_ || !c.alive_)
     return fail(c.error_.empty() ? "handshake failed" : c.error_);
   return c;
 }
@@ -58,6 +60,7 @@ IngressClient& IngressClient::operator=(IngressClient&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     alive_ = std::exchange(other.alive_, false);
+    saw_hello_ack_ = other.saw_hello_ack_;
     window_ = other.window_;
     credits_ = other.credits_;
     next_req_ = other.next_req_;
@@ -131,7 +134,10 @@ void IngressClient::cancel(u64 req_id) {
 bool IngressClient::send_bytes(const std::vector<u8>& bytes) {
   usize off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    // MSG_NOSIGNAL: a server that closed on us must surface as EPIPE on
+    // the die() path below, not kill the client process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<usize>(n);
       continue;
@@ -197,6 +203,17 @@ void IngressClient::process(Frame&& frame) {
   switch (type_of(frame)) {
     case FrameType::kHelloAck: {
       const auto& m = std::get<HelloAckFrame>(frame);
+      if (saw_hello_ack_) {
+        die("duplicate HELLO_ACK from server");
+        return;
+      }
+      if (m.credits == 0) {
+        // A zero-credit window could never submit anything; treat it as
+        // the handshake failure it is instead of hanging in connect().
+        die("server granted zero credits");
+        return;
+      }
+      saw_hello_ack_ = true;
       window_ = m.credits;
       credits_ = m.credits;
       return;

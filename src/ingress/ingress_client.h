@@ -100,6 +100,7 @@ class IngressClient {
 
   int fd_ = -1;
   bool alive_ = false;
+  bool saw_hello_ack_ = false;  ///< HELLO_ACK received (window_ is valid)
   u32 window_ = 0;
   u32 credits_ = 0;
   u64 next_req_ = 1;

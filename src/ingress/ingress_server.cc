@@ -258,11 +258,19 @@ void IngressServer::accept_ready() {
 }
 
 void IngressServer::conn_readable(const std::shared_ptr<Conn>& conn) {
+  // Bounded read per poll round: a client streaming bytes continuously
+  // must not pin the single loop thread here (or grow conn->rx without
+  // bound) while every other connection starves. Leftover kernel-buffer
+  // data re-arms POLLIN on the next round (level-triggered), after the
+  // frames below have been processed and other connections served.
   u8 buf[4096];
-  while (true) {
-    const ssize_t n = ::read(conn->fd, buf, sizeof buf);
+  usize budget = 2 * sizeof buf;
+  while (budget > 0) {
+    const ssize_t n =
+        ::read(conn->fd, buf, std::min<usize>(budget, sizeof buf));
     if (n > 0) {
       conn->rx.append(buf, static_cast<usize>(n));
+      budget -= static_cast<usize>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -310,9 +318,9 @@ bool IngressServer::handle_frame(const std::shared_ptr<Conn>& conn,
       }
       const std::vector<u8> ack = encode(
           HelloAckFrame{kProtocolVersion, config_.credit_window});
-      {
-        const std::scoped_lock lock(conn->mu);
-        append_bytes(conn->tx, ack);
+      if (!append_tx(conn, ack)) {
+        overflow_close(conn);
+        return false;
       }
       flush(conn);
       return true;
@@ -322,8 +330,7 @@ bool IngressServer::handle_frame(const std::shared_ptr<Conn>& conn,
         protocol_error(conn, "SUBMIT before HELLO");
         return false;
       }
-      handle_submit(conn, std::move(std::get<SubmitFrame>(frame)));
-      return true;
+      return handle_submit(conn, std::move(std::get<SubmitFrame>(frame)));
     }
     case FrameType::kCancel: {
       if (!conn->hello_done) {
@@ -349,24 +356,26 @@ bool IngressServer::handle_frame(const std::shared_ptr<Conn>& conn,
   }
 }
 
-void IngressServer::handle_submit(const std::shared_ptr<Conn>& conn,
+bool IngressServer::handle_submit(const std::shared_ptr<Conn>& conn,
                                   SubmitFrame&& m) {
   // Terminal-without-admission paths: the reject frame plus the explicit
-  // CREDIT{1} that balances the credit this SUBMIT consumed.
+  // CREDIT{1} that balances the credit this SUBMIT consumed. False: the
+  // connection was dropped (tx backlog cap — the peer is not reading).
   const auto reject = [&](std::string reason, bool no_credit) {
     std::vector<u8> out = encode(RejectedFrame{m.req_id, std::move(reason)});
     append_bytes(out, encode(CreditFrame{1}));
-    {
-      const std::scoped_lock lock(conn->mu);
-      append_bytes(conn->tx, out);
-    }
     {
       const std::scoped_lock lock(core_->mu);
       ++(no_credit ? core_->stats.no_credit_rejects
                    : core_->stats.invalid_rejects);
       ++core_->tenants[conn->tenant].rejected;
     }
+    if (!append_tx(conn, out)) {
+      overflow_close(conn);
+      return false;
+    }
     flush(conn);
+    return true;
   };
 
   bool duplicate = false;
@@ -381,24 +390,20 @@ void IngressServer::handle_submit(const std::shared_ptr<Conn>& conn,
     // benign race, so it is connection-fatal.
     protocol_error(conn,
                    "duplicate in-flight req_id " + std::to_string(m.req_id));
-    return;
+    return false;
   }
   if (over_window) {
     // Enforced window: this SUBMIT never reaches the ServeNode, so a
     // client ignoring its credits cannot hold more than `window` jobs of
     // server memory. Surfaced as a frame, not a stall.
-    reject("credit window exceeded (" +
-               std::to_string(config_.credit_window) + " in flight)",
-           /*no_credit=*/true);
-    return;
+    return reject("credit window exceeded (" +
+                      std::to_string(config_.credit_window) + " in flight)",
+                  /*no_credit=*/true);
   }
 
   std::string error;
   auto kernel = workloads::make_serve_kernel(m.workload, m.count, &error);
-  if (!kernel.has_value()) {
-    reject(std::move(error), /*no_credit=*/false);
-    return;
-  }
+  if (!kernel.has_value()) return reject(std::move(error), /*no_credit=*/false);
 
   serve::JobSpec spec;
   spec.qos = static_cast<serve::QosClass>(m.qos);
@@ -435,6 +440,7 @@ void IngressServer::handle_submit(const std::shared_ptr<Conn>& conn,
         core->push_completion(
             {conn, req_id, std::move(ticket), std::move(checksum)});
       });
+  return true;
 }
 
 void IngressServer::drain_completions() {
@@ -478,35 +484,67 @@ void IngressServer::drain_completions() {
     }
     append_bytes(out, encode(CreditFrame{1}));
 
-    bool deliver = false;
     {
       const std::scoped_lock lock(c.conn->mu);
       c.conn->jobs.erase(c.req_id);
-      if (!c.conn->closed) {
-        append_bytes(c.conn->tx, out);
-        deliver = true;
-      }
     }
     {
       const std::scoped_lock lock(core_->mu);
       ++(core_->tenants[c.conn->tenant].*bucket);
     }
-    if (deliver) flush(c.conn);
+    if (!append_tx(c.conn, out)) {
+      overflow_close(c.conn);
+      continue;
+    }
+    flush(c.conn);
   }
+}
+
+usize IngressServer::tx_cap() const {
+  // Room for the window's worth of terminal-frame+CREDIT pairs (the
+  // largest response is a REJECTED/ERROR with a kWireMaxString reason)
+  // plus generous slack. A well-behaved flow never comes near this: tx
+  // only backs up once the kernel socket buffer is full, and the window
+  // bounds pending completions. Only a client that provokes responses
+  // (e.g. streams over-window SUBMITs) while never reading accumulates a
+  // backlog — and it is dropped at the cap instead of growing server
+  // memory without bound.
+  return (config_.credit_window + 16) * (wire::kWireMaxString + 96);
+}
+
+bool IngressServer::append_tx(const std::shared_ptr<Conn>& conn,
+                              const std::vector<u8>& bytes) {
+  const std::scoped_lock lock(conn->mu);
+  if (conn->closed) return true;  // late completion: nothing to deliver
+  if (conn->tx.size() + bytes.size() > tx_cap()) return false;
+  append_bytes(conn->tx, bytes);
+  return true;
+}
+
+void IngressServer::overflow_close(const std::shared_ptr<Conn>& conn) {
+  {
+    const std::scoped_lock lock(core_->mu);
+    ++core_->stats.tx_overflow_closes;
+  }
+  close_conn(conn);
 }
 
 void IngressServer::flush(const std::shared_ptr<Conn>& conn) {
   const std::scoped_lock lock(conn->mu);
   if (conn->closed) return;
   while (!conn->tx.empty()) {
-    const ssize_t n = ::write(conn->fd, conn->tx.data(), conn->tx.size());
+    // MSG_NOSIGNAL: a peer that hung up before its frames were written
+    // must surface as EPIPE on the hard-error path below, not as a
+    // process-killing SIGPIPE.
+    const ssize_t n =
+        ::send(conn->fd, conn->tx.data(), conn->tx.size(), MSG_NOSIGNAL);
     if (n > 0) {
       conn->tx.erase(conn->tx.begin(), conn->tx.begin() + n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
     if (n < 0 && errno == EINTR) continue;
-    return;  // hard write error: the read side will close the conn
+    return;  // hard write error (EPIPE, ...): the read side closes the conn
   }
 }
 

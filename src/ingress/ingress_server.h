@@ -19,7 +19,12 @@
 // connection's jobs exist server-side at once; a SUBMIT beyond the window
 // never reaches the ServeNode and comes back REJECTED("credit window
 // exceeded"), so a flooding client bounds its own memory and overload
-// surfaces as frames, not socket stalls. A disconnect cancels the
+// surfaces as frames, not socket stalls. Response bytes are bounded too:
+// a connection's pending tx backlog is capped (the credit window's worth
+// of terminal frames plus slack) and a peer that provokes responses while
+// never reading its socket is dropped when the cap is exceeded — the
+// kernel socket buffer, not server heap, is the only queue a non-reading
+// client gets. A disconnect cancels the
 // connection's in-flight jobs through the jobs' CancelTokens with
 // CancelReason::kDependency (the client this work depended on is gone).
 //
@@ -75,6 +80,7 @@ class IngressServer {
     u64 no_credit_rejects = 0;   ///< SUBMITs beyond the credit window
     u64 invalid_rejects = 0;     ///< unknown workload / bad params
     u64 disconnect_cancels = 0;  ///< jobs cancelled by a client vanishing
+    u64 tx_overflow_closes = 0;  ///< conns dropped for not reading responses
     u64 max_inflight = 0;        ///< high-water in-flight jobs of any conn
   };
 
@@ -102,10 +108,19 @@ class IngressServer {
   void loop();
   void accept_ready();
   void conn_readable(const std::shared_ptr<Conn>& conn);
-  /// False => the connection was closed (protocol error).
+  /// False => the connection was closed (protocol error / tx overflow).
   bool handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame);
-  void handle_submit(const std::shared_ptr<Conn>& conn, SubmitFrame&& m);
+  bool handle_submit(const std::shared_ptr<Conn>& conn, SubmitFrame&& m);
   void drain_completions();
+  /// Max bytes of undelivered server->client frames one connection may
+  /// buffer before it counts as not reading (see append_tx).
+  [[nodiscard]] usize tx_cap() const;
+  /// Queue bytes for delivery, honouring tx_cap(). False: the backlog cap
+  /// would be exceeded — the caller must drop the connection
+  /// (overflow_close); nothing was queued.
+  [[nodiscard]] bool append_tx(const std::shared_ptr<Conn>& conn,
+                               const std::vector<u8>& bytes);
+  void overflow_close(const std::shared_ptr<Conn>& conn);
   void flush(const std::shared_ptr<Conn>& conn);
   void protocol_error(const std::shared_ptr<Conn>& conn, std::string why);
   void close_conn(const std::shared_ptr<Conn>& conn);

@@ -263,14 +263,18 @@ class RawClient {
     if (fd_ >= 0) ::close(fd_);
   }
 
-  void send_frame(const Frame& f) { send_bytes(encode(f)); }
-  void send_bytes(const std::vector<u8>& bytes) {
+  /// False when the server closed on us mid-write (EPIPE/ECONNRESET —
+  /// MSG_NOSIGNAL keeps that an errno, not a test-killing SIGPIPE).
+  bool send_frame(const Frame& f) { return send_bytes(encode(f)); }
+  bool send_bytes(const std::vector<u8>& bytes) {
     usize off = 0;
     while (off < bytes.size()) {
-      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
-      if (n <= 0 && errno != EINTR) return;  // peer closed; tests check reads
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0 && errno != EINTR) return false;  // peer closed
       if (n > 0) off += static_cast<usize>(n);
     }
+    return true;
   }
 
   /// Next frame within `timeout_ms`; nullopt on timeout, EOF or bad data.
@@ -516,6 +520,118 @@ TEST(IngressServerTest, GarbageBytesGetErrorCloseAndServerSurvives) {
   const u64 id = client.submit(req);
   ASSERT_NE(id, 0u);
   EXPECT_EQ(client.wait(id).status, JobStatus::kDone);
+}
+
+TEST(IngressServerTest, WriteToHungUpClientDoesNotKillServer) {
+  // Regression: server writes once used ::write without MSG_NOSIGNAL, so
+  // a peer that stopped receiving before its response was written made
+  // the kernel raise SIGPIPE and terminate the whole serving process.
+  NodeAndServer s("sigpipe");
+  {
+    RawClient raw;
+    ASSERT_TRUE(raw.connect(s.server.socket_path()));
+    // Shut down OUR receive side: from now on every server write to this
+    // connection fails EPIPE (and, unfixed, SIGPIPE). Then provoke a
+    // write — garbage bytes draw the connection-level ERROR frame.
+    ASSERT_EQ(::shutdown(raw.fd_, SHUT_RD), 0);
+    const std::vector<u8> junk(32, 0xEE);  // header claims a ~4GiB payload
+    ASSERT_TRUE(raw.send_bytes(junk));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (s.server.stats().protocol_errors == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_GE(s.server.stats().protocol_errors, 1u);
+  }
+  // The process is alive and the server still serves.
+  IngressClient client = s.connect("alive");
+  IngressClient::Request req;
+  req.workload = "EP";
+  req.count = 1024;
+  const u64 id = client.submit(req);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(client.wait(id).status, JobStatus::kDone);
+}
+
+TEST(IngressServerTest, NonReadingFloodClientIsDroppedAtTxBacklogCap) {
+  // Regression: REJECTED+CREDIT responses to over-window SUBMITs were
+  // buffered in conn->tx without bound, so a client that floods submits
+  // while never reading its socket grew server memory indefinitely. Now
+  // the backlog is capped and the connection dropped at the cap.
+  NodeAndServer s("txcap", /*credits=*/1);
+  RawClient raw;
+  ASSERT_TRUE(raw.connect(s.server.socket_path()));
+  ASSERT_TRUE(raw.send_frame(HelloFrame{kProtocolVersion, "hoarder"}));
+  const auto ack = raw.read_frame();
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(type_of(*ack), FrameType::kHelloAck);
+
+  // Never read again; blast over-window SUBMITs (one long job pins the
+  // window, the rest are rejected synchronously). Responses fill the
+  // kernel socket buffer, then the server's capped tx backlog, then the
+  // server drops us — observed here as a failed send.
+  bool dropped = false;
+  SubmitFrame m;
+  m.qos = static_cast<u8>(QosClass::kBatch);
+  m.count = kLongCount;
+  m.workload = "EP";
+  for (u64 id = 1; id <= 2'000'000 && !dropped; ++id) {
+    m.req_id = id;
+    dropped = !raw.send_frame(Frame{m});
+  }
+  EXPECT_TRUE(dropped);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (s.server.stats().tx_overflow_closes == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GE(s.server.stats().tx_overflow_closes, 1u);
+  s.node.drain();  // the one admitted long job resolves before teardown
+
+  // The server is unharmed and still serves well-behaved clients.
+  IngressClient client = s.connect("post-flood");
+  IngressClient::Request req;
+  req.workload = "EP";
+  req.count = 1024;
+  const u64 id = client.submit(req);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(client.wait(id).status, JobStatus::kDone);
+}
+
+TEST(IngressClientTest, ZeroCreditGrantFailsHandshakeInsteadOfHanging) {
+  // Regression: connect() used window_ == 0 as its "no ack yet" sentinel,
+  // so a server granting zero credits left the client pumping forever. A
+  // zero-credit window can never submit — it must fail the handshake.
+  const std::string path = test_socket_path("zerocredit");
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof addr.sun_path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+
+  std::thread miser([&] {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    ASSERT_GE(cfd, 0);
+    u8 buf[256];
+    (void)::read(cfd, buf, sizeof buf);  // the client's HELLO
+    const std::vector<u8> ack = encode(HelloAckFrame{kProtocolVersion, 0});
+    (void)::send(cfd, ack.data(), ack.size(), MSG_NOSIGNAL);
+    ::close(cfd);
+  });
+
+  std::string error;
+  const auto client = IngressClient::connect(path, "strict", &error);
+  EXPECT_FALSE(client.has_value());
+  EXPECT_NE(error.find("zero credits"), std::string::npos) << error;
+
+  miser.join();
+  ::close(lfd);
+  ::unlink(path.c_str());
 }
 
 // ------------------------------------------------------- out of process
