@@ -1,9 +1,14 @@
-// Socket-ingress loopback overhead: the same jobs submitted (a) directly
-// through ServeNode::submit and (b) through the full wire path — encode,
-// Unix socket, IngressServer event loop, completion hook, decode — on the
-// SAME node in the SAME process. The p50/p95/p99 gap is the ingress tax;
-// BENCH_ingress_loopback.json records both series plus the derived
-// overhead so bench_diff tracks the trajectory.
+// Ingress loopback overhead: the same jobs submitted (a) directly
+// through ServeNode::submit, (b) through the full socket wire path —
+// encode, Unix socket, IngressServer event loop, completion hook,
+// decode — and (c) through the shared-memory ring data plane
+// (src/ingress/shm_ring.h), all on the SAME node in the SAME process.
+// The three legs are interleaved run by run so machine noise hits them
+// alike, and the overhead families are percentiles of the PER-RUN PAIRED
+// DIFFERENCES (wire_ns[i] - direct_ns[i]) — differencing each leg's
+// percentiles would subtract unrelated runs and can even invert the tail
+// order. BENCH_ingress_loopback.json records all series so bench_diff
+// tracks the trajectory.
 //
 //   AID_BENCH_RUNS  — round-trips per configuration (default 5; CI uses
 //                     more for stable tails)
@@ -35,18 +40,51 @@ double now_ns() {
           .count());
 }
 
-struct Series {
-  std::vector<double> direct_ns;
-  std::vector<double> socket_ns;
-};
+/// One timed round-trip through an IngressClient; returns false (with a
+/// message on stderr) when the trip did not end COMPLETED(done).
+bool wire_trip(ingress::IngressClient& client, i64 count, double* out_ns) {
+  ingress::IngressClient::Request req;
+  req.workload = "EP";
+  req.count = count;
+  req.sched = sched::ScheduleKind::kStatic;
+  const double t0 = now_ns();
+  const u64 id = client.submit(req);
+  if (id == 0) {
+    std::fprintf(stderr, "submit: %s\n", client.last_error().c_str());
+    return false;
+  }
+  const ingress::IngressClient::Result res = client.wait(id);
+  const double t1 = now_ns();
+  if (!res.transport_ok || res.status != serve::JobStatus::kDone) {
+    std::fprintf(stderr, "wire submit failed: %s\n", res.message.c_str());
+    return false;
+  }
+  *out_ns = t1 - t0;
+  return true;
+}
+
+/// Element-wise paired differences wire[i] - direct[i].
+std::vector<double> paired_diff(const std::vector<double>& wire,
+                                const std::vector<double>& direct) {
+  std::vector<double> d(wire.size());
+  for (usize i = 0; i < wire.size(); ++i) d[i] = wire[i] - direct[i];
+  return d;
+}
+
+void print_row(const std::string& config, const char* path,
+               const bench::SampleSummary& s) {
+  std::printf("%-28s %10s %10.1f %10.1f %10.1f\n", config.c_str(), path,
+              s.median / 1e3, s.p95 / 1e3, s.p99 / 1e3);
+}
 
 }  // namespace
 
 int main() {
   const platform::Platform platform = platform::symmetric(
       std::max(2u, std::thread::hardware_concurrency()));
-  bench::print_header("Ingress loopback overhead (socket vs direct submit)",
-                      platform);
+  bench::print_header(
+      "Ingress loopback overhead (socket vs shm ring vs direct submit)",
+      platform);
 
   serve::ServeNode::Config node_cfg;
   serve::ServeNode node(platform, node_cfg);
@@ -58,10 +96,17 @@ int main() {
   ingress::IngressServer server(node, icfg);
 
   std::string error;
-  auto client =
-      ingress::IngressClient::connect(icfg.socket_path, "bench", &error);
-  if (!client) {
-    std::fprintf(stderr, "connect: %s\n", error.c_str());
+  auto socket_client = ingress::IngressClient::connect(
+      icfg.socket_path, "bench-socket", &error);
+  if (!socket_client) {
+    std::fprintf(stderr, "connect(socket): %s\n", error.c_str());
+    return 1;
+  }
+  auto shm_client = ingress::IngressClient::connect(
+      icfg.socket_path, "bench-shm", &error,
+      ingress::IngressClient::Transport::kShm);
+  if (!shm_client) {
+    std::fprintf(stderr, "connect(shm): %s\n", error.c_str());
     return 1;
   }
 
@@ -78,14 +123,17 @@ int main() {
         1, static_cast<i64>(static_cast<double>(base_count) * params.scale));
     const std::string config =
         "workload=EP/count=" + std::to_string(count);
-    Series series;
+    std::vector<double> direct_ns;
+    std::vector<double> socket_ns;
+    std::vector<double> shm_ns;
 
-    // Interleave the two paths so machine noise hits both alike.
+    // Interleave the three paths so machine noise hits all alike.
     for (int r = -warmup; r < runs; ++r) {
       {
         // The direct leg does the same work a SUBMIT frame triggers —
         // kernel construction included — so the delta isolates the wire:
-        // encode, socket, event loop, completion hook, checksum, decode.
+        // encode, transport hop, event loop, completion hook, checksum,
+        // decode.
         const double t0 = now_ns();
         std::string kerr;
         auto kernel = workloads::make_serve_kernel("EP", count, &kerr);
@@ -96,7 +144,7 @@ int main() {
         serve::JobSpec spec;
         spec.count = kernel->count;
         spec.body = kernel->body;
-        // Same schedule on both legs — the delta must be the wire, not a
+        // Same schedule on all legs — the delta must be the wire, not a
         // static-vs-dynamic chunking difference.
         spec.sched = sched::ScheduleSpec::static_even();
         serve::JobTicket t = node.submit(std::move(spec));
@@ -106,51 +154,44 @@ int main() {
           std::fprintf(stderr, "direct submit: %s\n", to_string(jr.status));
           return 1;
         }
-        if (r >= 0) series.direct_ns.push_back(t1 - t0);
+        if (r >= 0) direct_ns.push_back(t1 - t0);
       }
       {
-        ingress::IngressClient::Request req;
-        req.workload = "EP";
-        req.count = count;
-        req.sched = sched::ScheduleKind::kStatic;
-        const double t0 = now_ns();
-        const u64 id = client->submit(req);
-        if (id == 0) {
-          std::fprintf(stderr, "submit: %s\n", client->last_error().c_str());
-          return 1;
-        }
-        const ingress::IngressClient::Result res = client->wait(id);
-        const double t1 = now_ns();
-        if (!res.transport_ok || res.status != serve::JobStatus::kDone) {
-          std::fprintf(stderr, "socket submit failed: %s\n",
-                       res.message.c_str());
-          return 1;
-        }
-        if (r >= 0) series.socket_ns.push_back(t1 - t0);
+        double ns = 0.0;
+        if (!wire_trip(*socket_client, count, &ns)) return 1;
+        if (r >= 0) socket_ns.push_back(ns);
+      }
+      {
+        double ns = 0.0;
+        if (!wire_trip(*shm_client, count, &ns)) return 1;
+        if (r >= 0) shm_ns.push_back(ns);
       }
     }
 
-    const bench::SampleSummary direct = bench::summarize(series.direct_ns);
-    const bench::SampleSummary socket = bench::summarize(series.socket_ns);
+    const bench::SampleSummary direct = bench::summarize(direct_ns);
+    const bench::SampleSummary socket = bench::summarize(socket_ns);
+    const bench::SampleSummary shm = bench::summarize(shm_ns);
     json.add(config, "direct_roundtrip_ns", direct);
     json.add(config, "socket_roundtrip_ns", socket);
-    // The headline number: added wire latency at each percentile.
-    bench::SampleSummary overhead;
-    overhead.median = socket.median - direct.median;
-    overhead.p95 = socket.p95 - direct.p95;
-    overhead.p99 = socket.p99 - direct.p99;
-    overhead.runs = socket.runs;
-    json.add(config, "ingress_overhead_ns", overhead);
+    json.add(config, "shm_roundtrip_ns", shm);
+    // The headline numbers: percentiles of the per-run paired difference
+    // against the interleaved direct leg. (NOT the difference of each
+    // leg's percentiles — the runs backing socket.p99 and direct.p99 are
+    // unrelated, and subtracting them produced impossible tails like
+    // p99 < p95 and negative medians in earlier snapshots.)
+    const bench::SampleSummary socket_over =
+        bench::summarize(paired_diff(socket_ns, direct_ns));
+    const bench::SampleSummary shm_over =
+        bench::summarize(paired_diff(shm_ns, direct_ns));
+    json.add(config, "ingress_overhead_ns", socket_over);
+    json.add(config, "shm_overhead_ns", shm_over);
 
-    std::printf("%-28s %10s %10.1f %10.1f %10.1f\n", config.c_str(),
-                "direct", direct.median / 1e3, direct.p95 / 1e3,
-                direct.p99 / 1e3);
-    std::printf("%-28s %10s %10.1f %10.1f %10.1f\n", config.c_str(),
-                "socket", socket.median / 1e3, socket.p95 / 1e3,
-                socket.p99 / 1e3);
-    std::printf("%-28s %10s %10.1f %10.1f %10.1f\n\n", config.c_str(),
-                "overhead", overhead.median / 1e3, overhead.p95 / 1e3,
-                overhead.p99 / 1e3);
+    print_row(config, "direct", direct);
+    print_row(config, "socket", socket);
+    print_row(config, "shm", shm);
+    print_row(config, "sock-over", socket_over);
+    print_row(config, "shm-over", shm_over);
+    std::printf("\n");
   }
 
   std::printf("wrote BENCH_ingress_loopback.json\n");

@@ -1,0 +1,370 @@
+#include "ingress/shm_ring.h"
+
+#include <errno.h>
+#include <linux/futex.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <new>
+#include <utility>
+
+#include "common/spin_wait.h"
+
+namespace aid::ingress::shm {
+namespace {
+
+// Plain (cross-process) futex ops. FUTEX_PRIVATE_FLAG is deliberately
+// absent: the waiter (client) and waker (server) share the word through
+// two distinct mmaps of one memfd, which private futexes — keyed by
+// (mm, address) — would treat as unrelated words, so the wake would
+// never find the sleeper.
+long futex_wait(const std::atomic<u32>* word, u32 expected,
+                const struct timespec* timeout) {
+  return syscall(SYS_futex, reinterpret_cast<const u32*>(word), FUTEX_WAIT,
+                 expected, timeout, nullptr, 0);
+}
+
+long futex_wake_all(const std::atomic<u32>* word) {
+  return syscall(SYS_futex, reinterpret_cast<const u32*>(word), FUTEX_WAKE,
+                 INT32_MAX, nullptr, nullptr, 0);
+}
+
+void set_error(std::string* error, const char* what) {
+  if (error == nullptr) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s: %s", what, strerror(errno));
+  *error = buf;
+}
+
+}  // namespace
+
+u32 clamp_ring_slots(u32 want) {
+  if (want < kMinRingSlots) want = kMinRingSlots;
+  if (want > kMaxRingSlots) want = kMaxRingSlots;
+  u32 pow2 = kMinRingSlots;
+  while (pow2 < want) pow2 <<= 1;
+  return pow2;
+}
+
+// ------------------------------------------------------------- endpoints
+
+Slot* RingTx::try_begin() {
+  if (corrupt_ || cap_ == 0) return nullptr;
+  Slot& slot = slots_[pos_ & (cap_ - 1)];
+  const u64 seq = slot.seq.load(std::memory_order_acquire);
+  const i64 d = static_cast<i64>(seq - pos_);
+  if (d == 0) return &slot;
+  // The only legal non-free stamp here is "published one lap ago and not
+  // yet consumed" (ring full). Anything else means the peer scribbled on
+  // stamps or desynchronized — stop trusting the ring entirely.
+  if (d != 1 - static_cast<i64>(cap_)) corrupt_ = true;
+  return nullptr;
+}
+
+void RingTx::commit(Slot* slot, const u8* frames, u16 len) {
+  slot->len = len;
+  if (len != 0) memcpy(slot->frames, frames, len);
+  slot->seq.store(pos_ + 1, std::memory_order_release);
+  ++pos_;
+  hdr_->tail.store(pos_, std::memory_order_release);
+}
+
+u32 RingTx::free_slots() const {
+  if (corrupt_ || cap_ == 0) return 0;
+  const u64 head = hdr_->head.load(std::memory_order_acquire);
+  // Clamp the peer's mirror into the only coherent range: it can never
+  // legitimately exceed what we pushed, nor trail by more than one lap.
+  u64 consumed = head;
+  if (consumed > pos_) consumed = pos_;
+  const u64 floor = pos_ >= cap_ ? pos_ - cap_ : 0;
+  if (consumed < floor) consumed = floor;
+  return cap_ - static_cast<u32>(pos_ - consumed);
+}
+
+const Slot* RingRx::try_begin() {
+  if (corrupt_ || cap_ == 0) return nullptr;
+  Slot& slot = slots_[pos_ & (cap_ - 1)];
+  const u64 seq = slot.seq.load(std::memory_order_acquire);
+  const i64 d = static_cast<i64>(seq - pos_);
+  if (d == 1) return &slot;
+  if (d != 0) corrupt_ = true;  // neither "ready" nor "not yet written"
+  return nullptr;
+}
+
+void RingRx::commit() {
+  Slot& slot = slots_[pos_ & (cap_ - 1)];
+  slot.seq.store(pos_ + cap_, std::memory_order_release);
+  ++pos_;
+  hdr_->head.store(pos_, std::memory_order_release);
+}
+
+// ---------------------------------------------------------- wait / wake
+
+void bump_progress(RingHdr* hdr) {
+  // seq_cst RMW + seq_cst load instead of the classic fence-based Dekker
+  // pairing: ThreadSanitizer cannot model std::atomic_thread_fence (GCC's
+  // -Wtsan diagnostic plus the library's -Werror breaks the CI tsan leg —
+  // same constraint rt/os_bridge.cc documents). All four racing accesses
+  // (this bump + parked load, the waiter's parked store + progress
+  // re-check) are seq_cst, so they sit in one total order: either we
+  // observe parked and wake, or the waiter's pre-sleep re-check observes
+  // the bump. (The futex timeout makes a miss merely slow; the ordering
+  // makes it not happen.)
+  hdr->progress.fetch_add(1, std::memory_order_seq_cst);
+  if (hdr->parked.load(std::memory_order_seq_cst) != 0) {
+    futex_wake_all(&hdr->progress);
+  }
+}
+
+bool wait_progress(RingHdr* hdr, u32 seen, i64 timeout_ns) {
+  // seq_cst (not acquire) so the post-park re-check participates in the
+  // total order bump_progress relies on; on x86 a seq_cst load is a
+  // plain MOV, so the spin loop pays nothing for it.
+  auto moved = [&] {
+    return hdr->progress.load(std::memory_order_seq_cst) != seen;
+  };
+  // Two-party rendezvous: spin/yield budgets for "2 threads" so the
+  // ladder collapses to yields on an oversubscribed host.
+  if (spin_then_yield(moved, default_spin_budget(2), default_yield_budget(2)))
+    return true;
+  hdr->parked.store(1, std::memory_order_seq_cst);
+  if (moved()) {  // re-check after publishing the parked flag
+    hdr->parked.store(0, std::memory_order_release);
+    return true;
+  }
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000);
+  futex_wait(&hdr->progress, seen, &ts);
+  hdr->parked.store(0, std::memory_order_release);
+  return moved();
+}
+
+// ------------------------------------------------------------- segment
+
+namespace {
+
+/// Placement-init every header and slot stamp of a fresh zero mapping.
+void init_segment(void* base, const Geometry& geo) {
+  auto* hdr = new (base) SegmentHdr{};
+  hdr->magic = kShmMagic;
+  hdr->version = kShmVersion;
+  hdr->submit_slots = geo.submit_slots;
+  hdr->completion_slots = geo.completion_slots;
+  hdr->segment_bytes = geo.bytes();
+  hdr->server_state.store(kServerHot, std::memory_order_relaxed);
+
+  auto* bytes = static_cast<u8*>(base);
+  auto init_ring = [&](usize hdr_off, usize slots_off, u32 n) {
+    new (bytes + hdr_off) RingHdr{};
+    auto* slots = reinterpret_cast<Slot*>(bytes + slots_off);
+    for (u32 i = 0; i < n; ++i) {
+      auto* slot = new (&slots[i]) Slot{};
+      slot->seq.store(i, std::memory_order_relaxed);
+    }
+  };
+  init_ring(geo.submit_hdr_off(), geo.submit_slots_off(), geo.submit_slots);
+  init_ring(geo.completion_hdr_off(), geo.completion_slots_off(),
+            geo.completion_slots);
+  // No trailing release fence (TSan cannot model fences — see
+  // bump_progress): the segment reaches the peer through the SHM_ACK
+  // sendmsg, a syscall these escaped stores cannot be reordered past,
+  // and the client's first loads happen after its own mmap returns.
+}
+
+}  // namespace
+
+Segment& Segment::operator=(Segment&& other) noexcept {
+  if (this == &other) return *this;
+  if (base_ != nullptr) munmap(base_, bytes_);
+  if (fd_ >= 0) close(fd_);
+  base_ = std::exchange(other.base_, nullptr);
+  bytes_ = std::exchange(other.bytes_, 0);
+  fd_ = std::exchange(other.fd_, -1);
+  geo_ = other.geo_;
+  return *this;
+}
+
+Segment::~Segment() {
+  if (base_ != nullptr) munmap(base_, bytes_);
+  if (fd_ >= 0) close(fd_);
+}
+
+void Segment::close_fd() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+}
+
+RingHdr* Segment::submit_hdr() const {
+  return reinterpret_cast<RingHdr*>(static_cast<u8*>(base_) +
+                                    geo_.submit_hdr_off());
+}
+Slot* Segment::submit_slots() const {
+  return reinterpret_cast<Slot*>(static_cast<u8*>(base_) +
+                                 geo_.submit_slots_off());
+}
+RingHdr* Segment::completion_hdr() const {
+  return reinterpret_cast<RingHdr*>(static_cast<u8*>(base_) +
+                                    geo_.completion_hdr_off());
+}
+Slot* Segment::completion_slots() const {
+  return reinterpret_cast<Slot*>(static_cast<u8*>(base_) +
+                                 geo_.completion_slots_off());
+}
+
+std::optional<Segment> Segment::create(u32 submit_slots, u32 completion_slots,
+                                       std::string* error) {
+  Geometry geo{clamp_ring_slots(submit_slots),
+               clamp_ring_slots(completion_slots)};
+  const int fd = static_cast<int>(
+      syscall(SYS_memfd_create, "aid-ingress-ring", MFD_CLOEXEC));
+  if (fd < 0) {
+    set_error(error, "memfd_create");
+    return std::nullopt;
+  }
+  Segment seg;
+  seg.fd_ = fd;
+  seg.bytes_ = geo.bytes();
+  seg.geo_ = geo;
+  if (ftruncate(fd, static_cast<off_t>(seg.bytes_)) != 0) {
+    set_error(error, "ftruncate(ring segment)");
+    return std::nullopt;
+  }
+  void* base = mmap(nullptr, seg.bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                    fd, 0);
+  if (base == MAP_FAILED) {
+    set_error(error, "mmap(ring segment)");
+    return std::nullopt;
+  }
+  seg.base_ = base;
+  init_segment(base, geo);
+  return seg;
+}
+
+std::optional<Segment> Segment::attach(int fd, u32 submit_slots,
+                                       u32 completion_slots, u64 segment_bytes,
+                                       std::string* error) {
+  Geometry geo{submit_slots, completion_slots};
+  auto fail = [&](const char* why) -> std::optional<Segment> {
+    if (error != nullptr) *error = why;
+    close(fd);
+    return std::nullopt;
+  };
+  if (submit_slots < kMinRingSlots || submit_slots > kMaxRingSlots ||
+      (submit_slots & (submit_slots - 1)) != 0 ||
+      completion_slots < kMinRingSlots || completion_slots > kMaxRingSlots ||
+      (completion_slots & (completion_slots - 1)) != 0) {
+    return fail("shm attach: slot counts out of range");
+  }
+  if (segment_bytes != geo.bytes()) {
+    return fail("shm attach: segment size does not match geometry");
+  }
+  // fstat, not the header's own claim: a short fd would turn in-bounds
+  // loads into SIGBUS, which no amount of header validation survives.
+  struct stat st;
+  if (fstat(fd, &st) != 0 || static_cast<u64>(st.st_size) < segment_bytes) {
+    return fail("shm attach: segment fd smaller than advertised");
+  }
+  Segment seg;
+  seg.fd_ = -1;  // fail() above owns the close on the error paths
+  seg.bytes_ = segment_bytes;
+  seg.geo_ = geo;
+  void* base =
+      mmap(nullptr, seg.bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    set_error(error, "mmap(ring segment)");
+    close(fd);
+    return std::nullopt;
+  }
+  close(fd);
+  seg.base_ = base;
+  const SegmentHdr* hdr = seg.hdr();
+  if (hdr->magic != kShmMagic || hdr->version != kShmVersion ||
+      hdr->submit_slots != submit_slots ||
+      hdr->completion_slots != completion_slots ||
+      hdr->segment_bytes != segment_bytes) {
+    if (error != nullptr) *error = "shm attach: segment header mismatch";
+    return std::nullopt;  // ~Segment unmaps
+  }
+  return seg;
+}
+
+// ------------------------------------------------- fd passing (control)
+
+bool send_with_fds(int sock_fd, const u8* bytes, usize len, const int* fds,
+                   usize nfds, std::string* error) {
+  struct iovec iov;
+  iov.iov_base = const_cast<u8*>(bytes);
+  iov.iov_len = len;
+  alignas(struct cmsghdr) char cbuf[CMSG_SPACE(8 * sizeof(int))];
+  if (nfds > 8) {
+    if (error != nullptr) *error = "send_with_fds: too many descriptors";
+    return false;
+  }
+  struct msghdr msg {};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = cbuf;
+  msg.msg_controllen = CMSG_SPACE(nfds * sizeof(int));
+  struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+  cmsg->cmsg_level = SOL_SOCKET;
+  cmsg->cmsg_type = SCM_RIGHTS;
+  cmsg->cmsg_len = CMSG_LEN(nfds * sizeof(int));
+  memcpy(CMSG_DATA(cmsg), fds, nfds * sizeof(int));
+  ssize_t n;
+  do {
+    n = sendmsg(sock_fd, &msg, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    set_error(error, "sendmsg(SCM_RIGHTS)");
+    return false;
+  }
+  // The descriptors rode with byte 0; any unsent tail is plain bytes.
+  usize sent = static_cast<usize>(n);
+  while (sent < len) {
+    ssize_t m = send(sock_fd, bytes + sent, len - sent, MSG_NOSIGNAL);
+    if (m < 0 && errno == EINTR) continue;
+    if (m <= 0) {
+      set_error(error, "send(SCM_RIGHTS tail)");
+      return false;
+    }
+    sent += static_cast<usize>(m);
+  }
+  return true;
+}
+
+ssize_t recv_with_fds(int sock_fd, u8* buf, usize cap, std::vector<int>* fds) {
+  struct iovec iov;
+  iov.iov_base = buf;
+  iov.iov_len = cap;
+  alignas(struct cmsghdr) char cbuf[CMSG_SPACE(8 * sizeof(int))];
+  struct msghdr msg {};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof(cbuf);
+  ssize_t n;
+  do {
+    n = recvmsg(sock_fd, &msg, MSG_CMSG_CLOEXEC);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+  for (struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS)
+      continue;
+    const usize nbytes = cmsg->cmsg_len - CMSG_LEN(0);
+    const usize count = nbytes / sizeof(int);
+    int received[8];
+    memcpy(received, CMSG_DATA(cmsg), count * sizeof(int));
+    for (usize i = 0; i < count; ++i) fds->push_back(received[i]);
+  }
+  return n;
+}
+
+}  // namespace aid::ingress::shm

@@ -1,0 +1,310 @@
+// Shared-memory ring ingress: the same-host data plane of the ingress.
+//
+// The socket path (ingress_server.h) pays two syscalls, two copies and a
+// poll(2) wakeup per job — a measured ~17µs median wire tax that swamps
+// small data-parallel loops. This header is the data-plane/control-plane
+// split that removes it: per client, a pair of cache-line-padded SPSC
+// rings (submit ring: client→server, completion ring: server→client) in
+// a shared memory segment created by the server (memfd) and passed over
+// the existing Unix socket with SCM_RIGHTS. The socket stays as the
+// control plane — HELLO/HELLO_ACK, SHM_REQ/SHM_ACK segment setup,
+// CANCEL, connection-level ERROR, teardown — while SUBMIT and the
+// terminal COMPLETED/REJECTED/ERROR (+ folded CREDIT) frames move into
+// ring slots. Steady-state submission is a slot write + a seq stamp +
+// a *conditional* doorbell: no syscall in either direction while both
+// sides are hot.
+//
+// SLOTS CARRY WIRE FRAMES. A slot's payload is `[u16 len][len bytes of
+// length-prefixed wire frames]` — the exact bytes the socket would have
+// carried, minus the socket. Both sides therefore reuse the strict
+// wire.h codec end to end: the server validates a ring SUBMIT with the
+// same decode_frame() trust boundary as a socket SUBMIT (garbage slot
+// words are a structured protocol error, never a crash), and the client
+// processes completion slots through the same frame handler as socket
+// frames. The ring is a frame source/sink, not a second protocol.
+//
+// Publish protocol (Vyukov-style bounded SPSC with per-slot stamps):
+// every slot has a u64 `seq` word; slot i starts at seq == i. The
+// producer at position `pos` may write iff seq == pos (stores payload,
+// then seq = pos + 1, release — the seqlock-style publish stamp); the
+// consumer at `pos` may read iff seq == pos + 1 (reads payload, then
+// seq = pos + capacity, release). Each side trusts ONLY its own local
+// cursor — the shared head/tail mirrors exist for the peer's
+// backpressure math and for diagnostics, and a stamp that is neither
+// "empty" nor "ready" relative to the local cursor is ring corruption
+// (a scribbling or desynchronized peer), reported, never followed.
+//
+// Waiting: the client parks with a spin→yield→futex ladder
+// (common/spin_wait.h budgets) on the ring's 32-bit `progress` word —
+// a plain (non-PRIVATE) futex, because the waiter and waker are in
+// different processes; std::atomic::wait would use process-private
+// futexes and never wake. All futex waits carry a short timeout so any
+// lost-wake race heals instead of hanging. The server parks in its
+// poll(2) event loop; the segment header's server_state word tells the
+// client whether a doorbell (one eventfd write) is needed — while the
+// server is hot, publishing is syscall-free.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aid::ingress::shm {
+
+inline constexpr u32 kShmMagic = 0x52444941;  // "AIDR", little-endian
+inline constexpr u32 kShmVersion = 1;
+
+/// One ring slot: a u64 publish stamp plus one slot's worth of wire
+/// frames. Two cache lines, so the stamp the peer spins on and the
+/// payload the owner writes never share a line boundary mid-slot.
+inline constexpr usize kSlotBytes = 2 * kCacheLineBytes;
+/// Frame bytes one slot can carry: kSlotBytes minus the stamp and the
+/// u16 length. A terminal frame + folded CREDIT with a reason string
+/// truncated to kShmMaxString fits exactly.
+inline constexpr usize kSlotFrameBytes = kSlotBytes - 8 - 2;  // 118
+/// Strings in ring-borne frames (reject reasons, error messages) are
+/// truncated to this so any terminal frame + CREDIT pair fits one slot.
+inline constexpr usize kShmMaxString = 94;
+
+/// Ring depth limits. Depths are powers of two (cursor masking); the
+/// server clamps a client's requested depth into this range.
+inline constexpr u32 kMinRingSlots = 2;
+inline constexpr u32 kMaxRingSlots = 4096;
+
+/// Round up to a power of two within [kMinRingSlots, kMaxRingSlots].
+[[nodiscard]] u32 clamp_ring_slots(u32 want);
+
+struct alignas(kCacheLineBytes) Slot {
+  std::atomic<u64> seq;  ///< publish stamp (see protocol above)
+  u16 len = 0;           ///< valid bytes in frames[] (≤ kSlotFrameBytes)
+  u8 frames[kSlotFrameBytes];
+};
+static_assert(sizeof(Slot) == kSlotBytes);
+
+/// Per-ring shared header. One line per writer so the producer's cursor
+/// mirror, the consumer's cursor mirror and the wait words never false-
+/// share. In BOTH rings the client is the (only) futex waiter and the
+/// server is the (only) progress bumper: the client waits for submit
+/// space (server pops) or completion data (server pushes).
+struct alignas(kCacheLineBytes) RingHdr {
+  std::atomic<u64> tail;  ///< producer cursor mirror (slots pushed)
+  u8 pad0[kCacheLineBytes - sizeof(std::atomic<u64>)];
+  std::atomic<u64> head;  ///< consumer cursor mirror (slots popped)
+  u8 pad1[kCacheLineBytes - sizeof(std::atomic<u64>)];
+  std::atomic<u32> progress;  ///< bumped by the server side; futex word
+  std::atomic<u32> parked;    ///< 1 while the client is futex-parked
+  u8 pad2[kCacheLineBytes - 2 * sizeof(std::atomic<u32>)];
+};
+static_assert(sizeof(RingHdr) == 3 * kCacheLineBytes);
+
+/// Segment-wide header: geometry (validated by the client at attach) and
+/// the server's park state (the client's doorbell condition).
+struct alignas(kCacheLineBytes) SegmentHdr {
+  u32 magic;
+  u32 version;
+  u32 submit_slots;
+  u32 completion_slots;
+  u64 segment_bytes;
+  /// kServerHot / kServerParked / kServerGone (below). Written by the
+  /// server only; the client reads it after every publish to decide
+  /// whether to ring the eventfd doorbell, and inside wait loops to
+  /// detect teardown.
+  std::atomic<u32> server_state;
+  u8 pad[kCacheLineBytes - 4 * sizeof(u32) - sizeof(u64) -
+         sizeof(std::atomic<u32>)];
+};
+static_assert(sizeof(SegmentHdr) == kCacheLineBytes);
+
+inline constexpr u32 kServerHot = 0;     ///< draining; no doorbell needed
+inline constexpr u32 kServerParked = 1;  ///< blocked in poll(2); ring eventfd
+inline constexpr u32 kServerGone = 2;    ///< torn down; transport is dead
+
+/// Segment layout: [SegmentHdr][submit RingHdr][submit slots...]
+/// [completion RingHdr][completion slots...].
+struct Geometry {
+  u32 submit_slots = 0;
+  u32 completion_slots = 0;
+
+  [[nodiscard]] usize submit_hdr_off() const { return sizeof(SegmentHdr); }
+  [[nodiscard]] usize submit_slots_off() const {
+    return submit_hdr_off() + sizeof(RingHdr);
+  }
+  [[nodiscard]] usize completion_hdr_off() const {
+    return submit_slots_off() + usize{submit_slots} * sizeof(Slot);
+  }
+  [[nodiscard]] usize completion_slots_off() const {
+    return completion_hdr_off() + sizeof(RingHdr);
+  }
+  [[nodiscard]] usize bytes() const {
+    return completion_slots_off() + usize{completion_slots} * sizeof(Slot);
+  }
+};
+
+// ------------------------------------------------------------- endpoints
+
+/// Single-producer endpoint of one ring. The cursor lives HERE, process-
+/// local — the shared tail is a mirror the peer may read but the
+/// producer never trusts. Not thread-safe (one producer thread).
+class RingTx {
+ public:
+  RingTx() = default;
+  RingTx(RingHdr* hdr, Slot* slots, u32 capacity)
+      : hdr_(hdr), slots_(slots), cap_(capacity) {}
+
+  /// The slot to write, or nullptr when the ring is full (or corrupt —
+  /// check corrupt() to distinguish; a corrupt ring never recovers).
+  [[nodiscard]] Slot* try_begin();
+
+  /// Publish the slot returned by try_begin: payload first, stamp last.
+  void commit(Slot* slot, const u8* frames, u16 len);
+
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+  [[nodiscard]] u64 pushed() const { return pos_; }
+  [[nodiscard]] u32 capacity() const { return cap_; }
+  [[nodiscard]] RingHdr* hdr() const { return hdr_; }
+
+  /// Free slots from this producer's view, using the peer's head mirror
+  /// clamped into [pos - capacity, pos] (an out-of-range mirror — a
+  /// lying peer — can only make this conservative, never unsafe: the
+  /// slot stamp check in try_begin stays authoritative).
+  [[nodiscard]] u32 free_slots() const;
+
+ private:
+  RingHdr* hdr_ = nullptr;
+  Slot* slots_ = nullptr;
+  u32 cap_ = 0;
+  u64 pos_ = 0;
+  bool corrupt_ = false;
+};
+
+/// Single-consumer endpoint of one ring. Same local-cursor discipline.
+class RingRx {
+ public:
+  RingRx() = default;
+  RingRx(RingHdr* hdr, Slot* slots, u32 capacity)
+      : hdr_(hdr), slots_(slots), cap_(capacity) {}
+
+  /// The slot to read, or nullptr when the ring is empty (or corrupt).
+  [[nodiscard]] const Slot* try_begin();
+
+  /// Release the slot returned by try_begin back to the producer.
+  void commit();
+
+  /// Non-mutating peek: true when the cursor's stamp is anything but
+  /// "not yet written" — ready data, or corruption the next try_begin
+  /// will flag. One acquire load; safe to call every poll round.
+  [[nodiscard]] bool ready() const {
+    if (cap_ == 0) return false;
+    return slots_[pos_ & (cap_ - 1)].seq.load(std::memory_order_acquire) !=
+           pos_;
+  }
+
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+  [[nodiscard]] u64 popped() const { return pos_; }
+  [[nodiscard]] u32 capacity() const { return cap_; }
+  [[nodiscard]] RingHdr* hdr() const { return hdr_; }
+
+ private:
+  RingHdr* hdr_ = nullptr;
+  Slot* slots_ = nullptr;
+  u32 cap_ = 0;
+  u64 pos_ = 0;
+  bool corrupt_ = false;
+};
+
+// ---------------------------------------------------------- wait / wake
+
+/// Server side: announce progress on a ring (a pop freed submit space /
+/// a push published a completion) and wake the client iff it is parked.
+/// The common case — client spinning or busy — is one uncontended RMW,
+/// no syscall.
+void bump_progress(RingHdr* hdr);
+
+/// Client side: park on `hdr->progress` until it moves past `seen` or
+/// `timeout_ns` elapses. Spin→yield first (spin_wait.h budgets for a
+/// 2-thread rendezvous), then a plain-futex sleep. Returns true when
+/// progress moved (false: timeout — re-check state and come back; every
+/// caller loops, so a lost wake costs one timeout, never a hang).
+bool wait_progress(RingHdr* hdr, u32 seen, i64 timeout_ns);
+
+/// Snapshot for wait_progress: load BEFORE re-checking the condition so
+/// a bump between check and park turns the park into an immediate return.
+[[nodiscard]] inline u32 progress_snapshot(const RingHdr* hdr) {
+  return hdr->progress.load(std::memory_order_acquire);
+}
+
+// ------------------------------------------------------------- segment
+
+/// An owning mapping of one ring segment (server creator or client
+/// attacher). Movable; unmaps (and closes the fd, if still held) on
+/// destruction.
+class Segment {
+ public:
+  Segment() = default;
+  Segment(Segment&& other) noexcept { *this = std::move(other); }
+  Segment& operator=(Segment&& other) noexcept;
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+  ~Segment();
+
+  /// Server: memfd_create + ftruncate + mmap + placement-init all
+  /// headers and slot stamps. The fd stays owned (fd()) until the
+  /// caller passes it (SCM_RIGHTS) — it may be closed any time after;
+  /// the mapping keeps the memory alive.
+  [[nodiscard]] static std::optional<Segment> create(u32 submit_slots,
+                                                     u32 completion_slots,
+                                                     std::string* error);
+
+  /// Client: mmap a received memfd and VALIDATE the header against the
+  /// SHM_ACK geometry (magic, version, slot counts, byte size, actual
+  /// fd size). The segment came from the semi-trusted server, but a
+  /// truncated fd would turn loads into SIGBUS — so size is checked
+  /// against fstat, not the header's own claim.
+  [[nodiscard]] static std::optional<Segment> attach(int fd, u32 submit_slots,
+                                                     u32 completion_slots,
+                                                     u64 segment_bytes,
+                                                     std::string* error);
+
+  [[nodiscard]] bool valid() const { return base_ != nullptr; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close_fd();  ///< after passing it; mapping stays valid
+
+  [[nodiscard]] SegmentHdr* hdr() const {
+    return reinterpret_cast<SegmentHdr*>(base_);
+  }
+  [[nodiscard]] RingHdr* submit_hdr() const;
+  [[nodiscard]] Slot* submit_slots() const;
+  [[nodiscard]] RingHdr* completion_hdr() const;
+  [[nodiscard]] Slot* completion_slots() const;
+  [[nodiscard]] const Geometry& geometry() const { return geo_; }
+
+ private:
+  void* base_ = nullptr;
+  usize bytes_ = 0;
+  int fd_ = -1;
+  Geometry geo_;
+};
+
+// ------------------------------------------------- fd passing (control)
+
+/// sendmsg `bytes` with `nfds` descriptors in one SCM_RIGHTS cmsg. The
+/// descriptors ride with the FIRST byte of `bytes`; callers send the
+/// whole SHM_ACK frame in this one call so the receiver can bind the
+/// fds to that frame. Retries EINTR; false on any other error.
+[[nodiscard]] bool send_with_fds(int sock_fd, const u8* bytes, usize len,
+                                 const int* fds, usize nfds,
+                                 std::string* error);
+
+/// recvmsg up to `cap` bytes, appending any SCM_RIGHTS descriptors to
+/// `fds` (received fds are set CLOEXEC). Returns bytes read; 0 = EOF,
+/// -1 = error (EINTR retried internally; EAGAIN returns -1 with errno
+/// preserved for the caller's poll loop).
+[[nodiscard]] ssize_t recv_with_fds(int sock_fd, u8* buf, usize cap,
+                                    std::vector<int>* fds);
+
+}  // namespace aid::ingress::shm

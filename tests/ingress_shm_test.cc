@@ -1,0 +1,796 @@
+// Shared-memory ring ingress tests (src/ingress/shm_ring.h).
+//
+// Three layers:
+//   1. Ring unit tests on heap-allocated rings — the Vyukov stamp
+//      protocol, full-ring backpressure, corruption latching and the
+//      futex wait/wake ladder, exercised across two threads so TSan
+//      sees every pairing of stamp stores and payload reads.
+//   2. Transport equivalence — the same jobs submitted over the socket
+//      and over the ring must produce bit-identical checksums, hit the
+//      same validation/credit/QoS semantics and keep per-tenant stats
+//      isolated; ring-specific failure modes (full submit ring, client
+//      death with stamped slots, scribbled stamps, garbage slot bytes)
+//      must backpressure or close the one connection, never the server.
+//   3. Out-of-process: aid_submit --transport shm against a forked
+//      aid_node, checked against the socket transport's output.
+#include "ingress/shm_ring.h"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ingress/ingress_client.h"
+#include "ingress/ingress_server.h"
+#include "platform/platform.h"
+#include "serve/serve_node.h"
+#include "workloads/serve_kernel.h"
+
+namespace aid::ingress {
+namespace {
+
+using serve::JobStatus;
+using serve::QosClass;
+using Transport = IngressClient::Transport;
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/aid_shm_test_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+constexpr i64 kLongCount = workloads::kMaxServeCount;
+
+double local_serial_checksum(const char* workload, i64 count) {
+  std::string error;
+  auto k = workloads::make_serve_kernel(workload, count, &error);
+  EXPECT_TRUE(k.has_value()) << error;
+  k->body(0, k->count, rt::WorkerInfo{});
+  return k->checksum();
+}
+
+// ------------------------------------------------------- ring unit tests
+
+/// A ring pair on the heap: same stamp initialization as a fresh shared
+/// segment (slot i starts at seq == i), no memfd needed. The unit tests
+/// exercise the protocol; segment mapping is covered by the integration
+/// tests below.
+struct HeapRing {
+  explicit HeapRing(u32 cap) : slots(cap) {
+    hdr.tail.store(0, std::memory_order_relaxed);
+    hdr.head.store(0, std::memory_order_relaxed);
+    hdr.progress.store(0, std::memory_order_relaxed);
+    hdr.parked.store(0, std::memory_order_relaxed);
+    for (u32 i = 0; i < cap; ++i)
+      slots[i].seq.store(i, std::memory_order_relaxed);
+  }
+  shm::RingHdr hdr;
+  std::vector<shm::Slot> slots;
+};
+
+TEST(ShmRingUnit, ClampRingSlotsIsPowerOfTwoInRange) {
+  EXPECT_EQ(shm::clamp_ring_slots(0), shm::kMinRingSlots);
+  EXPECT_EQ(shm::clamp_ring_slots(1), shm::kMinRingSlots);
+  EXPECT_EQ(shm::clamp_ring_slots(3), 4u);
+  EXPECT_EQ(shm::clamp_ring_slots(64), 64u);
+  EXPECT_EQ(shm::clamp_ring_slots(65), 128u);
+  EXPECT_EQ(shm::clamp_ring_slots(~0u), shm::kMaxRingSlots);
+}
+
+TEST(ShmRingUnit, FullRingBackpressuresUntilConsumerFrees) {
+  constexpr u32 kCap = 4;
+  HeapRing ring(kCap);
+  shm::RingTx tx(&ring.hdr, ring.slots.data(), kCap);
+  shm::RingRx rx(&ring.hdr, ring.slots.data(), kCap);
+
+  for (u32 i = 0; i < kCap; ++i) {
+    shm::Slot* slot = tx.try_begin();
+    ASSERT_NE(slot, nullptr) << "slot " << i;
+    tx.commit(slot, reinterpret_cast<const u8*>(&i), sizeof i);
+  }
+  // Full is a clean refusal, not corruption — the stamp one lap back is
+  // the one legal non-free value.
+  EXPECT_EQ(tx.try_begin(), nullptr);
+  EXPECT_FALSE(tx.corrupt());
+  EXPECT_EQ(tx.free_slots(), 0u);
+
+  ASSERT_NE(rx.try_begin(), nullptr);
+  rx.commit();
+  EXPECT_EQ(tx.free_slots(), 1u);
+  EXPECT_NE(tx.try_begin(), nullptr);
+}
+
+TEST(ShmRingUnit, ScribbledStampsLatchCorruptionForever) {
+  constexpr u32 kCap = 4;
+  {
+    // Consumer view: a stamp that is neither "not yet written" (pos) nor
+    // "ready" (pos+1) is a scribbling peer.
+    HeapRing ring(kCap);
+    shm::RingRx rx(&ring.hdr, ring.slots.data(), kCap);
+    ring.slots[0].seq.store(7, std::memory_order_release);
+    EXPECT_TRUE(rx.ready());  // "something there" — try_begin sorts it out
+    EXPECT_EQ(rx.try_begin(), nullptr);
+    EXPECT_TRUE(rx.corrupt());
+    // Latched: even a now-plausible stamp is never trusted again.
+    ring.slots[0].seq.store(1, std::memory_order_release);
+    EXPECT_EQ(rx.try_begin(), nullptr);
+    EXPECT_TRUE(rx.corrupt());
+  }
+  {
+    // Producer view: anything but "free" (pos) or "full one lap ago"
+    // (pos + 1 - cap) is corruption, and free_slots collapses to zero.
+    HeapRing ring(kCap);
+    shm::RingTx tx(&ring.hdr, ring.slots.data(), kCap);
+    ring.slots[0].seq.store(2, std::memory_order_release);
+    EXPECT_EQ(tx.try_begin(), nullptr);
+    EXPECT_TRUE(tx.corrupt());
+    EXPECT_EQ(tx.free_slots(), 0u);
+  }
+}
+
+TEST(ShmRingUnit, FreeSlotsClampsALyingHeadMirror) {
+  constexpr u32 kCap = 4;
+  HeapRing ring(kCap);
+  shm::RingTx tx(&ring.hdr, ring.slots.data(), kCap);
+  shm::Slot* slot = tx.try_begin();
+  ASSERT_NE(slot, nullptr);
+  const u8 b = 0;
+  tx.commit(slot, &b, 1);
+  // A peer claiming to have consumed MORE than was pushed can only make
+  // the estimate conservative (clamped to pos), never unsafe.
+  ring.hdr.head.store(1'000'000, std::memory_order_release);
+  EXPECT_EQ(tx.free_slots(), kCap);
+  // ... and a mirror lagging more than a lap clamps to pos - cap.
+  ring.hdr.head.store(0, std::memory_order_release);
+  EXPECT_EQ(tx.free_slots(), kCap - 1);
+}
+
+TEST(ShmRingUnit, WaitProgressTimesOutAndWakesOnBump) {
+  HeapRing ring(2);
+  // Nothing bumps: the wait must come back false after the timeout — the
+  // self-healing property every lost-doorbell path relies on.
+  EXPECT_FALSE(
+      shm::wait_progress(&ring.hdr, shm::progress_snapshot(&ring.hdr),
+                         2'000'000));
+  // A bump from another thread ends the wait well before a long timeout.
+  const u32 seen = shm::progress_snapshot(&ring.hdr);
+  std::thread bumper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    shm::bump_progress(&ring.hdr);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(shm::wait_progress(&ring.hdr, seen, 10'000'000'000));
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+  bumper.join();
+}
+
+TEST(ShmRingUnit, TwoThreadFifoHandoffSurvivesWrapAndParking) {
+  // Small capacity + many messages: the ring wraps hundreds of times and
+  // both sides fall into the futex park repeatedly. FIFO order and
+  // payload integrity must hold throughout (this is the TSan case for
+  // the stamp/payload ordering).
+  constexpr u32 kCap = 8;
+  constexpr u32 kMsgs = 4000;
+  HeapRing ring(kCap);
+  shm::RingTx tx(&ring.hdr, ring.slots.data(), kCap);
+  shm::RingRx rx(&ring.hdr, ring.slots.data(), kCap);
+
+  std::atomic<bool> producer_gave_up{false};
+  std::thread producer([&] {
+    for (u32 i = 0; i < kMsgs; ++i) {
+      shm::Slot* slot;
+      while ((slot = tx.try_begin()) == nullptr) {
+        if (tx.corrupt()) {
+          producer_gave_up.store(true, std::memory_order_release);
+          return;
+        }
+        (void)shm::wait_progress(&ring.hdr,
+                                 shm::progress_snapshot(&ring.hdr),
+                                 1'000'000);
+      }
+      u8 payload[8];
+      std::memcpy(payload, &i, sizeof i);
+      const u32 echo = ~i;
+      std::memcpy(payload + 4, &echo, sizeof echo);
+      tx.commit(slot, payload, sizeof payload);
+      shm::bump_progress(&ring.hdr);
+    }
+  });
+
+  u32 expect = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (expect < kMsgs && !producer_gave_up.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    const shm::Slot* slot = rx.try_begin();
+    if (slot == nullptr) {
+      ASSERT_FALSE(rx.corrupt());
+      (void)shm::wait_progress(&ring.hdr, shm::progress_snapshot(&ring.hdr),
+                               1'000'000);
+      continue;
+    }
+    ASSERT_EQ(slot->len, 8u);
+    u32 got = 0;
+    u32 echo = 0;
+    std::memcpy(&got, slot->frames, sizeof got);
+    std::memcpy(&echo, slot->frames + 4, sizeof echo);
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ(echo, ~expect);
+    rx.commit();
+    shm::bump_progress(&ring.hdr);
+    ++expect;
+  }
+  producer.join();
+  EXPECT_FALSE(producer_gave_up.load());
+  EXPECT_EQ(expect, kMsgs);
+  EXPECT_EQ(tx.pushed(), kMsgs);
+  EXPECT_EQ(rx.popped(), kMsgs);
+  EXPECT_EQ(tx.free_slots(), kCap);
+}
+
+// -------------------------------------------------- transport equivalence
+
+/// Node + ingress fixture, mirroring tests/ingress_server_test.cc: batch
+/// gets max_inflight=1 so long batch jobs pin in the queue.
+struct ShmNodeAndServer {
+  explicit ShmNodeAndServer(const char* tag, u32 credits = 8,
+                            u32 shm_slots = 64)
+      : node(platform::symmetric(4), node_config()),
+        server(node, server_config(tag, credits, shm_slots)) {}
+
+  static serve::ServeNode::Config node_config() {
+    serve::ServeNode::Config c;
+    c.dispatchers = 2;
+    c.cls[serve::index_of(QosClass::kBatch)] = {4, 1, 1, 1.0};
+    return c;
+  }
+  static IngressServer::Config server_config(const char* tag, u32 credits,
+                                             u32 shm_slots) {
+    IngressServer::Config c;
+    c.socket_path = test_socket_path(tag);
+    c.credit_window = credits;
+    c.shm_submit_slots = shm_slots;
+    return c;
+  }
+
+  IngressClient connect(const std::string& name,
+                        Transport transport = Transport::kShm) {
+    std::string error;
+    auto c =
+        IngressClient::connect(server.socket_path(), name, &error, transport);
+    EXPECT_TRUE(c.has_value()) << error;
+    return std::move(*c);
+  }
+
+  serve::ServeNode node;
+  IngressServer server;
+};
+
+TEST(IngressShmTest, ShmAndSocketProduceBitIdenticalChecksums) {
+  ShmNodeAndServer s("equiv");
+  IngressClient sock = s.connect("tenant-sock", Transport::kSocket);
+  IngressClient ring = s.connect("tenant-shm", Transport::kShm);
+  EXPECT_FALSE(sock.shm_active());
+  EXPECT_TRUE(ring.shm_active());
+
+  for (const char* workload : {"EP", "CG", "blackscholes"}) {
+    IngressClient::Request req;
+    req.workload = workload;
+    req.count = 10'000;
+    const u64 sid = sock.submit(req);
+    const u64 rid = ring.submit(req);
+    ASSERT_NE(sid, 0u) << sock.last_error();
+    ASSERT_NE(rid, 0u) << ring.last_error();
+    const IngressClient::Result sr = sock.wait(sid);
+    const IngressClient::Result rr = ring.wait(rid);
+    ASSERT_TRUE(sr.transport_ok) << sr.message;
+    ASSERT_TRUE(rr.transport_ok) << rr.message;
+    ASSERT_EQ(sr.status, JobStatus::kDone) << workload << ": " << sr.message;
+    ASSERT_EQ(rr.status, JobStatus::kDone) << workload << ": " << rr.message;
+    // Same job, either transport, one answer — bit for bit, and equal to
+    // a local serial run (kernels are schedule-invariant).
+    EXPECT_EQ(sr.checksum, rr.checksum) << workload;
+    EXPECT_EQ(rr.checksum, local_serial_checksum(workload, req.count))
+        << workload;
+    EXPECT_GE(rr.service_ns, 0);
+  }
+
+  // Per-tenant accounting is transport-blind and per-connection.
+  const TenantStats a = s.server.tenant_stats("tenant-sock");
+  const TenantStats b = s.server.tenant_stats("tenant-shm");
+  EXPECT_EQ(a.submits, 3u);
+  EXPECT_EQ(a.completed, 3u);
+  EXPECT_EQ(b.submits, 3u);
+  EXPECT_EQ(b.completed, 3u);
+  const IngressServer::Stats st = s.server.stats();
+  EXPECT_EQ(st.shm_connections, 1u);
+  EXPECT_EQ(st.ring_submits, 3u);  // only the ring tenant's jobs
+  EXPECT_EQ(st.submits, 6u);
+  EXPECT_EQ(st.ring_corrupt_closes, 0u);
+}
+
+TEST(IngressShmTest, RingSubmitsHitSameValidationAndCreditSemantics) {
+  ShmNodeAndServer s("ringsem", /*credits=*/2);
+  IngressClient client = s.connect("ring-tenant");
+  ASSERT_TRUE(client.shm_active());
+  ASSERT_EQ(client.credit_window(), 2u);
+
+  // Validation rejects arrive as ring-borne REJECTED frames with the
+  // same reasons the socket transport produces (truncated to slot size,
+  // which these short reasons never hit) — and never touch the node.
+  IngressClient::Request req;
+  req.workload = "no-such-workload";
+  req.count = 16;
+  u64 id = client.submit(req);
+  ASSERT_NE(id, 0u) << client.last_error();
+  IngressClient::Result r = client.wait(id);
+  ASSERT_TRUE(r.transport_ok) << r.message;
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+  EXPECT_NE(r.message.find("unknown workload"), std::string::npos)
+      << r.message;
+
+  req.workload = "BT";  // real workload, not wire-servable
+  r = client.wait(client.submit(req));
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+  EXPECT_NE(r.message.find("servable"), std::string::npos) << r.message;
+
+  req.workload = "EP";
+  req.count = workloads::kMaxServeCount + 1;
+  r = client.wait(client.submit(req));
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+
+  EXPECT_EQ(s.server.stats().invalid_rejects, 3u);
+  EXPECT_EQ(s.server.stats().submits, 0u);
+  EXPECT_EQ(s.server.stats().ring_submits, 3u);
+
+  // Credit flow: identical to the socket — exhaustion fails try_submit
+  // CLIENT-side (no slot is published), the blocking submit() parks on
+  // the ring until a completion returns a credit.
+  req.count = kLongCount;
+  req.qos = QosClass::kBatch;
+  u64 a = 0;
+  u64 b = 0;
+  u64 c = 0;
+  ASSERT_TRUE(client.try_submit(req, &a));
+  ASSERT_TRUE(client.try_submit(req, &b));
+  EXPECT_EQ(client.credits(), 0u);
+  EXPECT_FALSE(client.try_submit(req, &c));
+  const u64 d = client.submit(req);
+  ASSERT_NE(d, 0u) << client.last_error();
+  for (const u64 job : {a, b, d}) {
+    const IngressClient::Result jr = client.wait(job);
+    ASSERT_TRUE(jr.transport_ok) << jr.message;
+    EXPECT_EQ(jr.status, JobStatus::kDone) << jr.message;
+  }
+  EXPECT_EQ(s.server.stats().no_credit_rejects, 0u);
+  EXPECT_LE(s.server.stats().max_inflight, 2u);
+}
+
+TEST(IngressShmTest, DisabledShmIsAConnectErrorNotASilentFallback) {
+  // shm_submit_slots = 0 disables the data plane; a kShm client must get
+  // a hard connect failure (silently falling back to the socket would
+  // make the caller's perf assumptions wrong without telling anyone).
+  ShmNodeAndServer s("noshm", /*credits=*/8, /*shm_slots=*/0);
+  std::string error;
+  auto c = IngressClient::connect(s.server.socket_path(), "wants-ring",
+                                  &error, Transport::kShm);
+  EXPECT_FALSE(c.has_value());
+  EXPECT_NE(error.find("disabled"), std::string::npos) << error;
+
+  // The same server still serves plain socket clients.
+  IngressClient sock = s.connect("plain", Transport::kSocket);
+  IngressClient::Request req;
+  req.workload = "EP";
+  req.count = 1024;
+  const u64 id = sock.submit(req);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(sock.wait(id).status, JobStatus::kDone);
+}
+
+// ----------------------------------------------- full-submit-ring stall
+
+/// Read complete frames off a blocking socket fd.
+std::optional<Frame> read_frame_blocking(int fd, FrameBuffer& rx) {
+  while (true) {
+    Decoded d = rx.next();
+    if (d.status == DecodeStatus::kOk) return std::move(d.frame);
+    if (d.status == DecodeStatus::kBad) return std::nullopt;
+    u8 buf[1024];
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) return std::nullopt;
+    rx.append(buf, static_cast<usize>(n));
+  }
+}
+
+TEST(IngressShmTest, FullSubmitRingBackpressuresTheClientNotTheServer) {
+  // A hand-rolled control-plane server that grants a big credit window
+  // but NEVER drains the submit ring: the only thing that can stop the
+  // client is the ring itself. try_submit must fail cleanly with credits
+  // in hand, and the blocking submit() must park until the server pops a
+  // slot and bumps the ring's progress word.
+  const std::string path = test_socket_path("ringfull");
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof addr.sun_path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  ASSERT_EQ(
+      ::bind(lfd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+
+  constexpr u32 kSubmitSlots = 4;
+  int cfd = -1;
+  int efd = -1;
+  std::optional<shm::Segment> seg;
+  std::thread fake_server([&] {
+    cfd = ::accept(lfd, nullptr, nullptr);
+    ASSERT_GE(cfd, 0);
+    FrameBuffer rx;
+    auto hello = read_frame_blocking(cfd, rx);
+    ASSERT_TRUE(hello.has_value());
+    ASSERT_EQ(type_of(*hello), FrameType::kHello);
+    const std::vector<u8> ack = encode(HelloAckFrame{kProtocolVersion, 64});
+    ASSERT_EQ(::send(cfd, ack.data(), ack.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(ack.size()));
+    auto shm_req = read_frame_blocking(cfd, rx);
+    ASSERT_TRUE(shm_req.has_value());
+    ASSERT_EQ(type_of(*shm_req), FrameType::kShmReq);
+    std::string err;
+    seg = shm::Segment::create(kSubmitSlots, 16, &err);
+    ASSERT_TRUE(seg.has_value()) << err;
+    efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    ASSERT_GE(efd, 0);
+    const shm::Geometry& geo = seg->geometry();
+    const std::vector<u8> shm_ack = encode(
+        ShmAckFrame{geo.submit_slots, geo.completion_slots, geo.bytes()});
+    const int fds[2] = {seg->fd(), efd};
+    ASSERT_TRUE(shm::send_with_fds(cfd, shm_ack.data(), shm_ack.size(), fds,
+                                   2, &err))
+        << err;
+  });
+
+  std::string error;
+  auto client =
+      IngressClient::connect(path, "stuffer", &error, Transport::kShm);
+  fake_server.join();
+  ASSERT_TRUE(client.has_value()) << error;
+  ASSERT_TRUE(client->shm_active());
+  ASSERT_EQ(client->credit_window(), 64u);
+  ASSERT_TRUE(seg.has_value());
+
+  IngressClient::Request req;
+  req.workload = "EP";
+  req.count = 256;
+  u64 id = 0;
+  for (u32 i = 0; i < kSubmitSlots; ++i)
+    ASSERT_TRUE(client->try_submit(req, &id)) << "slot " << i;
+  // Ring full, credits plentiful: the refusal is the ring's, it is
+  // clean (no publish, no credit burned, connection healthy), and it is
+  // client-side — this fake server never even looked at the ring.
+  EXPECT_FALSE(client->try_submit(req, &id));
+  EXPECT_EQ(client->credits(), 64u - kSubmitSlots);
+  EXPECT_TRUE(client->ok());
+
+  // One pop + progress bump from the server side unblocks the blocking
+  // submit() parked on the submit ring's progress word.
+  shm::RingRx srx(seg->submit_hdr(), seg->submit_slots(), kSubmitSlots);
+  std::thread popper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const shm::Slot* slot = srx.try_begin();
+    ASSERT_NE(slot, nullptr);
+    // The slot carries a well-formed SUBMIT frame, stamped and readable.
+    Decoded d = decode_frame(slot->frames, slot->len);
+    EXPECT_EQ(d.status, DecodeStatus::kOk);
+    EXPECT_EQ(type_of(d.frame), FrameType::kSubmit);
+    srx.commit();
+    shm::bump_progress(seg->submit_hdr());
+  });
+  const u64 unblocked = client->submit(req);
+  EXPECT_NE(unblocked, 0u) << client->last_error();
+  popper.join();
+
+  client.reset();
+  if (cfd >= 0) ::close(cfd);
+  if (efd >= 0) ::close(efd);
+  ::close(lfd);
+  ::unlink(path.c_str());
+}
+
+// ------------------------------------------------- death and corruption
+
+TEST(IngressShmTest, ClientDeathWithStampedSlotsCancelsAsDependency) {
+  ShmNodeAndServer s("shmdeath");
+  const u64 before = s.server.stats().disconnect_cancels;
+  {
+    IngressClient client = s.connect("vanisher");
+    ASSERT_TRUE(client.shm_active());
+    IngressClient::Request req;
+    req.workload = "EP";
+    req.count = kLongCount;
+    req.qos = QosClass::kBatch;  // inflight 1: later jobs pin in the queue
+    for (int i = 0; i < 3; ++i) ASSERT_NE(client.submit(req), 0u);
+    // Slots the server has not consumed when the control socket FIN
+    // arrives are forfeit (like undecoded socket bytes); wait until all
+    // three SUBMITs actually reached the node before vanishing.
+    const auto seen =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (s.server.stats().submits < 3 &&
+           std::chrono::steady_clock::now() < seen)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GE(s.server.stats().submits, 3u);
+  }  // ~IngressClient closes the control socket; the segment dies with it
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (s.server.stats().disconnect_cancels == before &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(s.server.stats().disconnect_cancels, before);
+  s.node.drain();
+
+  // The loop thread survived the teardown; a fresh ring client works.
+  IngressClient next = s.connect("survivor");
+  IngressClient::Request req;
+  req.workload = "EP";
+  req.count = 1024;
+  const u64 id = next.submit(req);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(next.wait(id).status, JobStatus::kDone);
+}
+
+/// A wire-speaking shm client that performs the real negotiation and
+/// then misbehaves at the slot level: the ring-side analogue of
+/// ingress_server_test.cc's RawClient.
+class RawShmClient {
+ public:
+  ~RawShmClient() {
+    if (fd_ >= 0) ::close(fd_);
+    if (efd_ >= 0) ::close(efd_);
+    for (const int fd : stray_fds_) ::close(fd);
+  }
+
+  /// HELLO/HELLO_ACK + SHM_REQ/SHM_ACK with SCM_RIGHTS; true when the
+  /// segment is attached and the doorbell fd is in hand.
+  bool handshake(const std::string& path, const char* name) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0)
+      return false;
+    if (!send(encode(HelloFrame{kProtocolVersion, name}))) return false;
+    auto ack = next_frame();
+    if (!ack.has_value() || type_of(*ack) != FrameType::kHelloAck)
+      return false;
+    if (!send(encode(ShmReqFrame{0}))) return false;
+    auto shm_ack = next_frame();
+    if (!shm_ack.has_value() || type_of(*shm_ack) != FrameType::kShmAck)
+      return false;
+    if (stray_fds_.size() < 2) return false;
+    const auto& m = std::get<ShmAckFrame>(*shm_ack);
+    const int memfd = stray_fds_[0];
+    efd_ = stray_fds_[1];
+    stray_fds_.erase(stray_fds_.begin(), stray_fds_.begin() + 2);
+    std::string err;
+    seg_ = shm::Segment::attach(memfd, m.submit_slots, m.completion_slots,
+                                m.segment_bytes, &err);
+    return seg_.has_value();
+  }
+
+  [[nodiscard]] shm::Slot* submit_slot(u64 pos) {
+    return &seg_->submit_slots()[pos & (seg_->geometry().submit_slots - 1)];
+  }
+
+  void doorbell() {
+    const u64 one = 1;
+    (void)::write(efd_, &one, sizeof one);
+  }
+
+  /// True when the server closes the control socket within `timeout_ms`
+  /// (frames received along the way land in rx_ / last_error_).
+  bool closed_within(int timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) continue;
+      u8 buf[1024];
+      const ssize_t n = shm::recv_with_fds(fd_, buf, sizeof buf, &stray_fds_);
+      if (n == 0) return true;
+      if (n < 0 && errno != EINTR && errno != EAGAIN) return true;
+      if (n > 0) {
+        rx_.append(buf, static_cast<usize>(n));
+        Decoded d = rx_.next();
+        if (d.status == DecodeStatus::kOk &&
+            type_of(d.frame) == FrameType::kError)
+          last_error_ = std::get<ErrorFrame>(d.frame).message;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+ private:
+  bool send(const std::vector<u8>& bytes) {
+    usize off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0 && errno != EINTR) return false;
+      if (n > 0) off += static_cast<usize>(n);
+    }
+    return true;
+  }
+
+  std::optional<Frame> next_frame() {
+    while (true) {
+      Decoded d = rx_.next();
+      if (d.status == DecodeStatus::kOk) return std::move(d.frame);
+      if (d.status == DecodeStatus::kBad) return std::nullopt;
+      u8 buf[1024];
+      const ssize_t n = shm::recv_with_fds(fd_, buf, sizeof buf, &stray_fds_);
+      if (n <= 0) return std::nullopt;
+      rx_.append(buf, static_cast<usize>(n));
+    }
+  }
+
+  int fd_ = -1;
+  int efd_ = -1;
+  FrameBuffer rx_;
+  std::vector<int> stray_fds_;
+  std::optional<shm::Segment> seg_;
+  std::string last_error_;
+};
+
+TEST(IngressShmTest, CorruptStampsAndGarbageSlotsCloseOnlyThatConnection) {
+  ShmNodeAndServer s("slotfuzz");
+
+  {
+    // An over-long slot length (stamped valid) is ring corruption: the
+    // length field bounds the server's read, so a lie there must kill
+    // the connection before anything touches the payload.
+    RawShmClient raw;
+    ASSERT_TRUE(raw.handshake(s.server.socket_path(), "len-liar"));
+    shm::Slot* slot = raw.submit_slot(0);
+    slot->len = static_cast<u16>(shm::kSlotFrameBytes + 1);
+    slot->seq.store(1, std::memory_order_release);
+    raw.doorbell();
+    EXPECT_TRUE(raw.closed_within(15000)) << raw.last_error();
+  }
+  {
+    // A stamp that is neither "empty" nor "published" desynchronizes the
+    // ring; the server must latch corruption, not chase the stamp.
+    RawShmClient raw;
+    ASSERT_TRUE(raw.handshake(s.server.socket_path(), "stamp-scribbler"));
+    raw.submit_slot(0)->seq.store(42, std::memory_order_release);
+    raw.doorbell();
+    EXPECT_TRUE(raw.closed_within(15000)) << raw.last_error();
+  }
+  EXPECT_GE(s.server.stats().ring_corrupt_closes, 2u);
+
+  // Seeded garbage payloads with VALID stamps and lengths: random slot
+  // bytes hit the same strict frame codec as socket bytes and come back
+  // as structured protocol errors, one closed connection each.
+  std::mt19937 rng(0xA1D5EED);
+  const u64 errors_before = s.server.stats().protocol_errors;
+  constexpr int kFuzzConns = 6;
+  for (int i = 0; i < kFuzzConns; ++i) {
+    RawShmClient raw;
+    ASSERT_TRUE(raw.handshake(s.server.socket_path(), "slot-fuzzer"));
+    shm::Slot* slot = raw.submit_slot(0);
+    const u16 len = static_cast<u16>(1 + rng() % shm::kSlotFrameBytes);
+    for (u16 b = 0; b < len; ++b)
+      slot->frames[b] = static_cast<u8>(rng() & 0xFF);
+    slot->len = len;
+    slot->seq.store(1, std::memory_order_release);
+    raw.doorbell();
+    EXPECT_TRUE(raw.closed_within(15000))
+        << "fuzz conn " << i << ": " << raw.last_error();
+  }
+  EXPECT_GE(s.server.stats().protocol_errors, errors_before + kFuzzConns);
+
+  // Eight hostile connections later, a polite ring client still works.
+  IngressClient client = s.connect("after-the-storm");
+  IngressClient::Request req;
+  req.workload = "EP";
+  req.count = 1024;
+  const u64 id = client.submit(req);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(client.wait(id).status, JobStatus::kDone);
+}
+
+// -------------------------------------------------------- out of process
+
+TEST(IngressShmTest, OutOfProcessShmTransportMatchesSocketOutput) {
+  const char* node_bin = std::getenv("AID_NODE_BIN");
+  const char* submit_bin = std::getenv("AID_SUBMIT_BIN");
+  if (node_bin == nullptr || submit_bin == nullptr)
+    GTEST_SKIP() << "AID_NODE_BIN / AID_SUBMIT_BIN not set (run via ctest)";
+
+  const std::string sock = test_socket_path("e2e");
+  int to_child[2];    // our write end keeps the node alive
+  int from_child[2];  // the node's READY line
+  ASSERT_EQ(::pipe(to_child), 0);
+  ASSERT_EQ(::pipe(from_child), 0);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    ::execl(node_bin, node_bin, "--socket", sock.c_str(), "--platform",
+            "symmetric:4", static_cast<char*>(nullptr));
+    std::perror("execl aid_node");
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  std::string ready;
+  char ch = 0;
+  while (ready.find('\n') == std::string::npos &&
+         ::read(from_child[0], &ch, 1) == 1)
+    ready.push_back(ch);
+  ASSERT_NE(ready.find("READY"), std::string::npos) << ready;
+
+  auto run_submit = [&](const char* transport) {
+    const std::string cmd = std::string(submit_bin) + " --socket " + sock +
+                            " --transport " + transport +
+                            " --workload EP --count 4096 --jobs 2 2>&1";
+    FILE* out = ::popen(cmd.c_str(), "r");
+    EXPECT_NE(out, nullptr);
+    std::string output;
+    char buf[512];
+    while (std::fgets(buf, sizeof buf, out) != nullptr) output += buf;
+    const int rc = ::pclose(out);
+    EXPECT_EQ(WEXITSTATUS(rc), 0) << transport << ": " << output;
+    return output;
+  };
+
+  const std::string via_shm = run_submit("shm");
+  const std::string via_socket = run_submit("socket");
+  char expect[64];
+  std::snprintf(expect, sizeof expect, "\"checksum\":%.17g",
+                local_serial_checksum("EP", 4096));
+  // Both transports print the serial checksum — the ring changed the
+  // wire, not the answer.
+  EXPECT_NE(via_shm.find(expect), std::string::npos)
+      << via_shm << "\nwanted " << expect;
+  EXPECT_NE(via_socket.find(expect), std::string::npos)
+      << via_socket << "\nwanted " << expect;
+  EXPECT_NE(via_shm.find("\"status\":\"done\""), std::string::npos)
+      << via_shm;
+
+  ::close(to_child[1]);  // EOF on the node's stdin: clean shutdown
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  ::close(from_child[0]);
+  ::unlink(sock.c_str());
+}
+
+}  // namespace
+}  // namespace aid::ingress

@@ -145,6 +145,13 @@ def main():
         help="exit 1 if any latency regression exceeds PCT percent "
              "(CI gates the default leg with this; see .github/workflows)")
     parser.add_argument(
+        "--min-abs-ns", type=float, default=0.0, metavar="NS",
+        help="absolute floor for gating: a latency series whose baseline "
+             "median is below NS (or non-positive) is reported but never "
+             "gates — percentage deltas against near-zero or negative "
+             "baselines (signed overhead metrics like shm_overhead_ns) "
+             "are noise, not signal")
+    parser.add_argument(
         "--exempt", action="append", default=[], metavar="LIST",
         help="comma-separated config substrings that do not gate at the "
              "global --fail-above limit; SUBSTR exempts outright, "
@@ -205,7 +212,11 @@ def main():
         if cur is None:
             print(f"{label}  {base['median']:>12.0f}  {'-':>12}  removed")
             continue
-        if base["median"] <= 0:
+        if base["median"] <= 0 or abs(base["median"]) < args.min_abs_ns:
+            why = ("below floor" if base["median"] > 0
+                   else "non-positive base")
+            print(f"{label}  {base['median']:>12.0f}  {cur['median']:>12.0f}  "
+                  f"{'-':>8}  ({why} — not gated)")
             continue
         delta = 100.0 * (cur["median"] - base["median"]) / base["median"]
         if not exempt and not family_limits:

@@ -92,6 +92,32 @@ def main():
         expect(rc == 0, "removed family does not gate", out)
         expect("family removed" in out, "removed family is called out", out)
 
+        # 5. --min-abs-ns: percentage gating against a near-zero baseline
+        # (signed overhead metrics) is noise — the series is reported but
+        # never trips the gate, while a same-file real regression still
+        # does. A negative baseline never gates even without the floor.
+        tiny_base = base + [
+            record("ingress=shm/count=1024", "shm_overhead_ns", 400.0),
+            record("ingress=sock/count=65536", "ingress_overhead_ns", -900.0),
+        ]
+        tiny_cur = base + [
+            record("ingress=shm/count=1024", "shm_overhead_ns", 1800.0),
+            record("ingress=sock/count=65536", "ingress_overhead_ns", 2500.0),
+        ]
+        rc, out = run_diff(tmp, tiny_base, tiny_cur,
+                           ("--fail-above", "10", "--min-abs-ns", "500"))
+        expect(rc == 0, "sub-floor baseline (+350%) does not gate under "
+               "--min-abs-ns", out)
+        expect("below floor" in out, "sub-floor series is reported", out)
+        expect("non-positive base" in out,
+               "negative baseline is reported, not skipped", out)
+        real = [record("threads=4/count=256", "fork_ns", 2500.0),
+                record("ingress=shm/count=1024", "shm_overhead_ns", 1800.0)]
+        rc, out = run_diff(tmp, tiny_base, real,
+                           ("--fail-above", "10", "--min-abs-ns", "500"))
+        expect(rc == 1, "real regression above the floor still gates "
+               "alongside sub-floor series", out)
+
     print("bench_diff_test: all cases passed")
     return 0
 
