@@ -1,0 +1,156 @@
+// Data-parallel kernel suite runner (real kernels, real threads — no
+// simulation).
+//
+// Measures every DataPar workload (histogram, spmv, scan, transpose,
+// stencil2d) across a (schedule × thread-count) grid: per cell, a warmup
+// run followed by AID_BENCH_RUNS timed repeats of Workload::run_kernel,
+// with the kernel checksum verified against the 1-thread static reference
+// on every single run — a perf sample from a wrong answer is worthless, so
+// a mismatch is a hard bench failure (exit 1), never a silent record.
+//
+// Emits BENCH_kernel_suite.json (snapshot record first — see
+// harness/sysinfo.h) with one kernel_ns series per cell, config
+// "kernel=<name>/threads=<n>/sched=<label>". tools/aid_sweep.py runs this
+// binary repeatedly at the process level and aggregates the per-run JSONs
+// into a median-of-medians CSV; the bench prints the same table humans
+// read in CI logs.
+//
+// Tunables:
+//   AID_BENCH_SCALE           — problem scale (default 0.25; 1.0 = full)
+//   AID_BENCH_RUNS            — timed repeats per cell (default 7)
+//   AID_BENCH_SUITE_THREADS   — comma list of team sizes (default "1,2,4")
+//   AID_BENCH_SUITE_KERNELS   — comma list of workload names (default: the
+//                               DataPar suite)
+//   --smoke                   — CI smoke mode: scale 0.02, 2 runs, threads
+//                               1,2 (env settings win over the flag)
+//   --list                    — print the default kernel set and exit
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/time_source.h"
+#include "platform/platform.h"
+#include "rt/team.h"
+#include "sched/schedule_spec.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace aid;
+
+std::vector<int> parse_threads(const std::string& text) {
+  std::vector<int> out;
+  for (const auto& piece : env::split_list(text)) {
+    const auto v = env::parse_int(piece);
+    if (v.has_value() && *v >= 1) out.push_back(static_cast<int>(*v));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      for (const auto* w : workloads::workloads_of_suite("DataPar"))
+        std::printf("%s\n", w->name().c_str());
+      return 0;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--list]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Smoke mode supplies small defaults; explicit env always wins so
+  // aid_sweep can drive either mode with precise knobs.
+  const double scale =
+      env::get_double("AID_BENCH_SCALE", smoke ? 0.02 : 0.25);
+  const int runs =
+      static_cast<int>(env::get_int("AID_BENCH_RUNS", smoke ? 2 : 7));
+  const std::vector<int> thread_counts = parse_threads(
+      env::get_string("AID_BENCH_SUITE_THREADS", smoke ? "1,2" : "1,2,4"));
+  std::vector<std::string> kernel_names = env::split_list(
+      env::get_string("AID_BENCH_SUITE_KERNELS", ""));
+  if (kernel_names.empty())
+    for (const auto* w : workloads::workloads_of_suite("DataPar"))
+      kernel_names.push_back(w->name());
+
+  const auto apps = bench::apps_by_name(kernel_names);
+  const struct {
+    const char* label;
+    sched::ScheduleSpec spec;
+  } specs[] = {
+      {"static", sched::ScheduleSpec::static_even()},
+      {"dynamic16", sched::ScheduleSpec::dynamic(16)},
+      {"aid-static", sched::ScheduleSpec::aid_static(1)},
+      {"aid-dynamic", sched::ScheduleSpec::aid_dynamic(1, 5)},
+  };
+
+  bench::BenchJsonWriter json("kernel_suite");
+  const SteadyTimeSource clock;
+  std::printf(
+      "data-parallel kernel suite (scale %.3g, %d runs per cell%s)\n\n",
+      scale, runs, smoke ? ", smoke" : "");
+
+  // One serial reference per kernel: the 1-thread static checksum every
+  // measured run must reproduce (same contract as kernel_invariance_test).
+  rt::Team serial(platform::generic_amp(1, 1, 2.0), 1,
+                  platform::Mapping::kBigFirst, /*emulate_amp=*/false);
+  std::vector<double> references;
+  references.reserve(apps.size());
+  for (const auto* app : apps) {
+    const double ref =
+        app->run_kernel(serial, sched::ScheduleSpec::static_even(), scale);
+    if (!std::isfinite(ref)) {
+      std::fprintf(stderr, "kernel_suite: %s serial checksum not finite\n",
+                   app->name().c_str());
+      return 1;
+    }
+    references.push_back(ref);
+  }
+
+  for (const int nthreads : thread_counts) {
+    const auto platform = platform::generic_amp(
+        nthreads - nthreads / 2 > 0 ? nthreads - nthreads / 2 : 1,
+        nthreads / 2 > 0 ? nthreads / 2 : 1, 2.0);
+    rt::Team team(platform, nthreads, platform::Mapping::kBigFirst,
+                  /*emulate_amp=*/false);
+    for (usize a = 0; a < apps.size(); ++a) {
+      const auto* app = apps[a];
+      const double tol = 1e-6 * std::max(1.0, std::fabs(references[a]));
+      for (const auto& [label, spec] : specs) {
+        std::vector<double> samples;
+        samples.reserve(static_cast<usize>(runs));
+        for (int r = -1; r < runs; ++r) {  // r == -1: warmup
+          const Nanos t0 = clock.now();
+          const double checksum = app->run_kernel(team, spec, scale);
+          const Nanos t1 = clock.now();
+          if (std::fabs(checksum - references[a]) > tol) {
+            std::fprintf(stderr,
+                         "kernel_suite: %s under threads=%d sched=%s: "
+                         "checksum %.17g != reference %.17g\n",
+                         app->name().c_str(), nthreads, label, checksum,
+                         references[a]);
+            return 1;
+          }
+          if (r >= 0) samples.push_back(static_cast<double>(t1 - t0));
+        }
+        char config[96];
+        std::snprintf(config, sizeof config, "kernel=%s/threads=%d/sched=%s",
+                      app->name().c_str(), nthreads, label);
+        const bench::SampleSummary s = bench::summarize(samples);
+        std::printf("  %-52s median %11.0f ns   p95 %11.0f ns\n", config,
+                    s.median, s.p95);
+        json.add(config, "kernel_ns", s);
+      }
+    }
+  }
+  return 0;
+}

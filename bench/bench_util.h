@@ -18,6 +18,7 @@
 #include "common/env.h"
 #include "harness/experiment.h"
 #include "harness/figure_printer.h"
+#include "harness/sysinfo.h"
 #include "workloads/workload.h"
 
 namespace aid::bench {
@@ -31,9 +32,14 @@ inline harness::ExperimentParams params_for(
   return params;
 }
 
+/// The paper's 21 benchmarks only: the figure/table reproduction drivers
+/// must keep matching the paper even as the registry grows (the DataPar
+/// suite is measured by bench_kernel_suite, not by the figure benches).
 inline std::vector<const workloads::Workload*> all_apps() {
   std::vector<const workloads::Workload*> apps;
-  for (const auto& w : workloads::all_workloads()) apps.push_back(&w);
+  for (const auto& w : workloads::all_workloads())
+    if (w.suite() == "NPB" || w.suite() == "PARSEC" || w.suite() == "Rodinia")
+      apps.push_back(&w);
   return apps;
 }
 
@@ -66,10 +72,12 @@ inline void print_header(const std::string& what,
 //
 // Benches append {config, metric, median, p95, runs} records to a
 // BenchJsonWriter which serializes them as BENCH_<name>.json (an array of
-// objects, one per measured configuration). Future PRs diff these files to
-// track the perf trajectory. The output directory defaults to the working
-// directory and can be redirected with AID_BENCH_JSON_DIR; setting
-// AID_BENCH_JSON_DIR=- disables writing.
+// objects, one per measured configuration, preceded by one snapshot record
+// carrying the host/environment provenance — see harness/sysinfo.h).
+// bench_diff.py keys baselines by the snapshot's host_id so numbers from a
+// different runner class demote gating to report-only. The output directory
+// defaults to the working directory and can be redirected with
+// AID_BENCH_JSON_DIR; setting AID_BENCH_JSON_DIR=- disables writing.
 
 /// Robust order statistics of one measurement series, in the series' unit.
 struct SampleSummary {
@@ -144,6 +152,11 @@ class BenchJsonWriter {
     std::ofstream out(dir + "/BENCH_" + bench_name_ + ".json");
     if (!out) return;
     out << "[\n";
+    // Provenance first: one record whose "snapshot" field holds the
+    // host/environment capture. Readers that predate snapshots skip it
+    // (no "metric" key); bench_diff keys baselines by its host_id.
+    out << "  {\"bench\": \"" << json_str(bench_name_) << "\", \"snapshot\": "
+        << harness::sysinfo_json(harness::collect_sysinfo()) << "},\n";
     for (usize i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       out << "  {\"bench\": \"" << json_str(bench_name_)

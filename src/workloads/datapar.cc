@@ -1,0 +1,305 @@
+// Data-parallel kernel suite (SIMTight-shaped apps; ROADMAP "kernel suite").
+//
+// The paper's three suites are NPB/PARSEC/Rodinia loop *profiles*; this
+// suite adds the data-parallel shapes those profiles do not exercise, as
+// real kernels over the runtime:
+//
+//   histogram  — shared atomic bins under a skewed key distribution: every
+//                iteration is a relaxed fetch_add, hot bins collide across
+//                shards (the contention regime sharded pools must survive).
+//   spmv       — CSR matvec with power-law row lengths: per-row work spans
+//                ~1..4x the mean, the irregularity AID/dynamic exist for.
+//   scan       — two-phase inclusive prefix sum through a LoopChain with a
+//                real cross-loop dependency (block sums -> serial combine
+//                -> downsweep): the dependent-loop pipeline path.
+//   transpose  — strided writes (out stride = rows doubles): memory-bound,
+//                near-zero compute fraction.
+//   stencil2d  — 5-point damped diffusion sweeps with double buffering:
+//                the classic BSP stencil round-trip.
+//
+// Every kernel is schedule-invariant by construction (slot writes, integer
+// atomics, or fixed-order per-block accumulation) so the suite plugs into
+// the same serial-reference contract kernel_invariance_test enforces for
+// the paper suites, and each has a wire-servable twin in serve_kernel.cc.
+//
+// Profile calibration: the AppSpec parameters mirror how the schedulers
+// would experience each shape (tiny iterations for histogram, lognormal
+// cost spread for spmv, low compute fraction for transpose) so the
+// simulator path remains meaningful for the new suite too.
+#include <atomic>
+#include <cmath>
+
+#include "pipeline/loop_chain.h"
+#include "workloads/kernels.h"
+#include "workloads/workload.h"
+
+namespace aid::workloads {
+namespace {
+
+using kernels::CsrMatrix;
+using kernels::Grid2D;
+using kernels::KeyBatch;
+
+// --------------------------------------------------------------- profiles
+
+AppSpec histogram_spec() {
+  AppSpec s;
+  s.name = "histogram";
+  s.suite = "DataPar";
+  s.description = "shared atomic bins, skewed keys; tiny hot iterations";
+  s.phases.push_back(SerialSpec{"keygen", 6e6, 0.6});
+  LoopSpec loop;
+  loop.name = "bin-increments";
+  loop.trip = 24576;
+  loop.invocations = 8;
+  loop.cost_small_ns = 130.0;  // an increment + the cache-line ping
+  loop.compute_fraction = 0.22;
+  loop.contention = 0.7;  // hot bins collide hardest under the full team
+  loop.seed = 0x41;
+  loop.serial_between_ns = 40e3;
+  s.phases.push_back(loop);
+  return s;
+}
+
+AppSpec spmv_spec() {
+  AppSpec s;
+  s.name = "spmv";
+  s.suite = "DataPar";
+  s.description = "CSR matvec, power-law row lengths";
+  s.phases.push_back(SerialSpec{"assemble", 8e6, 0.65});
+  LoopSpec loop;
+  loop.name = "rows";
+  loop.trip = 16384;
+  loop.invocations = 6;
+  loop.cost_small_ns = 950.0;
+  // Row length spread: heavy lognormal tail, plus structure-ordered drift
+  // (long rows cluster where the generator's tail landed).
+  loop.shape = CostShape::kLognormal;
+  loop.shape_param = 0.85;
+  loop.drift = 0.25;
+  loop.compute_fraction = 0.45;
+  loop.contention = 0.5;
+  loop.seed = 0x5B;
+  loop.serial_between_ns = 30e3;
+  s.phases.push_back(loop);
+  return s;
+}
+
+AppSpec scan_spec() {
+  AppSpec s;
+  s.name = "scan";
+  s.suite = "DataPar";
+  s.description = "two-phase prefix sum; dependent loops, serial combine";
+  s.phases.push_back(SerialSpec{"init", 3e6, 0.6});
+  const struct {
+    const char* name;
+    double cost;
+    double cf;
+  } phases[2] = {
+      {"block-sums", 620.0, 0.34},
+      {"downsweep", 700.0, 0.30},
+  };
+  for (const auto& d : phases) {
+    LoopSpec loop;
+    loop.name = d.name;
+    loop.trip = 4096;
+    loop.invocations = 6;
+    loop.cost_small_ns = d.cost;
+    loop.compute_fraction = d.cf;
+    loop.contention = 0.45;
+    loop.seed = 0x5C;
+    // The serial combine between the phases (scan of the block sums).
+    loop.serial_between_ns = 90e3;
+    s.phases.push_back(loop);
+  }
+  return s;
+}
+
+AppSpec transpose_spec() {
+  AppSpec s;
+  s.name = "transpose";
+  s.suite = "DataPar";
+  s.description = "strided writes; memory-bound, uniform rows";
+  s.phases.push_back(SerialSpec{"alloc", 2e6, 0.6});
+  LoopSpec loop;
+  loop.name = "rows";
+  loop.trip = 8192;
+  loop.invocations = 8;
+  loop.cost_small_ns = 320.0;
+  loop.compute_fraction = 0.06;  // pure memory movement
+  loop.contention = 0.55;        // shared-bandwidth erosion
+  loop.seed = 0x72;
+  loop.serial_between_ns = 25e3;
+  s.phases.push_back(loop);
+  return s;
+}
+
+AppSpec stencil2d_spec() {
+  AppSpec s;
+  s.name = "stencil2d";
+  s.suite = "DataPar";
+  s.description = "5-point diffusion sweeps, double-buffered rows";
+  s.phases.push_back(SerialSpec{"init", 4e6, 0.6});
+  LoopSpec loop;
+  loop.name = "rows";
+  loop.trip = 2048;
+  loop.invocations = 8;
+  loop.cost_small_ns = 2200.0;
+  loop.compute_fraction = 0.48;
+  loop.contention = 0.5;
+  loop.drift = 0.15;  // boundary rows are cheaper than interior rows
+  loop.seed = 0x5D;
+  loop.serial_between_ns = 35e3;  // buffer swap + convergence bookkeeping
+  s.phases.push_back(loop);
+  return s;
+}
+
+// ---------------------------------------------------------------- kernels
+
+double histogram_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                        double scale) {
+  const i64 n = std::max<i64>(512, static_cast<i64>(300000 * scale));
+  constexpr i32 kBins = 256;
+  const KeyBatch batch = KeyBatch::generate_skewed(n, kBins, 2.0, 0x41);
+  std::vector<std::atomic<i64>> bins(kBins);
+  for (auto& b : bins) b.store(0, std::memory_order_relaxed);
+  team.run_loop(n, spec, [&](i64 b, i64 e, const rt::WorkerInfo&) {
+    kernels::atomic_histogram_slice(batch, bins, b, e);
+  });
+  // Position-weighted integer checksum: exact under any schedule (integer
+  // increments commute), and a count landing in the wrong bin changes it.
+  double checksum = 0.0;
+  for (usize k = 0; k < bins.size(); ++k)
+    checksum += static_cast<double>(bins[k].load(std::memory_order_relaxed)) *
+                static_cast<double>(k + 1);
+  return checksum;
+}
+
+double spmv_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                   double scale) {
+  const i64 rows = std::max<i64>(256, static_cast<i64>(20000 * scale));
+  const CsrMatrix a = CsrMatrix::random_irregular(rows, 16, 0x5B);
+  std::vector<double> x(static_cast<usize>(rows));
+  for (i64 i = 0; i < rows; ++i)
+    x[static_cast<usize>(i)] = 1.0 + 0.25 * static_cast<double>(i % 11);
+  std::vector<double> y(static_cast<usize>(rows), 0.0);
+  for (int it = 0; it < 2; ++it) {
+    team.parallel_for(0, rows, 1, spec, [&](i64 row, const rt::WorkerInfo&) {
+      y[static_cast<usize>(row)] = kernels::spmv_row(a, x, row);
+    });
+    // Serial damped feedback between matvecs keeps the second pass honest
+    // (different x) without any cross-iteration parallel dependency.
+    for (i64 i = 0; i < rows; ++i)
+      x[static_cast<usize>(i)] += 0.01 * y[static_cast<usize>(i)];
+  }
+  double checksum = 0.0;
+  for (double v : y) checksum += v;
+  return checksum;
+}
+
+double scan_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                   double scale) {
+  const i64 n = std::max<i64>(4096, static_cast<i64>(250000 * scale));
+  constexpr i64 kBlock = 512;
+  const i64 nblocks = (n + kBlock - 1) / kBlock;
+  const std::vector<double> x = kernels::signal_vector(n, 0x5C);
+  std::vector<double> block_sums(static_cast<usize>(nblocks), 0.0);
+  std::vector<double> offsets(static_cast<usize>(nblocks), 0.0);
+  std::vector<double> out(static_cast<usize>(n), 0.0);
+
+  const auto block_range = [&](i64 b, i64* begin, i64* end) {
+    *begin = b * kBlock;
+    *end = std::min(n, *begin + kBlock);
+  };
+
+  // Two-phase scan as a dependent chain: the downsweep may not start until
+  // the serial combine has every block sum, and the combine needs the whole
+  // upsweep — real cross-loop dependencies through the pipeline subsystem.
+  pipeline::LoopChain chain;
+  const int upsweep =
+      chain.add(nblocks, spec, [&](i64 b, i64 e, const rt::WorkerInfo&) {
+        for (i64 blk = b; blk < e; ++blk) {
+          i64 begin = 0;
+          i64 end = 0;
+          block_range(blk, &begin, &end);
+          block_sums[static_cast<usize>(blk)] =
+              kernels::range_sum(x, begin, end);
+        }
+      });
+  const int combine =
+      chain.add_after(upsweep, 1, sched::ScheduleSpec::static_even(),
+                      [&](i64, i64, const rt::WorkerInfo&) {
+                        double acc = 0.0;
+                        for (i64 b = 0; b < nblocks; ++b) {
+                          offsets[static_cast<usize>(b)] = acc;
+                          acc += block_sums[static_cast<usize>(b)];
+                        }
+                      });
+  chain.add_after(combine, nblocks, spec,
+                  [&](i64 b, i64 e, const rt::WorkerInfo&) {
+                    for (i64 blk = b; blk < e; ++blk) {
+                      i64 begin = 0;
+                      i64 end = 0;
+                      block_range(blk, &begin, &end);
+                      kernels::inclusive_scan_apply(
+                          x, offsets[static_cast<usize>(blk)], out, begin,
+                          end);
+                    }
+                  });
+  team.run_chain(chain);
+
+  // Sampled fixed-order checksum (full sum of prefix sums would dwarf the
+  // signal): every 97th prefix plus the total.
+  double checksum = out[static_cast<usize>(n - 1)];
+  for (i64 i = 0; i < n; i += 97) checksum += out[static_cast<usize>(i)];
+  return checksum;
+}
+
+double transpose_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                        double scale) {
+  const i64 rows = std::max<i64>(64, static_cast<i64>(768 * std::sqrt(scale)));
+  const i64 cols = std::max<i64>(32, rows / 2);
+  const std::vector<double> in =
+      kernels::signal_vector(rows * cols, 0x72);
+  std::vector<double> out(in.size(), 0.0);
+  team.run_loop(rows, spec, [&](i64 b, i64 e, const rt::WorkerInfo&) {
+    kernels::transpose_rows(in, out, rows, cols, b, e);
+  });
+  // Position-weighted checksum: a value landing anywhere but its transposed
+  // slot changes the sum (a plain sum would not notice a misplaced write).
+  double checksum = 0.0;
+  for (usize k = 0; k < out.size(); ++k)
+    checksum += out[k] * static_cast<double>(k % 13 + 1);
+  return checksum;
+}
+
+double stencil2d_kernel(rt::Team& team, const sched::ScheduleSpec& spec,
+                        double scale) {
+  const i64 side = std::max<i64>(48, static_cast<i64>(512 * std::sqrt(scale)));
+  Grid2D a = Grid2D::generate(side, side, 0x5D);
+  Grid2D b = a;
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    const Grid2D& in = (sweep % 2 == 0) ? a : b;
+    Grid2D& out = (sweep % 2 == 0) ? b : a;
+    team.parallel_for(0, side, 1, spec, [&](i64 row, const rt::WorkerInfo&) {
+      kernels::stencil2d_row(in, out, row, 0.18);
+    });
+  }
+  double checksum = 0.0;
+  for (double v : a.cells) checksum += v;
+  return checksum;
+}
+
+}  // namespace
+
+std::vector<Workload> make_datapar_workloads() {
+  std::vector<Workload> v;
+  v.emplace_back(histogram_spec(), histogram_kernel);
+  v.emplace_back(spmv_spec(), spmv_kernel);
+  v.emplace_back(scan_spec(), scan_kernel);
+  v.emplace_back(transpose_spec(), transpose_kernel);
+  v.emplace_back(stencil2d_spec(), stencil2d_kernel);
+  return v;
+}
+
+}  // namespace aid::workloads

@@ -139,6 +139,33 @@ CsrMatrix CsrMatrix::laplacian_2d(i64 grid_side) {
   return m;
 }
 
+CsrMatrix CsrMatrix::random_irregular(i64 rows, i64 avg_nnz, u64 seed) {
+  AID_CHECK(rows >= 1 && avg_nnz >= 1);
+  CsrMatrix m;
+  m.rows = rows;
+  m.row_ptr.reserve(static_cast<usize>(rows) + 1);
+  m.row_ptr.push_back(0);
+  for (i64 r = 0; r < rows; ++r) {
+    // Cubed uniform draw: E[4u^3] = 1, so the mean row stays ~avg_nnz while
+    // most rows are short and the heavy tail reaches ~4x the average.
+    const double u = counter_uniform(seed, static_cast<u64>(r));
+    const i64 nnz = std::min<i64>(
+        rows,
+        1 + static_cast<i64>(u * u * u * 4.0 * static_cast<double>(avg_nnz)));
+    for (i64 k = 0; k < nnz; ++k) {
+      const u64 ctr = static_cast<u64>(r) * 0x1f123bb5ULL + static_cast<u64>(k);
+      const i64 col = std::min<i64>(
+          rows - 1,
+          static_cast<i64>(counter_uniform(seed ^ 0xc01defULL, ctr) *
+                           static_cast<double>(rows)));
+      m.cols.push_back(col);
+      m.vals.push_back(counter_uniform(seed ^ 0x7a1ULL, ctr) * 2.0 - 1.0);
+    }
+    m.row_ptr.push_back(static_cast<i64>(m.cols.size()));
+  }
+  return m;
+}
+
 double spmv_row(const CsrMatrix& a, const std::vector<double>& x, i64 row) {
   AID_DCHECK(row >= 0 && row < a.rows);
   AID_DCHECK(x.size() == static_cast<usize>(a.rows));
@@ -239,6 +266,70 @@ void is_histogram_slice(const KeyBatch& batch, std::vector<i64>& counts,
   AID_DCHECK(counts.size() >= static_cast<usize>(batch.max_key));
   for (i64 i = begin; i < end; ++i)
     ++counts[static_cast<usize>(batch.keys[static_cast<usize>(i)])];
+}
+
+KeyBatch KeyBatch::generate_skewed(i64 n, i32 max_key, double skew,
+                                   u64 seed) {
+  AID_CHECK(n >= 0 && max_key >= 1 && skew >= 0.0);
+  KeyBatch b;
+  b.max_key = max_key;
+  b.keys.resize(static_cast<usize>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const double u = counter_uniform(seed, static_cast<u64>(i));
+    // u^(1+skew) concentrates mass near 0: with skew 2 roughly half of all
+    // keys land in the bottom ~12% of bins (the hot-bin contention case).
+    const double v = std::pow(u, 1.0 + skew);
+    b.keys[static_cast<usize>(i)] =
+        std::min<i32>(static_cast<i32>(v * max_key), max_key - 1);
+  }
+  return b;
+}
+
+void atomic_histogram_slice(const KeyBatch& batch,
+                            std::vector<std::atomic<i64>>& bins, i64 begin,
+                            i64 end) {
+  AID_DCHECK(bins.size() >= static_cast<usize>(batch.max_key));
+  for (i64 i = begin; i < end; ++i)
+    bins[static_cast<usize>(batch.keys[static_cast<usize>(i)])].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------- data-parallel suite
+
+std::vector<double> signal_vector(i64 n, u64 seed) {
+  AID_CHECK(n >= 0);
+  std::vector<double> x(static_cast<usize>(n));
+  for (usize i = 0; i < x.size(); ++i) x[i] = counter_uniform(seed, i) - 0.5;
+  return x;
+}
+
+double range_sum(const std::vector<double>& x, i64 begin, i64 end) {
+  AID_DCHECK(begin >= 0 && end <= static_cast<i64>(x.size()));
+  double acc = 0.0;
+  for (i64 i = begin; i < end; ++i) acc += x[static_cast<usize>(i)];
+  return acc;
+}
+
+void inclusive_scan_apply(const std::vector<double>& x, double offset,
+                          std::vector<double>& out, i64 begin, i64 end) {
+  AID_DCHECK(begin >= 0 && end <= static_cast<i64>(x.size()));
+  AID_DCHECK(out.size() == x.size());
+  double acc = offset;
+  for (i64 i = begin; i < end; ++i) {
+    acc += x[static_cast<usize>(i)];
+    out[static_cast<usize>(i)] = acc;
+  }
+}
+
+void transpose_rows(const std::vector<double>& in, std::vector<double>& out,
+                    i64 rows, i64 cols, i64 row_begin, i64 row_end) {
+  AID_DCHECK(in.size() == static_cast<usize>(rows * cols));
+  AID_DCHECK(out.size() == in.size());
+  AID_DCHECK(row_begin >= 0 && row_end <= rows);
+  for (i64 r = row_begin; r < row_end; ++r)
+    for (i64 c = 0; c < cols; ++c)
+      out[static_cast<usize>(c * rows + r)] =
+          in[static_cast<usize>(r * cols + c)];
 }
 
 // ------------------------------------------------------------------ graphs

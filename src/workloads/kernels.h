@@ -66,6 +66,16 @@ struct CsrMatrix {
   std::vector<i64> cols;
   std::vector<double> vals;
   static CsrMatrix laplacian_2d(i64 grid_side);
+  /// Deterministic square matrix with power-law row lengths (row nnz spans
+  /// 1 .. ~8*avg_nnz): the irregular per-row work that separates dynamic/AID
+  /// schedules from static on SpMV, where the Laplacian's near-constant
+  /// 5-point rows cannot.
+  static CsrMatrix random_irregular(i64 rows, i64 avg_nnz, u64 seed);
+  [[nodiscard]] i64 nnz() const { return static_cast<i64>(cols.size()); }
+  [[nodiscard]] i64 row_nnz(i64 row) const {
+    return row_ptr[static_cast<usize>(row) + 1] -
+           row_ptr[static_cast<usize>(row)];
+  }
 };
 /// y[row] = A[row,:] * x (one CG matvec iteration unit).
 [[nodiscard]] double spmv_row(const CsrMatrix& a,
@@ -92,9 +102,44 @@ struct KeyBatch {
   std::vector<i32> keys;
   i32 max_key = 0;
   static KeyBatch generate(i64 n, i32 max_key, u64 seed);
+  /// Skewed key distribution (key = max_key * u^(1+skew)): hot bins that
+  /// many iterations hit at once — the atomics-contention regime the
+  /// shared-bin histogram kernel exists to stress. skew = 0 is uniform.
+  static KeyBatch generate_skewed(i64 n, i32 max_key, double skew, u64 seed);
 };
 void is_histogram_slice(const KeyBatch& batch, std::vector<i64>& counts,
                         i64 begin, i64 end);
+
+/// Shared-bin histogram slice: every iteration lands a relaxed fetch_add on
+/// its key's bin. Integer increments commute, so the final bin contents are
+/// schedule-invariant bit for bit — unlike a float accumulation would be.
+void atomic_histogram_slice(const KeyBatch& batch,
+                            std::vector<std::atomic<i64>>& bins, i64 begin,
+                            i64 end);
+
+// ------------------------------------------------------- data-parallel suite
+/// Deterministic input vector for the scan/transpose kernels: x[i] in
+/// [-0.5, 0.5), independent per index (counter-based).
+[[nodiscard]] std::vector<double> signal_vector(i64 n, u64 seed);
+
+/// Serial sum of x[begin, end) in ascending index order (the block-sum
+/// phase of the two-phase scan; fixed order keeps it bit-deterministic).
+[[nodiscard]] double range_sum(const std::vector<double>& x, i64 begin,
+                               i64 end);
+
+/// Inclusive prefix sums of x[begin, end) shifted by `offset`:
+/// out[i] = offset + x[begin] + ... + x[i]. The downsweep phase of the
+/// two-phase scan; each block's serial accumulation order is fixed, so the
+/// result is independent of which thread ran the block.
+void inclusive_scan_apply(const std::vector<double>& x, double offset,
+                          std::vector<double>& out, i64 begin, i64 end);
+
+/// Transpose rows [row_begin, row_end) of a rows x cols row-major matrix
+/// into the cols x rows output: out[c * rows + r] = in[r * cols + c].
+/// Reads stream, writes stride by `rows` doubles — the classic bad-locality
+/// access pattern a scheduler cannot see from trip counts alone.
+void transpose_rows(const std::vector<double>& in, std::vector<double>& out,
+                    i64 rows, i64 cols, i64 row_begin, i64 row_end);
 
 // ------------------------------------------------------------------ graphs
 /// CSR adjacency for a deterministic random graph (Rodinia bfs).

@@ -3,12 +3,14 @@
 namespace aid::workloads {
 
 const std::vector<Workload>& all_workloads() {
-  // Fig. 6/7 display order: NPB, then PARSEC, then Rodinia.
+  // Fig. 6/7 display order (NPB, PARSEC, Rodinia), then the data-parallel
+  // suite appended so the paper figures keep their indices.
   static const std::vector<Workload> all = [] {
     std::vector<Workload> v;
     for (auto& w : make_npb_workloads()) v.push_back(std::move(w));
     for (auto& w : make_parsec_workloads()) v.push_back(std::move(w));
     for (auto& w : make_rodinia_workloads()) v.push_back(std::move(w));
+    for (auto& w : make_datapar_workloads()) v.push_back(std::move(w));
     return v;
   }();
   return all;

@@ -1,5 +1,6 @@
 #include "workloads/serve_kernel.h"
 
+#include <atomic>
 #include <cmath>
 #include <memory>
 
@@ -105,6 +106,101 @@ ServeKernel make_particlefilter(i64 count) {
   });
 }
 
+// ----------------------------------------------------- data-parallel suite
+//
+// The DataPar twins. All but histogram follow the slot pattern; shared
+// read-only inputs are capped so a max-count wire job stays within a few
+// MB of server-side state per job.
+
+ServeKernel make_histogram(i64 count) {
+  // The one servable kernel with cross-iteration state: shared atomic bins.
+  // Integer increments commute, so the bins — and the fixed-order weighted
+  // checksum over them — are bit-identical under any schedule, which is all
+  // the cross-transport verification needs.
+  constexpr i32 kBins = 256;
+  auto batch = std::make_shared<kernels::KeyBatch>(
+      kernels::KeyBatch::generate_skewed(count, kBins, 2.0, 0x41));
+  auto bins = std::make_shared<std::vector<std::atomic<i64>>>(kBins);
+  for (auto& b : *bins) b.store(0, std::memory_order_relaxed);
+  ServeKernel k;
+  k.count = count;
+  k.body = [batch, bins](i64 begin, i64 end, const rt::WorkerInfo&) {
+    kernels::atomic_histogram_slice(*batch, *bins, begin, end);
+  };
+  k.checksum = [bins] {
+    double s = 0.0;
+    for (usize i = 0; i < bins->size(); ++i)
+      s += static_cast<double>((*bins)[i].load(std::memory_order_relaxed)) *
+           static_cast<double>(i + 1);
+    return s;
+  };
+  return k;
+}
+
+ServeKernel make_spmv(i64 count) {
+  // Matrix rows are capped (a max-count job would otherwise assemble a
+  // ~16M-entry matrix per request); iteration i computes row i mod rows.
+  const i64 rows = std::min<i64>(count, i64{1} << 14);
+  auto a = std::make_shared<kernels::CsrMatrix>(
+      kernels::CsrMatrix::random_irregular(rows, 16, 0x5B));
+  auto x = std::make_shared<std::vector<double>>();
+  x->resize(static_cast<usize>(rows));
+  for (usize j = 0; j < x->size(); ++j)
+    x->at(j) = 1.0 + 0.25 * static_cast<double>(j % 11);
+  return from_fn(count, [a, x, rows](i64 i) {
+    return kernels::spmv_row(*a, *x, i % rows);
+  });
+}
+
+ServeKernel make_scan(i64 count) {
+  // Tiled inclusive scan: slot i holds the prefix sum within its 256-wide
+  // tile. Bounded per-iteration cost (<= one tile) for arbitrary counts,
+  // still a genuine dependent-accumulation access pattern.
+  constexpr i64 kTile = 256;
+  auto x = std::make_shared<std::vector<double>>(
+      kernels::signal_vector(count, 0x5C));
+  return from_fn(count, [x, kTile](i64 i) {
+    const i64 tile_start = (i / kTile) * kTile;
+    return kernels::range_sum(*x, tile_start, i + 1);
+  });
+}
+
+ServeKernel make_transpose(i64 count) {
+  // Strided reads against a capped square matrix: slot i reads the
+  // transposed position of i mod size.
+  const i64 side = std::min<i64>(
+      512, std::max<i64>(
+               8, static_cast<i64>(std::sqrt(static_cast<double>(count)))));
+  auto in = std::make_shared<std::vector<double>>(
+      kernels::signal_vector(side * side, 0x72));
+  return from_fn(count, [in, side](i64 i) {
+    const i64 cell = i % (side * side);
+    const i64 r = cell / side;
+    const i64 c = cell % side;
+    return (*in)[static_cast<usize>(c * side + r)];
+  });
+}
+
+ServeKernel make_stencil2d(i64 count) {
+  // One 5-point damped-diffusion update per slot against a capped grid.
+  const i64 side = std::min<i64>(
+      512, std::max<i64>(
+               8, static_cast<i64>(std::sqrt(static_cast<double>(count)))));
+  auto g = std::make_shared<kernels::Grid2D>(
+      kernels::Grid2D::generate(side, side, 0x5D));
+  return from_fn(count, [g, side](i64 i) {
+    const i64 cell = i % (side * side);
+    const i64 x = cell % side;
+    const i64 y = cell / side;
+    const double c = g->at(x, y);
+    const double n = y > 0 ? g->at(x, y - 1) : c;
+    const double s = y + 1 < side ? g->at(x, y + 1) : c;
+    const double w = x > 0 ? g->at(x - 1, y) : c;
+    const double e = x + 1 < side ? g->at(x + 1, y) : c;
+    return c + 0.18 * (n + s + e + w - 4.0 * c);
+  });
+}
+
 using Maker = ServeKernel (*)(i64 count);
 
 struct Entry {
@@ -113,7 +209,8 @@ struct Entry {
 };
 
 /// Registry subset with wire-servable kernels, in registry display order
-/// (NPB, then PARSEC, then Rodinia — matching workload_names()).
+/// (NPB, then PARSEC, then Rodinia, then DataPar — matching
+/// workload_names()).
 constexpr Entry kServable[] = {
     {"CG", make_cg},
     {"EP", make_ep},
@@ -121,6 +218,11 @@ constexpr Entry kServable[] = {
     {"blackscholes", make_blackscholes},
     {"streamcluster", make_streamcluster},
     {"particlefilter", make_particlefilter},
+    {"histogram", make_histogram},
+    {"spmv", make_spmv},
+    {"scan", make_scan},
+    {"transpose", make_transpose},
+    {"stencil2d", make_stencil2d},
 };
 
 void set_error(std::string* error, std::string msg) {

@@ -55,7 +55,16 @@ class Workload {
 [[nodiscard]] std::vector<Workload> make_parsec_workloads();
 [[nodiscard]] std::vector<Workload> make_rodinia_workloads();
 
-/// All 21 benchmarks, in the paper's Fig. 6/7 display order.
+/// The data-parallel kernel suite (histogram, spmv, scan, transpose,
+/// stencil2d — datapar.cc): SIMTight-shaped workloads that stress atomics
+/// contention, irregular rows, dependent loops, and strided memory in ways
+/// the paper's loop profiles do not.
+[[nodiscard]] std::vector<Workload> make_datapar_workloads();
+
+/// Every registered benchmark: the paper's 21 (Fig. 6/7 display order)
+/// followed by the DataPar suite. The figure/table benches iterate only
+/// the paper suites (bench_util.h all_apps); tests and the serving tier
+/// see the full registry.
 [[nodiscard]] const std::vector<Workload>& all_workloads();
 
 /// Lookup by name; nullptr when unknown.

@@ -144,6 +144,45 @@ TEST(IngressServerTest, SubmitCompletesWithSerialChecksum) {
   }
 }
 
+TEST(IngressServerTest, DataParKernelsMatchAcrossTransports) {
+  // The DataPar serve kernels (histogram's shared atomic bins included)
+  // must produce one answer everywhere: a socket-transport job, an
+  // shm-transport job, and a local serial run of the same kernel factory.
+  // Bit-equality is the contract — slot writes and integer atomics are
+  // schedule-independent by construction (workloads/serve_kernel.cc).
+  NodeAndServer s("datapar");
+  IngressClient sock_client = s.connect("datapar-sock");
+  std::string error;
+  auto shm_client =
+      IngressClient::connect(s.server.socket_path(), "datapar-shm", &error,
+                             IngressClient::Transport::kShm);
+  ASSERT_TRUE(shm_client.has_value()) << error;
+
+  for (const char* workload :
+       {"histogram", "spmv", "scan", "transpose", "stencil2d"}) {
+    IngressClient::Request req;
+    req.workload = workload;
+    req.count = 20'000;
+    const double serial = local_serial_checksum(workload, req.count);
+
+    const u64 sock_id = sock_client.submit(req);
+    ASSERT_NE(sock_id, 0u) << sock_client.last_error();
+    const IngressClient::Result sock_r = sock_client.wait(sock_id);
+    ASSERT_TRUE(sock_r.transport_ok) << sock_r.message;
+    ASSERT_EQ(sock_r.status, JobStatus::kDone)
+        << workload << ": " << sock_r.message;
+    EXPECT_EQ(sock_r.checksum, serial) << workload << " over socket";
+
+    const u64 shm_id = shm_client->submit(req);
+    ASSERT_NE(shm_id, 0u) << shm_client->last_error();
+    const IngressClient::Result shm_r = shm_client->wait(shm_id);
+    ASSERT_TRUE(shm_r.transport_ok) << shm_r.message;
+    ASSERT_EQ(shm_r.status, JobStatus::kDone)
+        << workload << ": " << shm_r.message;
+    EXPECT_EQ(shm_r.checksum, serial) << workload << " over shm ring";
+  }
+}
+
 TEST(IngressServerTest, UnknownWorkloadAndBadCountAreRejected) {
   NodeAndServer s("reject");
   IngressClient client = s.connect("rejecter");

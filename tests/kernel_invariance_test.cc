@@ -4,8 +4,10 @@
 // a lost, duplicated or misordered-with-dependency iteration shows up here.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/env.h"
 #include "rt/team.h"
 #include "workloads/workload.h"
 
@@ -48,10 +50,44 @@ TEST_P(KernelInvariance, SameChecksumUnderEverySchedule) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    All21, KernelInvariance, ::testing::Range(0, 21),
+    AllRegistered, KernelInvariance, ::testing::Range(0, 26),
     [](const ::testing::TestParamInfo<int>& param_info) {
       return all_workloads()[static_cast<usize>(param_info.param)].name();
     });
+
+// The DataPar kernels also sweep the shard dimension: AID_SHARDS is read
+// at Team construction (ShardTopology::from_layout), so a fresh team per
+// setting exercises the forced-single-shard fallback and the auto layout.
+// The whole-suite × pool-mode coverage comes from the CI legs running this
+// binary under AID_POOL=1 / AID_POOL=1 AID_SHARDS=1.
+TEST(DataParShardInvariance, SameChecksumUnderShardSettings) {
+  constexpr double kScale = 0.02;
+  rt::Team serial(platform::generic_amp(1, 1, 2.0), 1,
+                  platform::Mapping::kBigFirst, /*emulate_amp=*/false);
+  const sched::ScheduleSpec specs[] = {
+      sched::ScheduleSpec::static_even(),
+      sched::ScheduleSpec::dynamic(1),
+      sched::ScheduleSpec::aid_static(1),
+      sched::ScheduleSpec::aid_dynamic(1, 5),
+  };
+  for (const auto* workload : workloads_of_suite("DataPar")) {
+    ASSERT_TRUE(workload->has_kernel()) << workload->name();
+    const double reference = workload->run_kernel(
+        serial, sched::ScheduleSpec::static_even(), kScale);
+    ASSERT_TRUE(std::isfinite(reference)) << workload->name();
+    const double tol = 1e-6 * std::max(1.0, std::fabs(reference));
+    for (const char* shards : {"1", "0"}) {  // forced single shard / auto
+      env::ScopedSet scoped("AID_SHARDS", shards);
+      rt::Team team(platform::generic_amp(2, 2, 2.0), 4,
+                    platform::Mapping::kBigFirst, /*emulate_amp=*/false);
+      for (const auto& spec : specs) {
+        EXPECT_NEAR(workload->run_kernel(team, spec, kScale), reference, tol)
+            << workload->name() << " under " << spec.display()
+            << " AID_SHARDS=" << shards;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace aid::workloads

@@ -1,5 +1,6 @@
-// Parameterized sweep over all 21 workload profiles x both platforms:
-// structural invariants every profile must satisfy on every platform.
+// Parameterized sweep over every workload profile (the paper's 21 plus the
+// DataPar suite) x both platforms: structural invariants every profile must
+// satisfy on every platform.
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -96,8 +97,8 @@ TEST_P(ProfileSweep, AidStaticNeverLosesBadlyToStaticBS) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    All21x2, ProfileSweep,
-    ::testing::Combine(::testing::Range(0, 21), ::testing::Range(0, 2)),
+    AllRegisteredX2, ProfileSweep,
+    ::testing::Combine(::testing::Range(0, 26), ::testing::Range(0, 2)),
     [](const ::testing::TestParamInfo<std::tuple<int, int>>& param_info) {
       return all_workloads()[static_cast<usize>(
                  std::get<0>(param_info.param))]

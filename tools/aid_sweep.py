@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Reproducible sweep driver for the data-parallel kernel suite.
+
+Runs build/bench_kernel_suite repeatedly at the *process* level (fresh
+runtime, fresh page cache state, fresh scheduler sampling per repeat),
+collects each repeat's BENCH_kernel_suite.json into <out>/raw/run_NNN/,
+and aggregates the repeats into one CSV:
+
+    <out>/kernel_suite.csv
+
+        # snapshot: {"nproc": ..., "host_id": ..., ...}
+        kernel,threads,sched,metric,median_ns,p95_ns,stddev_ns,runs,repeats,host_id,git_sha
+        histogram,1,static,kernel_ns,207790,212588,3021,7,5,a1842a23e36f7cd4,unknown
+
+Aggregation is median-of-medians: each process repeat contributes its
+in-process median; the CSV's median_ns is the median of those, p95_ns the
+median of the per-repeat p95s, and stddev_ns the (population) stddev of
+the per-repeat medians — the honest run-to-run wobble number, which is
+what decides whether a delta between two sweeps means anything.
+
+The first repeat's environment snapshot (see src/harness/sysinfo.h) is
+embedded in the CSV header comment and echoed per row as host_id/git_sha,
+so tools/bench_diff.py can refuse to hard-gate a sweep against a baseline
+from a different runner class.
+
+The driver is stdlib-only and shells out exclusively to the bench binary;
+knobs are forwarded via the same AID_BENCH_* environment the binary reads.
+
+Usage:
+  tools/aid_sweep.py                       # 5 repeats, default grid
+  tools/aid_sweep.py --smoke               # CI: 1 repeat, tiny scale
+  tools/aid_sweep.py --repeats 9 --scale 1.0 --threads 1,2,4,8
+  tools/aid_sweep.py --kernels histogram,spmv --out results/hist_spmv
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+
+
+def find_bench(repo_root, explicit):
+    if explicit:
+        return explicit
+    for cand in (os.path.join(repo_root, "build", "bench_kernel_suite"),
+                 os.path.join(os.getcwd(), "bench_kernel_suite")):
+        if os.path.exists(cand):
+            return cand
+    sys.exit("aid_sweep: bench_kernel_suite not found — build first or "
+             "pass --bench")
+
+
+def load_run(path):
+    """Return (snapshot_dict_or_None, {(config, metric): record})."""
+    with open(path, encoding="utf-8") as f:
+        records = json.load(f)
+    snapshot = None
+    table = {}
+    for r in records:
+        if "snapshot" in r:
+            snapshot = r["snapshot"]
+        elif all(k in r for k in ("config", "metric", "median")):
+            table[(r["config"], r["metric"])] = r
+    return snapshot, table
+
+
+def split_config(config):
+    """'kernel=histogram/threads=1/sched=static' -> (kernel, threads, sched).
+    Unknown keys are ignored so the CSV survives config-format growth."""
+    fields = dict(seg.split("=", 1) for seg in config.split("/") if "=" in seg)
+    return (fields.get("kernel", "?"), fields.get("threads", "?"),
+            fields.get("sched", "?"))
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(
+        description="Process-level repeat driver for bench_kernel_suite.")
+    parser.add_argument("--bench", default=None,
+                        help="suite binary (default: build/bench_kernel_suite)")
+    parser.add_argument("--out", default=os.path.join(repo_root, "results"),
+                        help="output directory (default: results/)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="process-level repeats (default: 5; smoke: 1)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke mode: 1 repeat, bench --smoke defaults")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="AID_BENCH_SCALE for every repeat")
+    parser.add_argument("--runs", type=int, default=None,
+                        help="AID_BENCH_RUNS (in-process repeats per cell)")
+    parser.add_argument("--threads", default=None,
+                        help="AID_BENCH_SUITE_THREADS, e.g. 1,2,4,8")
+    parser.add_argument("--kernels", default=None,
+                        help="AID_BENCH_SUITE_KERNELS subset, e.g. spmv,scan")
+    args = parser.parse_args()
+
+    bench = find_bench(repo_root, args.bench)
+    repeats = args.repeats if args.repeats is not None else (
+        1 if args.smoke else 5)
+    if repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    raw_root = os.path.join(args.out, "raw")
+    os.makedirs(raw_root, exist_ok=True)
+
+    snapshot = None
+    runs = []  # one {(config, metric): record} per repeat
+    for r in range(repeats):
+        run_dir = os.path.join(raw_root, f"run_{r:03d}")
+        os.makedirs(run_dir, exist_ok=True)
+        env = dict(os.environ)
+        env["AID_BENCH_JSON_DIR"] = run_dir
+        if args.scale is not None:
+            env["AID_BENCH_SCALE"] = repr(args.scale)
+        if args.runs is not None:
+            env["AID_BENCH_RUNS"] = str(args.runs)
+        if args.threads is not None:
+            env["AID_BENCH_SUITE_THREADS"] = args.threads
+        if args.kernels is not None:
+            env["AID_BENCH_SUITE_KERNELS"] = args.kernels
+        cmd = [bench] + (["--smoke"] if args.smoke else [])
+        print(f"aid_sweep: repeat {r + 1}/{repeats}: {' '.join(cmd)}")
+        sys.stdout.flush()
+        proc = subprocess.run(cmd, env=env,
+                              stdout=subprocess.DEVNULL if r else None)
+        if proc.returncode != 0:
+            sys.exit(f"aid_sweep: repeat {r + 1} failed "
+                     f"(exit {proc.returncode}) — a checksum mismatch or "
+                     f"crash; see output above")
+        snap, table = load_run(
+            os.path.join(run_dir, "BENCH_kernel_suite.json"))
+        if snapshot is None:
+            snapshot = snap
+        runs.append(table)
+
+    # Median-of-medians across repeats. Every repeat measures the same grid;
+    # a key missing from some repeat (crashed cell) would have failed above.
+    keys = sorted(runs[0])
+    csv_path = os.path.join(args.out, "kernel_suite.csv")
+    with open(csv_path, "w", encoding="utf-8") as f:
+        if snapshot is not None:
+            f.write(f"# snapshot: {json.dumps(snapshot, sort_keys=True)}\n")
+        f.write("kernel,threads,sched,metric,median_ns,p95_ns,stddev_ns,"
+                "runs,repeats,host_id,git_sha\n")
+        host_id = (snapshot or {}).get("host_id", "unknown")
+        git_sha = (snapshot or {}).get("git_sha", "unknown")
+        for config, metric in keys:
+            medians = [t[(config, metric)]["median"] for t in runs]
+            p95s = [t[(config, metric)]["p95"] for t in runs]
+            inner_runs = runs[0][(config, metric)]["runs"]
+            stddev = statistics.pstdev(medians) if len(medians) > 1 else 0.0
+            kernel, threads, sched = split_config(config)
+            f.write(f"{kernel},{threads},{sched},{metric},"
+                    f"{statistics.median(medians):.0f},"
+                    f"{statistics.median(p95s):.0f},{stddev:.0f},"
+                    f"{inner_runs},{repeats},{host_id},{git_sha}\n")
+    print(f"aid_sweep: wrote {csv_path} ({len(keys)} series, "
+          f"{repeats} repeat(s)) and {repeats} raw run(s) under {raw_root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,20 @@ Usage:
   tools/bench_diff.py --fail-above 25 --exempt 'shard=,chain=:40'
                                            # shard= never gates; chain=
                                            # gates at 40% instead of 25%
+
+Baselines are keyed by *runner class*: bench files carry a snapshot
+record (bench_util.h / harness/sysinfo.h) whose host_id hashes the
+hardware-visible identity (cpu model, core count, governor). When the
+baseline's host_id and the current file's host_id are both known and
+differ — a laptop sweep diffed against a CI baseline, or vice versa —
+gating demotes to report-only: the deltas print, but --strict and
+--fail-above never fail the run. Files without a snapshot (pre-snapshot
+baselines) gate as before.
+
+Both sides may also be aid_sweep aggregate CSVs (*.csv): rows become
+(config, metric) series keyed the same way as the suite JSON, and the
+'# snapshot: {...}' header comment supplies the host_id, so a fresh
+sweep can be diffed against a committed sweep or a raw per-run JSON.
 """
 
 import argparse
@@ -54,16 +68,25 @@ COUNTER_METRICS = ("local_share_pct", "rebalances_per_run")
 
 
 def load(path):
-    """Return {(config, metric): record} for one BENCH_*.json file.
+    """Return ({(config, metric): record}, snapshot_or_None) for one
+    bench artifact — a BENCH_*.json file or an aid_sweep aggregate CSV
+    (picked by extension).
 
     Malformed records (missing config/metric/median — e.g. a truncated
     write from an interrupted bench run) are skipped with a warning
     instead of raising a KeyError later in the report."""
+    if path.endswith(".csv"):
+        return load_csv(path)
     with open(path, encoding="utf-8") as f:
         records = json.load(f)
     table = {}
+    snapshot = None
     skipped = 0
     for r in records:
+        if "snapshot" in r:
+            # Provenance record (bench_util.h): metadata, not a series.
+            snapshot = r["snapshot"]
+            continue
         if not all(k in r for k in ("config", "metric", "median")):
             skipped += 1
             continue
@@ -71,7 +94,53 @@ def load(path):
     if skipped:
         print(f"bench_diff: warning — {skipped} malformed record(s) "
               f"skipped in {path}")
-    return table
+    return table, snapshot
+
+
+def load_csv(path):
+    """Parse an aid_sweep aggregate CSV into the same (table, snapshot)
+    shape as the JSON loader. Rows key as config
+    "kernel=<k>/threads=<t>/sched=<s>" — identical to the suite JSON's
+    config strings, so CSV-vs-JSON diffs line up."""
+    table = {}
+    snapshot = None
+    skipped = 0
+    header = None
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                comment = line.lstrip("#").strip()
+                if comment.startswith("snapshot:"):
+                    try:
+                        snapshot = json.loads(
+                            comment[len("snapshot:"):].strip())
+                    except ValueError:
+                        print(f"bench_diff: warning — unparsable snapshot "
+                              f"comment in {path}")
+                continue
+            if header is None:
+                header = line.split(",")
+                continue
+            fields = dict(zip(header, line.split(",")))
+            try:
+                config = (f"kernel={fields['kernel']}"
+                          f"/threads={fields['threads']}"
+                          f"/sched={fields['sched']}")
+                record = {"config": config, "metric": fields["metric"],
+                          "median": float(fields["median_ns"]),
+                          "p95": float(fields["p95_ns"]),
+                          "runs": int(fields["runs"])}
+            except (KeyError, ValueError):
+                skipped += 1
+                continue
+            table[(config, record["metric"])] = record
+    if skipped:
+        print(f"bench_diff: warning — {skipped} malformed row(s) "
+              f"skipped in {path}")
+    return table, snapshot
 
 
 def family_of(config):
@@ -182,8 +251,26 @@ def main():
             print("bench_diff: nothing to compare — skipping (exit 0)")
             return 0
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    baseline, base_snap = load(args.baseline)
+    current, cur_snap = load(args.current)
+
+    # Runner-class keying: hard gates only make sense when both files come
+    # from the same host class. A mismatch (or one side missing its
+    # snapshot while the other has one) demotes gating to report-only —
+    # never a hard fail. Two snapshot-less files keep the legacy behavior.
+    base_host = (base_snap or {}).get("host_id")
+    cur_host = (cur_snap or {}).get("host_id")
+    host_demoted = None
+    if base_host is not None and cur_host is not None:
+        if base_host != cur_host:
+            host_demoted = (f"baseline host_id {base_host} != current "
+                            f"host_id {cur_host}")
+    elif base_host is not None or cur_host is not None:
+        which = "current" if base_host is not None else "baseline"
+        host_demoted = f"{which} file has no snapshot/host_id"
+    if host_demoted:
+        print(f"bench_diff: NOTE — {host_demoted}; different runner class, "
+              f"gating demoted to report-only\n")
 
     keys = sorted(set(baseline) | set(current))
     latency_keys = [k for k in keys if is_latency(k[1])]
@@ -245,17 +332,20 @@ def main():
     print(f"\nbench_diff: {regressions} regression(s), "
           f"{improvements} improvement(s) beyond ±{args.threshold:.0f}% "
           f"across {len(latency_keys)} latency series")
-    gating = args.fail_above is not None or args.strict
+    gating = (args.fail_above is not None or args.strict) and not host_demoted
+    if host_demoted and (args.fail_above is not None or args.strict):
+        print(f"bench_diff: report-only ({host_demoted})")
     if gating and family_failures:
         for config, metric, delta, limit in family_failures:
             print(f"bench_diff: FAIL — {config} {metric} {delta:+.1f}% "
                   f"exceeds its family gate of {limit:.0f}%")
         return 1
-    if args.fail_above is not None and worst_regression > args.fail_above:
+    if gating and args.fail_above is not None and \
+            worst_regression > args.fail_above:
         print(f"bench_diff: FAIL — worst regression {worst_regression:+.1f}% "
               f"exceeds --fail-above {args.fail_above:.0f}%")
         return 1
-    if args.strict and regressions:
+    if gating and args.strict and regressions:
         return 1
     return 0
 

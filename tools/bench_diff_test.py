@@ -12,6 +12,12 @@ The contract under test (registered with ctest as bench_diff_test):
      added-family leniency must not swallow real regressions.
   4. A family present only in the BASELINE is called out as removed,
      without failing the gate.
+  5. Host-id keying: gating demotes to report-only when the two files'
+     snapshot host_ids differ (or only one side has one) — a wrong-host
+     baseline must never hard-fail a run — while matching host_ids keep
+     the gate armed.
+  6. aid_sweep aggregate CSVs load as first-class diff inputs, keyed
+     identically to the suite JSON configs, snapshot comment included.
 
 Usage: bench_diff_test.py [path/to/bench_diff.py]
 """
@@ -31,6 +37,13 @@ def record(config, metric, median):
     return {"bench": "t", "config": config, "metric": metric,
             "median": median, "p95": median * 1.2, "p99": median * 1.5,
             "runs": 5}
+
+
+def snapshot_record(host_id):
+    return {"bench": "t", "snapshot": {
+        "nproc": 4, "cpu_model": "test-cpu", "governor": "performance",
+        "compiler": "test", "git_sha": "deadbeef", "host_id": host_id,
+        "env": {}}}
 
 
 def run_diff(tmp, baseline, current, extra_args=()):
@@ -117,6 +130,58 @@ def main():
                            ("--fail-above", "10", "--min-abs-ns", "500"))
         expect(rc == 1, "real regression above the floor still gates "
                "alongside sub-floor series", out)
+
+        # 6. Host-id keying. The same +100% regression that gates on a
+        # matching host class must demote to report-only across classes.
+        regressed = [record("threads=4/count=256", "fork_ns", 2000.0)]
+        rc, out = run_diff(tmp,
+                           [snapshot_record("aaaa")] + base,
+                           [snapshot_record("aaaa")] + regressed,
+                           ("--fail-above", "10"))
+        expect(rc == 1, "matching host_id keeps --fail-above armed", out)
+        rc, out = run_diff(tmp,
+                           [snapshot_record("aaaa")] + base,
+                           [snapshot_record("bbbb")] + regressed,
+                           ("--fail-above", "10"))
+        expect(rc == 0, "mismatched host_id demotes gating to report-only",
+               out)
+        expect("report-only" in out,
+               "host mismatch demotion is called out", out)
+        rc, out = run_diff(tmp,
+                           [snapshot_record("aaaa")] + base,
+                           [snapshot_record("bbbb")] + regressed,
+                           ("--strict",))
+        expect(rc == 0, "mismatched host_id also demotes --strict", out)
+        rc, out = run_diff(tmp, base,
+                           [snapshot_record("bbbb")] + regressed,
+                           ("--fail-above", "10"))
+        expect(rc == 0, "snapshot on only one side demotes gating", out)
+
+        # 7. aid_sweep aggregate CSV as a diff input: configs key exactly
+        # like the suite JSON, the snapshot comment carries host_id, and
+        # a cross-format regression gates when the host class matches.
+        csv_path = os.path.join(tmp, "sweep.csv")
+        snap = snapshot_record("aaaa")["snapshot"]
+        with open(csv_path, "w", encoding="utf-8") as f:
+            f.write(f"# snapshot: {json.dumps(snap)}\n")
+            f.write("kernel,threads,sched,metric,median_ns,p95_ns,"
+                    "stddev_ns,runs,repeats,host_id,git_sha\n")
+            f.write("histogram,4,static,kernel_ns,1000,1200,50,7,5,"
+                    "aaaa,deadbeef\n")
+        cur_json = os.path.join(tmp, "cur_suite.json")
+        with open(cur_json, "w", encoding="utf-8") as f:
+            json.dump([snapshot_record("aaaa"),
+                       record("kernel=histogram/threads=4/sched=static",
+                              "kernel_ns", 2000.0)], f)
+        proc = subprocess.run(
+            [sys.executable, BENCH_DIFF, "--baseline", csv_path,
+             "--current", cur_json, "--fail-above", "10"],
+            capture_output=True, text=True, check=False)
+        out = proc.stdout + proc.stderr
+        expect("kernel=histogram/threads=4/sched=static" in out,
+               "CSV rows key like suite JSON configs", out)
+        expect(proc.returncode == 1,
+               "CSV-vs-JSON regression gates on a matching host class", out)
 
     print("bench_diff_test: all cases passed")
     return 0
